@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fig. 16 reproduction: weight-matrix compression ratio, speedup and
+ * energy saving of (a) the offline element-level zero-pruning
+ * comparator, (b) pure software DRS, and (c) DRS with the CRM hardware,
+ * per application at the AO operating point.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+#include "runtime/pruning.hh"
+
+int
+main()
+{
+    using namespace mflstm;
+    using namespace mflstm::bench;
+
+    constexpr double kPruneFraction = 0.37;  // the comparator's level
+
+    std::printf("Fig. 16: weight compression / speedup / energy of "
+                "zero-pruning vs DRS\n");
+    rule('=');
+    std::printf("%-6s | %-24s | %-24s | %-24s\n", "App",
+                "   zero-pruning [31]", "   software DRS",
+                "   DRS + CRM hardware");
+    std::printf("%-6s | %7s %7s %7s | %7s %7s %7s | %7s %7s %7s\n", "",
+                "compr", "speed", "energy", "compr", "speed", "energy",
+                "compr", "speed", "energy");
+    rule();
+
+    std::vector<double> c_zp, s_zp, e_zp, c_sw, s_sw, e_sw, c_hw, s_hw,
+        e_hw;
+
+    for (const AppContext &app : makeAllApps()) {
+        auto mf = makeCalibrated(app);
+        const auto ladder = mf->calibration().ladder();
+
+        // Zero-pruning: prune a copy of the model to measure the real
+        // compression it achieves on these weights, then time it.
+        nn::LstmModel pruned = *app.model;
+        const runtime::PruningResult pr =
+            runtime::applyZeroPruning(pruned, kPruneFraction);
+        const core::TimingOutcome zp = mf->evaluateTiming(
+            runtime::PlanKind::ZeroPruning, pr.prunedFraction);
+
+        // DRS software and hardware at the AO set of the HW scheme (the
+        // skip decisions are identical; only the execution differs).
+        const SchemeCurve hw_curve = evaluateScheme(
+            *mf, app, runtime::PlanKind::IntraCellHw, ladder);
+        const std::size_t ao =
+            core::selectAo(hw_curve.points, app.baselineAccuracy, 2.0);
+
+        mf->runner().resetStats();
+        mf->runner().setThresholds(0.0, ladder[ao].alphaIntra);
+        evalAccuracy(*mf, app);
+
+        const core::TimingOutcome hw =
+            mf->evaluateTiming(runtime::PlanKind::IntraCellHw);
+        const core::TimingOutcome sw =
+            mf->evaluateTiming(runtime::PlanKind::IntraCellSw);
+
+        // DRS compression ratio: skipped rows of U_{f,i,c} relative to
+        // the whole united weight matrix (U_o is never skipped).
+        double skip = 0.0;
+        for (const auto &st : mf->runner().stats())
+            skip += st.skipFraction(app.model->config().hiddenSize);
+        skip /= static_cast<double>(mf->runner().stats().size());
+        const double drs_compr = 0.75 * skip;
+
+        std::printf("%-6s | %6.1f%% %6.2fx %6.1f%% | %6.1f%% %6.2fx "
+                    "%6.1f%% | %6.1f%% %6.2fx %6.1f%%\n",
+                    app.spec.name.c_str(), 100.0 * pr.compressionRatio,
+                    zp.speedup, zp.energySavingPct, 100.0 * drs_compr,
+                    sw.speedup, sw.energySavingPct, 100.0 * drs_compr,
+                    hw.speedup, hw.energySavingPct);
+
+        c_zp.push_back(pr.compressionRatio);
+        s_zp.push_back(zp.speedup);
+        e_zp.push_back(zp.energySavingPct);
+        c_sw.push_back(drs_compr);
+        s_sw.push_back(sw.speedup);
+        e_sw.push_back(sw.energySavingPct);
+        c_hw.push_back(drs_compr);
+        s_hw.push_back(hw.speedup);
+        e_hw.push_back(hw.energySavingPct);
+    }
+    rule();
+    std::printf("%-6s | %6.1f%% %6.2fx %6.1f%% | %6.1f%% %6.2fx %6.1f%% "
+                "| %6.1f%% %6.2fx %6.1f%%\n",
+                "mean", 100.0 * mean(c_zp), geomean(s_zp), mean(e_zp),
+                100.0 * mean(c_sw), geomean(s_sw), mean(e_sw),
+                100.0 * mean(c_hw), geomean(s_hw), mean(e_hw));
+    std::printf("CRM uplift over software DRS: %.1f%%\n",
+                100.0 * (geomean(s_hw) / geomean(s_sw) - 1.0));
+    rule();
+    std::printf("Paper: zero-pruning compresses 37%% but *degrades* "
+                "performance by 35%% with only\n7%% power saving; DRS "
+                "compresses ~50%% and the CRM adds ~58%% speedup over "
+                "the\ndivergent software scheme (1.07x -> 1.65x).\n");
+    return 0;
+}

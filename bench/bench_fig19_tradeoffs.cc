@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 19 reproduction: speedup and accuracy of the combined system
+ * under the 11 threshold sets (set 0 = baseline thresholds, set 10 =
+ * the per-app upper limits), for every application. Also marks the AO
+ * and BPA operating points the paper derives from these curves.
+ */
+
+#include <cstdio>
+
+#include "harness.hh"
+
+int
+main()
+{
+    using namespace mflstm;
+    using namespace mflstm::bench;
+
+    std::printf("Fig. 19: performance-accuracy trade-offs under "
+                "threshold sets 0..10 (combined\nscheme; A = AO set, "
+                "B = BPA set)\n");
+    rule('=');
+
+    for (const AppContext &app : makeAllApps()) {
+        auto mf = makeCalibrated(app);
+        const auto ladder = mf->calibration().ladder();
+        const SchemeCurve curve = evaluateScheme(
+            *mf, app, runtime::PlanKind::Combined, ladder);
+
+        const std::size_t ao =
+            core::selectAo(curve.points, app.baselineAccuracy, 2.0);
+        const std::size_t bpa = core::selectBpa(curve.points);
+
+        std::printf("%s (baseline accuracy %.1f%%)\n",
+                    app.spec.name.c_str(),
+                    100.0 * app.baselineAccuracy);
+        std::printf("  set      ");
+        for (std::size_t i = 0; i < curve.points.size(); ++i) {
+            const char mark = i == ao ? 'A' : (i == bpa ? 'B' : ' ');
+            std::printf(" %5zu%c", i, mark);
+        }
+        std::printf("\n  speedup  ");
+        for (const auto &pt : curve.points)
+            std::printf(" %5.2fx", pt.speedup);
+        std::printf("\n  accuracy ");
+        for (const auto &pt : curve.points)
+            std::printf(" %5.1f%%", 100.0 * pt.accuracy);
+        std::printf("\n\n");
+    }
+    rule();
+    std::printf("Paper shape: higher threshold sets trade accuracy for "
+                "speedup; AO sits at the\nlast <=2%%-loss set, BPA at "
+                "the Speedup x Accuracy maximum.\n");
+    return 0;
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the CPU-side tensor kernels the
+ * accuracy substrate runs on: GEMV/GEMM (plain, transposed,
+ * row-skipping), the LSTM cell step, and the DRS cell step. These
+ * measure the reproduction's own kernels (wall clock), not the
+ * simulated GPU.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/approx.hh"
+#include "nn/lstm.hh"
+#include "tensor/ops.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using tensor::Matrix;
+using tensor::Vector;
+
+Matrix
+randomMatrix(std::size_t r, std::size_t c, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    Matrix m(r, c);
+    rng.fillUniform(m, -1.0f, 1.0f);
+    return m;
+}
+
+Vector
+randomVector(std::size_t n, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    Vector v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = rng.uniform(-1.0f, 1.0f);
+    return v;
+}
+
+void
+BM_Gemv(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(4 * n, n, 1);
+    const Vector x = randomVector(n, 2);
+    Vector y;
+    for (auto _ : state) {
+        tensor::gemv(a, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4 * n * n);
+}
+BENCHMARK(BM_Gemv)->Arg(128)->Arg(256)->Arg(512);
+
+void
+BM_GemvRowSkip(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(3 * n, n, 3);
+    const Vector x = randomVector(n, 4);
+    std::vector<std::uint32_t> skip;
+    for (std::uint32_t r = 0; r < 3 * n; r += 2)
+        skip.push_back(r);  // 50% row skip
+    Vector y;
+    for (auto _ : state) {
+        tensor::gemvRowSkip(a, x, skip, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_GemvRowSkip)->Arg(256)->Arg(512);
+
+void
+BM_GemvT(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(n, n, 5);
+    const Vector x = randomVector(n, 6);
+    Vector y;
+    for (auto _ : state) {
+        tensor::gemvT(a, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+}
+BENCHMARK(BM_GemvT)->Arg(256)->Arg(512);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const Matrix a = randomMatrix(n, n, 7);
+    const Matrix b = randomMatrix(n, n, 8);
+    Matrix c;
+    for (auto _ : state) {
+        tensor::gemm(a, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_LstmCellForward(benchmark::State &state)
+{
+    const auto h = static_cast<std::size_t>(state.range(0));
+    nn::LstmLayerParams p(h, h);
+    tensor::Rng rng(9);
+    p.init(rng);
+    const Vector x_proj = randomVector(4 * h, 10);
+    nn::LstmState prev(h);
+    for (auto _ : state) {
+        auto next = nn::lstmCellForward(p, x_proj, prev);
+        benchmark::DoNotOptimize(next.h.data());
+    }
+}
+BENCHMARK(BM_LstmCellForward)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_DrsCellForward(benchmark::State &state)
+{
+    const auto h = static_cast<std::size_t>(state.range(0));
+    nn::LstmLayerParams p(h, h);
+    tensor::Rng rng(11);
+    p.init(rng);
+    const Vector x_proj = randomVector(4 * h, 12);
+    nn::LstmState prev(h);
+    for (auto _ : state) {
+        auto next = core::lstmCellForwardDrs(p, x_proj, prev, 0.4,
+                                             nn::SigmoidKind::Logistic);
+        benchmark::DoNotOptimize(next.h.data());
+    }
+}
+BENCHMARK(BM_DrsCellForward)->Arg(64)->Arg(128)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#include "harness.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/serialize.hh"
+
+namespace mflstm {
+namespace bench {
+
+namespace {
+
+const char *kCacheDir = "mflstm_model_cache";
+
+std::string
+cachePath(const workloads::BenchmarkSpec &spec)
+{
+    return std::string(kCacheDir) + "/" + spec.name + "_h" +
+           std::to_string(spec.modelHidden) + "_l" +
+           std::to_string(spec.modelLength) + "_v3.bin";
+}
+
+} // anonymous namespace
+
+AppContext
+makeApp(const workloads::BenchmarkSpec &spec)
+{
+    AppContext app;
+    app.spec = spec;
+    app.data = workloads::makeTask(spec, kTrainSamples, kTestSamples);
+
+    const std::string path = cachePath(spec);
+    if (nn::isModelFile(path)) {
+        app.model =
+            std::make_shared<nn::LstmModel>(nn::loadModel(path));
+    } else {
+        std::fprintf(stderr, "[harness] training %s accuracy model...\n",
+                     spec.name.c_str());
+        app.model = std::make_shared<nn::LstmModel>(
+            workloads::trainAccuracyModel(spec, app.data, kTrainEpochs));
+        std::error_code ec;
+        std::filesystem::create_directories(kCacheDir, ec);
+        if (!ec)
+            nn::saveModel(*app.model, path);
+    }
+    app.baselineAccuracy = workloads::exactAccuracy(*app.model, app.data);
+    return app;
+}
+
+std::vector<AppContext>
+makeAllApps()
+{
+    std::vector<AppContext> apps;
+    for (const workloads::BenchmarkSpec &spec : workloads::tableII())
+        apps.push_back(makeApp(spec));
+    return apps;
+}
+
+std::unique_ptr<core::MemoryFriendlyLstm>
+makeCalibrated(const AppContext &app)
+{
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model, core::MemoryFriendlyLstm::Config{
+                        gpu::GpuConfig::tegraX1(),
+                        app.spec.timingShape()});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    return mf;
+}
+
+double
+evalAccuracy(core::MemoryFriendlyLstm &mf, const AppContext &app)
+{
+    if (app.data.isLm)
+        return core::approxLmNextTokenAccuracy(mf.runner(),
+                                               app.data.lm.test);
+    return core::approxClassificationAccuracy(mf.runner(),
+                                              app.data.cls.test);
+}
+
+SchemeCurve
+evaluateScheme(core::MemoryFriendlyLstm &mf, const AppContext &app,
+               runtime::PlanKind kind,
+               const std::vector<core::ThresholdSet> &ladder)
+{
+    SchemeCurve curve;
+    curve.kind = kind;
+
+    runtime::ExecutionPlan probe;
+    probe.kind = kind;
+    const bool uses_inter = probe.usesInter();
+    const bool uses_intra = probe.usesIntra();
+
+    for (std::size_t i = 0; i < ladder.size(); ++i) {
+        mf.runner().resetStats();
+        mf.runner().setThresholds(
+            uses_inter ? ladder[i].alphaInter : 0.0,
+            uses_intra ? ladder[i].alphaIntra : 0.0);
+
+        core::OperatingPoint pt;
+        pt.index = i;
+        pt.set = ladder[i];
+        pt.accuracy = evalAccuracy(mf, app);
+
+        const core::TimingOutcome outcome = mf.evaluateTiming(kind);
+        pt.speedup = outcome.speedup;
+
+        curve.points.push_back(pt);
+        curve.outcomes.push_back(outcome);
+    }
+    return curve;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+void
+rule(char c, int width)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar(c);
+    std::putchar('\n');
+}
+
+} // namespace bench
+} // namespace mflstm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared harness for the figure/table reproduction binaries: per-app
+ * context (trained accuracy model + synthetic datasets, disk-cached),
+ * threshold-ladder evaluation per execution scheme, and small table
+ * formatting helpers. Every bench_* binary prints the rows/series the
+ * corresponding paper figure reports.
+ */
+
+#ifndef MFLSTM_BENCH_HARNESS_HH
+#define MFLSTM_BENCH_HARNESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/api.hh"
+#include "workloads/benchmarks.hh"
+#include "workloads/datagen.hh"
+
+namespace mflstm {
+namespace bench {
+
+/** Everything one Table II application needs for an experiment. */
+struct AppContext
+{
+    workloads::BenchmarkSpec spec;
+    workloads::TaskData data;
+    std::shared_ptr<nn::LstmModel> model;
+    double baselineAccuracy = 0.0;
+};
+
+/** Dataset sizes used across the benches (kept modest but meaningful). */
+constexpr std::size_t kTrainSamples = 400;
+constexpr std::size_t kTestSamples = 120;
+constexpr std::size_t kTrainEpochs = 20;
+constexpr std::size_t kCalibrationSeqs = 40;
+
+/**
+ * Build (or load from the on-disk cache) the trained accuracy model and
+ * datasets for one benchmark. The cache lives in ./mflstm_model_cache;
+ * models are deterministic, so the cache only saves training time.
+ */
+AppContext makeApp(const workloads::BenchmarkSpec &spec);
+
+/** makeApp for every Table II application, in order. */
+std::vector<AppContext> makeAllApps();
+
+/** A calibrated facade for one app (baseline timing already run). */
+std::unique_ptr<core::MemoryFriendlyLstm>
+makeCalibrated(const AppContext &app);
+
+/** Task-appropriate accuracy through the approximate dataflow. */
+double evalAccuracy(core::MemoryFriendlyLstm &mf, const AppContext &app);
+
+/** One evaluated scheme across the whole threshold ladder. */
+struct SchemeCurve
+{
+    runtime::PlanKind kind;
+    std::vector<core::OperatingPoint> points;   ///< one per ladder set
+    std::vector<core::TimingOutcome> outcomes;  ///< matching timing runs
+};
+
+/**
+ * Sweep the Fig. 19 ladder for one scheme, applying only the thresholds
+ * that scheme uses (inter-only schemes zero alpha_intra and vice versa).
+ */
+SchemeCurve evaluateScheme(core::MemoryFriendlyLstm &mf,
+                           const AppContext &app, runtime::PlanKind kind,
+                           const std::vector<core::ThresholdSet> &ladder);
+
+/** Geometric mean (the paper's cross-app average for speedups). */
+double geomean(const std::vector<double> &xs);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &xs);
+
+/** Print a horizontal rule sized for the bench tables. */
+void rule(char c = '-', int width = 78);
+
+} // namespace bench
+} // namespace mflstm
+
+#endif // MFLSTM_BENCH_HARNESS_HH

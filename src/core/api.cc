@@ -1,0 +1,112 @@
+#include "core/api.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mflstm {
+namespace core {
+
+MemoryFriendlyLstm::MemoryFriendlyLstm(const nn::LstmModel &accuracy_model,
+                                       const Config &cfg)
+    : cfg_(cfg), executor_(cfg_.gpu), runner_(accuracy_model)
+{
+    if (cfg_.timingShape.layers.empty())
+        throw std::invalid_argument(
+            "MemoryFriendlyLstm: empty timing shape");
+    if (cfg_.timingShape.layers.size() !=
+        accuracy_model.layers().size()) {
+        throw std::invalid_argument(
+            "MemoryFriendlyLstm: timing shape and accuracy model must "
+            "have the same layer count");
+    }
+
+    runtime::ExecutionPlan base;
+    base.kind = runtime::PlanKind::Baseline;
+    baseline_ = executor_.run(cfg_.timingShape, base);
+}
+
+const MemoryFriendlyLstm::Calibration &
+MemoryFriendlyLstm::calibrate(
+    const std::vector<std::vector<std::int32_t>> &train_seqs)
+{
+    Calibration cal;
+
+    // Fig. 10 op 1: tissue-size sweep on the target GPU.
+    cal.mtsSweep = findMts(executor_, cfg_.timingShape.layers.front());
+    cal.mts = cal.mtsSweep.mts;
+
+    // Fig. 10 op 4: link predictors from the training distribution.
+    runner_.calibrate(train_seqs);
+
+    // Fig. 10 op 2: threshold upper limits from the exact profile.
+    cal.profile = runner_.profile(train_seqs);
+    cal.limits = findThresholdLimits(
+        cal.profile, cal.mts, cfg_.timingShape.layers.front().length);
+
+    calibration_ = std::move(cal);
+    return *calibration_;
+}
+
+const MemoryFriendlyLstm::Calibration &
+MemoryFriendlyLstm::calibration() const
+{
+    if (!calibration_)
+        throw std::logic_error(
+            "MemoryFriendlyLstm: calibrate() has not run");
+    return *calibration_;
+}
+
+TimingOutcome
+MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
+                                   double prune_fraction) const
+{
+    TimingOutcome out;
+
+    if (kind == runtime::PlanKind::Baseline) {
+        out.report = baseline_;
+        out.plan.kind = kind;
+        out.speedup = 1.0;
+        out.energySavingPct = 0.0;
+        return out;
+    }
+
+    if (kind == runtime::PlanKind::ZeroPruning) {
+        out.plan.kind = kind;
+        out.plan.pruneFraction = prune_fraction;
+        out.report = executor_.run(cfg_.timingShape, out.plan);
+        out.speedup = runtime::speedup(baseline_, out.report);
+        out.energySavingPct =
+            runtime::energySavingPct(baseline_, out.report);
+        return out;
+    }
+
+    const Calibration &cal = calibration();
+    const std::size_t model_hidden =
+        runner_.model().config().hiddenSize;
+
+    std::size_t mts = cal.mts;
+    if (kind == runtime::PlanKind::Combined) {
+        // DRS relieves on-chip traffic inside the tissue GEMM, which
+        // raises the bandwidth-limited MTS; re-run the sweep with the
+        // measured mean skip fraction.
+        double skip = 0.0;
+        for (const LayerApproxStats &st : runner_.stats())
+            skip += st.skipFraction(model_hidden);
+        skip /= static_cast<double>(runner_.stats().size());
+        if (skip > 0.0) {
+            mts = findMts(executor_, cfg_.timingShape.layers.front(), 12,
+                          skip)
+                      .mts;
+        }
+    }
+
+    out.plan = buildPlan(kind, runner_.stats(), cfg_.timingShape, mts,
+                         model_hidden);
+    out.report = executor_.run(cfg_.timingShape, out.plan);
+    out.speedup = runtime::speedup(baseline_, out.report);
+    out.energySavingPct = runtime::energySavingPct(baseline_, out.report);
+    return out;
+}
+
+} // namespace core
+} // namespace mflstm

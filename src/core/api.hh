@@ -1,0 +1,120 @@
+/**
+ * @file
+ * MemoryFriendlyLstm — the library's public facade. Wraps a trained
+ * accuracy model (nn::LstmModel) and a full-size timing shape (Table II
+ * row) and drives the paper's whole flow:
+ *
+ *   offline (Fig. 10 ops 1-4): MTS sweep on the target GPU, threshold
+ *   upper limits from the calibration profile, context-link predictors;
+ *
+ *   per threshold set: run the approximate dataflow for accuracy +
+ *   division/skip statistics, project the statistics onto the timing
+ *   shape, and simulate the resulting kernel schedule for speedup and
+ *   energy.
+ *
+ * Typical use (see examples/quickstart.cc):
+ *
+ *   nn::LstmModel model = ...train...;
+ *   core::MemoryFriendlyLstm mf(model, {gpu::GpuConfig::tegraX1(),
+ *                                       runtime::NetworkShape::stacked(
+ *                                           512, 512, 3, 80)});
+ *   mf.calibrate(train_seqs);
+ *   mf.runner().setThresholds(a_inter, a_intra);
+ *   double acc = core::approxClassificationAccuracy(mf.runner(), test);
+ *   auto timing = mf.evaluateTiming(runtime::PlanKind::Combined);
+ */
+
+#ifndef MFLSTM_CORE_API_HH
+#define MFLSTM_CORE_API_HH
+
+#include <memory>
+#include <optional>
+
+#include "core/approx.hh"
+#include "core/planner.hh"
+#include "core/thresholds.hh"
+#include "core/tissue.hh"
+#include "gpu/config.hh"
+#include "runtime/executor.hh"
+
+namespace mflstm {
+namespace core {
+
+/** One timing evaluation (vs the cached baseline). */
+struct TimingOutcome
+{
+    runtime::RunReport report;
+    runtime::ExecutionPlan plan;
+    double speedup = 1.0;
+    double energySavingPct = 0.0;
+};
+
+class MemoryFriendlyLstm
+{
+  public:
+    struct Config
+    {
+        gpu::GpuConfig gpu = gpu::GpuConfig::tegraX1();
+        runtime::NetworkShape timingShape;
+    };
+
+    /** Offline calibration results (Fig. 10 left half). */
+    struct Calibration
+    {
+        std::size_t mts = 1;
+        MtsResult mtsSweep;
+        ThresholdLimits limits;
+        ApproxRunner::CalibrationProfile profile;
+
+        /** The Fig. 19 threshold ladder for this application. */
+        std::vector<ThresholdSet> ladder(std::size_t count = 11) const
+        {
+            return thresholdLadder(profile, limits, count);
+        }
+    };
+
+    MemoryFriendlyLstm(const nn::LstmModel &accuracy_model,
+                       const Config &cfg);
+
+    /**
+     * Offline phase: MTS sweep, threshold limits, link predictors.
+     * @param train_seqs token sequences representative of training data.
+     */
+    const Calibration &
+    calibrate(const std::vector<std::vector<std::int32_t>> &train_seqs);
+
+    bool calibrated() const { return calibration_.has_value(); }
+    const Calibration &calibration() const;
+
+    /** The approximate dataflow runner (set thresholds, evaluate). */
+    ApproxRunner &runner() { return runner_; }
+    const ApproxRunner &runner() const { return runner_; }
+
+    const runtime::NetworkExecutor &executor() const { return executor_; }
+    const Config &config() const { return cfg_; }
+
+    /** Cached baseline (Algorithm 1) timing of the full-size shape. */
+    const runtime::RunReport &baseline() const { return baseline_; }
+
+    /**
+     * Project the runner's current statistics onto the timing shape and
+     * simulate @p kind. Run an accuracy evaluation through runner()
+     * first so the statistics reflect the active thresholds.
+     *
+     * @param prune_fraction only used by PlanKind::ZeroPruning.
+     */
+    TimingOutcome evaluateTiming(runtime::PlanKind kind,
+                                 double prune_fraction = 0.37) const;
+
+  private:
+    Config cfg_;
+    runtime::NetworkExecutor executor_;
+    ApproxRunner runner_;
+    runtime::RunReport baseline_;
+    std::optional<Calibration> calibration_;
+};
+
+} // namespace core
+} // namespace mflstm
+
+#endif // MFLSTM_CORE_API_HH

@@ -1,0 +1,327 @@
+#include "core/approx.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/activations.hh"
+#include "tensor/ops.hh"
+
+namespace mflstm {
+namespace core {
+
+nn::LstmState
+lstmCellForwardDrs(const nn::LstmLayerParams &params, const Vector &x_proj,
+                   const nn::LstmState &prev, double alpha_intra,
+                   nn::SigmoidKind sk, std::size_t *skipped_rows,
+                   DrsStatePolicy policy)
+{
+    const std::size_t hid = params.hiddenSize();
+    assert(x_proj.size() == 4 * hid);
+
+    auto sig = [sk](float v) {
+        return sk == nn::SigmoidKind::Logistic ? tensor::sigmoid(v)
+                                               : tensor::hardSigmoid(v);
+    };
+
+    // Algorithm 3 lines 4-5: the output gate first.
+    Vector ro;
+    tensor::gemv(params.uo, prev.h, ro);
+    Vector o(hid);
+    for (std::size_t j = 0; j < hid; ++j)
+        o[j] = sig(x_proj[3 * hid + j] + ro[j] + params.bo[j]);
+
+    // Line 6: rows whose o_t element is near zero are trivial.
+    std::vector<std::uint32_t> skip;
+    for (std::size_t j = 0; j < hid; ++j) {
+        if (o[j] <= alpha_intra)
+            skip.push_back(static_cast<std::uint32_t>(j));
+    }
+    if (skipped_rows)
+        *skipped_rows = skip.size();
+
+    // Line 7: Sgemv(U_{f,i,c}, h, R) — skipped rows are neither loaded
+    // nor computed.
+    Vector rf, ri, rc;
+    tensor::gemvRowSkip(params.uf, prev.h, skip, rf);
+    tensor::gemvRowSkip(params.ui, prev.h, skip, ri);
+    tensor::gemvRowSkip(params.uc, prev.h, skip, rc);
+
+    std::vector<std::uint8_t> skipped(hid, 0);
+    for (std::uint32_t j : skip)
+        skipped[j] = 1;
+
+    // Line 8: the element-wise kernel. Under the default policy a
+    // skipped row's recurrent products are simply zero (gemvRowSkip
+    // already produced that), so the gates evaluate on the input
+    // projection alone; under ZeroState the whole element is nulled.
+    nn::LstmState next(hid);
+    for (std::size_t j = 0; j < hid; ++j) {
+        if (skipped[j] && policy == DrsStatePolicy::ZeroState) {
+            next.c[j] = 0.0f;
+            next.h[j] = 0.0f;
+            continue;
+        }
+        const float f = sig(x_proj[j] + rf[j] + params.bf[j]);
+        const float i = sig(x_proj[hid + j] + ri[j] + params.bi[j]);
+        const float g =
+            std::tanh(x_proj[2 * hid + j] + rc[j] + params.bc[j]);
+        next.c[j] = f * prev.c[j] + i * g;
+        next.h[j] = o[j] * std::tanh(next.c[j]);
+    }
+    return next;
+}
+
+ApproxRunner::ApproxRunner(const nn::LstmModel &model) : model_(model)
+{
+    const std::size_t hid = model.config().hiddenSize;
+    relevanceCtx_.reserve(model.layers().size());
+    for (const nn::LstmLayerParams &p : model.layers()) {
+        relevanceCtx_.emplace_back(p);
+        predictors_.emplace_back(hid);
+    }
+    stats_.resize(model.layers().size());
+}
+
+void
+ApproxRunner::calibrate(
+    const std::vector<std::vector<std::int32_t>> &token_seqs)
+{
+    for (const auto &seq : token_seqs) {
+        if (seq.empty())
+            continue;
+        std::vector<std::vector<nn::LstmCellTrace>> traces;
+        model_.runLayers(model_.embed(seq), &traces);
+        for (std::size_t l = 0; l < traces.size(); ++l)
+            predictors_[l].observe(traces[l]);
+    }
+}
+
+bool
+ApproxRunner::calibrated() const
+{
+    return !predictors_.empty() && predictors_.front().samples() > 0;
+}
+
+void
+ApproxRunner::setThresholds(double alpha_inter, double alpha_intra)
+{
+    if (alpha_inter < 0.0 || alpha_intra < 0.0 || alpha_intra >= 1.0)
+        throw std::invalid_argument("setThresholds: out of range");
+    if (alpha_inter > 0.0 && !calibrated())
+        throw std::logic_error(
+            "setThresholds: layer division needs calibrate() first "
+            "(predicted links are undefined)");
+    alphaInter_ = alpha_inter;
+    alphaIntra_ = alpha_intra;
+}
+
+std::vector<Vector>
+ApproxRunner::runLayers(const std::vector<Vector> &inputs)
+{
+    const nn::SigmoidKind sk = model_.config().sigmoid;
+    std::vector<Vector> acts = inputs;
+
+    for (std::size_t l = 0; l < model_.layers().size(); ++l) {
+        const nn::LstmLayerParams &p = model_.layers()[l];
+        LayerApproxStats &st = stats_[l];
+        ++st.sequences;
+
+        const std::vector<Vector> projs = nn::projectInputs(p, acts);
+
+        // Inter-cell: find the weak links of this sequence.
+        std::vector<std::uint8_t> is_break(projs.size(), 0);
+        if (alphaInter_ > 0.0 && projs.size() > 1) {
+            for (std::size_t t = 1; t < projs.size(); ++t) {
+                ++st.links;
+                const double s =
+                    relevanceCtx_[l].relevance(p, projs[t]);
+                if (s < alphaInter_) {
+                    is_break[t] = 1;
+                    ++st.breaks;
+                }
+            }
+        }
+
+        const Vector pred_h =
+            alphaInter_ > 0.0 ? predictors_[l].predictedH() : Vector();
+        const Vector pred_c =
+            alphaInter_ > 0.0 ? predictors_[l].predictedC() : Vector();
+
+        nn::LstmState state(p.hiddenSize());
+        std::vector<Vector> outs;
+        outs.reserve(projs.size());
+        for (std::size_t t = 0; t < projs.size(); ++t) {
+            if (is_break[t]) {
+                // Breakpoint: the real link is severed; substitute the
+                // predicted one (Fig. 8(a2)).
+                state.h = pred_h;
+                state.c = pred_c;
+            }
+            ++st.cells;
+            if (alphaIntra_ > 0.0) {
+                std::size_t skipped = 0;
+                state = lstmCellForwardDrs(p, projs[t], state,
+                                           alphaIntra_, sk, &skipped,
+                                           drsPolicy_);
+                st.skippedRows += static_cast<double>(skipped);
+            } else {
+                state = nn::lstmCellForward(p, projs[t], state, sk);
+            }
+            outs.push_back(state.h);
+        }
+        acts = std::move(outs);
+    }
+    return acts;
+}
+
+Vector
+ApproxRunner::classify(std::span<const std::int32_t> tokens)
+{
+    assert(model_.config().task == nn::TaskKind::Classification);
+    if (tokens.empty())
+        throw std::invalid_argument("ApproxRunner::classify: empty");
+    const std::vector<Vector> top = runLayers(model_.embed(tokens));
+    return nn::linearForward(model_.head(), top.back());
+}
+
+std::vector<Vector>
+ApproxRunner::lmLogits(std::span<const std::int32_t> tokens)
+{
+    assert(model_.config().task == nn::TaskKind::LanguageModel);
+    const std::vector<Vector> top = runLayers(model_.embed(tokens));
+    std::vector<Vector> logits;
+    logits.reserve(top.size());
+    for (const Vector &h : top)
+        logits.push_back(nn::linearForward(model_.head(), h));
+    return logits;
+}
+
+double
+ApproxRunner::CalibrationProfile::relevanceQuantile(double q) const
+{
+    if (relevances.empty())
+        return 0.0;
+    const double pos =
+        std::clamp(q, 0.0, 1.0) *
+        static_cast<double>(relevances.size() - 1);
+    return relevances[static_cast<std::size_t>(pos)];
+}
+
+double
+ApproxRunner::CalibrationProfile::outputGateQuantile(double q) const
+{
+    if (outputGates.empty())
+        return 0.0;
+    const double pos = std::clamp(q, 0.0, 1.0) *
+                       static_cast<double>(outputGates.size() - 1);
+    return outputGates[static_cast<std::size_t>(pos)];
+}
+
+double
+ApproxRunner::CalibrationProfile::layerBreakFraction(std::size_t l,
+                                                     double alpha) const
+{
+    if (l >= layerRelevances.size() || layerRelevances[l].empty())
+        return 0.0;
+    const auto &xs = layerRelevances[l];
+    const auto it = std::lower_bound(xs.begin(), xs.end(), alpha);
+    return static_cast<double>(it - xs.begin()) /
+           static_cast<double>(xs.size());
+}
+
+ApproxRunner::CalibrationProfile
+ApproxRunner::profile(
+    const std::vector<std::vector<std::int32_t>> &token_seqs) const
+{
+    CalibrationProfile prof;
+    prof.layerRelevances.resize(model_.layers().size());
+    const nn::SigmoidKind sk = model_.config().sigmoid;
+
+    for (const auto &seq : token_seqs) {
+        if (seq.empty())
+            continue;
+        std::vector<Vector> acts = model_.embed(seq);
+        for (std::size_t l = 0; l < model_.layers().size(); ++l) {
+            const nn::LstmLayerParams &p = model_.layers()[l];
+            const std::vector<Vector> projs = nn::projectInputs(p, acts);
+
+            for (std::size_t t = 1; t < projs.size(); ++t) {
+                const double sv = relevanceCtx_[l].relevance(p, projs[t]);
+                prof.relevances.push_back(sv);
+                prof.layerRelevances[l].push_back(sv);
+            }
+
+            nn::LstmState state(p.hiddenSize());
+            std::vector<Vector> outs;
+            outs.reserve(projs.size());
+            for (std::size_t t = 0; t < projs.size(); ++t) {
+                nn::LstmCellTrace trace;
+                state = nn::lstmCellForward(p, projs[t], state, sk,
+                                            &trace);
+                for (std::size_t j = 0; j < trace.o.size(); ++j)
+                    prof.outputGates.push_back(trace.o[j]);
+                outs.push_back(state.h);
+            }
+            acts = std::move(outs);
+        }
+    }
+    std::sort(prof.relevances.begin(), prof.relevances.end());
+    for (auto &xs : prof.layerRelevances)
+        std::sort(xs.begin(), xs.end());
+    std::sort(prof.outputGates.begin(), prof.outputGates.end());
+    return prof;
+}
+
+void
+ApproxRunner::resetStats()
+{
+    for (LayerApproxStats &st : stats_)
+        st = LayerApproxStats{};
+}
+
+double
+approxClassificationAccuracy(ApproxRunner &runner,
+                             const std::vector<nn::Sample> &data)
+{
+    if (data.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const nn::Sample &s : data) {
+        const Vector logits = runner.classify(s.tokens);
+        if (tensor::argmax(logits.span()) ==
+            static_cast<std::size_t>(s.label)) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double
+approxLmNextTokenAccuracy(
+    ApproxRunner &runner,
+    const std::vector<std::vector<std::int32_t>> &seqs)
+{
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (const auto &seq : seqs) {
+        if (seq.size() < 2)
+            continue;
+        const auto logits =
+            runner.lmLogits(std::span(seq.data(), seq.size() - 1));
+        for (std::size_t t = 0; t < logits.size(); ++t) {
+            if (tensor::argmax(logits[t].span()) ==
+                static_cast<std::size_t>(seq[t + 1])) {
+                ++correct;
+            }
+            ++total;
+        }
+    }
+    return total ? static_cast<double>(correct) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+} // namespace core
+} // namespace mflstm

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Functional (accuracy-side) implementation of the paper's two
+ * approximations, mirroring what the paper implements in PyTorch:
+ *
+ *  - inter-cell: per sequence and per layer, compute the link relevance
+ *    values (Algorithm 2) from the input projections, break links weaker
+ *    than alpha_inter, and substitute the predicted context link (Eq. 6)
+ *    at every breakpoint;
+ *
+ *  - intra-cell DRS: per cell, compute the output gate o_t first; for
+ *    elements with o_t <= alpha_intra, skip the corresponding rows of
+ *    U_{f,i,c} — their cell-state elements become 0 (Section V-A).
+ *
+ * The ApproxRunner drives a trained nn::LstmModel through these modified
+ * dataflows and records the division/skip statistics that the timing
+ * planner (core/planner.hh) turns into an ExecutionPlan.
+ */
+
+#ifndef MFLSTM_CORE_APPROX_HH
+#define MFLSTM_CORE_APPROX_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/predictor.hh"
+#include "core/relevance.hh"
+#include "nn/model.hh"
+
+namespace mflstm {
+namespace core {
+
+/**
+ * What a DRS-skipped row means for the cell state. Algorithm 3 row-skips
+ * only the Sgemv(U_{f,i,c}, h, R) kernel; the element-wise kernel of
+ * line 8 carries no R argument, so the faithful reading (the default) is
+ * that a skipped row merely loses its recurrent contribution
+ * U_* h_{t-1} while the gate still evaluates on the input projection.
+ * Section V-A's prose alternatively describes the affected c_t elements
+ * as "approximated to zero"; ZeroState implements that harsher variant
+ * (kept for the ablation study in bench_ablation).
+ */
+enum class DrsStatePolicy {
+    DropRecurrent,  ///< skipped rows: gates see W x_t + b only (default)
+    ZeroState,      ///< skipped rows: c_t (and hence h_t) forced to 0
+};
+
+/** DRS cell step: Eq. 1-5 with rows skipped by the o_t threshold. */
+nn::LstmState
+lstmCellForwardDrs(const nn::LstmLayerParams &params,
+                   const Vector &x_proj, const nn::LstmState &prev,
+                   double alpha_intra, nn::SigmoidKind sk,
+                   std::size_t *skipped_rows = nullptr,
+                   DrsStatePolicy policy = DrsStatePolicy::DropRecurrent);
+
+/** Aggregated approximation statistics for one layer. */
+struct LayerApproxStats
+{
+    std::size_t sequences = 0;   ///< forward passes observed
+    std::size_t links = 0;       ///< breakable links seen
+    std::size_t breaks = 0;      ///< links actually broken
+    std::size_t cells = 0;       ///< cells executed
+    double skippedRows = 0.0;    ///< DRS-skipped rows (of hidden size)
+
+    /** Fraction of links broken by alpha_inter. */
+    double breakRate() const
+    {
+        return links ? static_cast<double>(breaks) /
+                           static_cast<double>(links)
+                     : 0.0;
+    }
+
+    /** Mean fraction of U_{f,i,c} rows skipped per cell. */
+    double skipFraction(std::size_t hidden_size) const
+    {
+        return cells ? skippedRows / (static_cast<double>(cells) *
+                                      static_cast<double>(hidden_size))
+                     : 0.0;
+    }
+
+    /** Mean sub-layer count per sequence. */
+    double avgSubLayers() const
+    {
+        return sequences ? 1.0 + static_cast<double>(breaks) /
+                                     static_cast<double>(sequences)
+                         : 1.0;
+    }
+};
+
+/**
+ * Runs a trained model with the approximations enabled and collects the
+ * statistics the timing side needs. Thread-compatible, not thread-safe.
+ */
+class ApproxRunner
+{
+  public:
+    explicit ApproxRunner(const nn::LstmModel &model);
+
+    /**
+     * Offline calibration (Fig. 10 op 4): run the exact model over
+     * training sequences and collect the context-link distributions per
+     * layer for the Eq. 6 predictors.
+     */
+    void calibrate(
+        const std::vector<std::vector<std::int32_t>> &token_seqs);
+
+    /** Has calibrate() ingested at least one sequence? */
+    bool calibrated() const;
+
+    /**
+     * Set the two thresholds. alpha_inter = 0 disables layer division;
+     * alpha_intra = 0 disables DRS (o_t is strictly positive).
+     */
+    void setThresholds(double alpha_inter, double alpha_intra);
+
+    double alphaInter() const { return alphaInter_; }
+    double alphaIntra() const { return alphaIntra_; }
+
+    /** Select the DRS skipped-row semantics (see DrsStatePolicy). */
+    void setDrsPolicy(DrsStatePolicy policy) { drsPolicy_ = policy; }
+    DrsStatePolicy drsPolicy() const { return drsPolicy_; }
+
+    /** Approximate classification logits (cf. LstmModel::classify). */
+    Vector classify(std::span<const std::int32_t> tokens);
+
+    /** Approximate per-step LM logits (cf. LstmModel::lmLogits). */
+    std::vector<Vector> lmLogits(std::span<const std::int32_t> tokens);
+
+    /** Approximate stack forward over embedded inputs. */
+    std::vector<Vector> runLayers(const std::vector<Vector> &inputs);
+
+    const std::vector<LayerApproxStats> &stats() const { return stats_; }
+    void resetStats();
+
+    const nn::LstmModel &model() const { return model_; }
+
+    /**
+     * Exact-forward profile of the model on a dataset: the pooled link
+     * relevance values S (all layers) and the output-gate magnitude
+     * distribution. These define the meaningful ranges of the two
+     * thresholds (Fig. 10, offline op 2).
+     */
+    struct CalibrationProfile
+    {
+        std::vector<double> relevances;  ///< pooled S, sorted ascending
+        /// per-layer S values, sorted ascending (division is per layer)
+        std::vector<std::vector<double>> layerRelevances;
+        std::vector<float> outputGates;  ///< pooled o_t values, sorted
+
+        /// fraction of layer l's links with S < alpha
+        double layerBreakFraction(std::size_t l, double alpha) const;
+
+        /** S quantile: the alpha_inter that breaks fraction q of links. */
+        double relevanceQuantile(double q) const;
+
+        /** o_t quantile: the alpha_intra that skips fraction q of rows. */
+        double outputGateQuantile(double q) const;
+    };
+
+    CalibrationProfile
+    profile(const std::vector<std::vector<std::int32_t>> &token_seqs) const;
+
+  private:
+    const nn::LstmModel &model_;
+    std::vector<LayerRelevanceContext> relevanceCtx_;
+    std::vector<LinkPredictor> predictors_;
+    std::vector<LayerApproxStats> stats_;
+    double alphaInter_ = 0.0;
+    double alphaIntra_ = 0.0;
+    DrsStatePolicy drsPolicy_ = DrsStatePolicy::DropRecurrent;
+};
+
+/** classificationAccuracy through the approximate dataflow. */
+double approxClassificationAccuracy(ApproxRunner &runner,
+                                    const std::vector<nn::Sample> &data);
+
+/** lmNextTokenAccuracy through the approximate dataflow. */
+double approxLmNextTokenAccuracy(
+    ApproxRunner &runner,
+    const std::vector<std::vector<std::int32_t>> &seqs);
+
+} // namespace core
+} // namespace mflstm
+
+#endif // MFLSTM_CORE_APPROX_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plan builder: projects the approximation statistics measured on the
+ * (scaled) accuracy model onto the full Table II timing shape and emits
+ * the runtime::ExecutionPlan — per-layer tissue schedules (division
+ * rate -> sub-layer lengths -> aligned tissues under the MTS) and
+ * per-layer DRS skip fractions.
+ */
+
+#ifndef MFLSTM_CORE_PLANNER_HH
+#define MFLSTM_CORE_PLANNER_HH
+
+#include <vector>
+
+#include "core/approx.hh"
+#include "runtime/plan.hh"
+
+namespace mflstm {
+namespace core {
+
+/**
+ * Evenly divide @p length cells into @p parts sub-layers (what the
+ * measured break rate implies on the timing-shape sequence length).
+ */
+std::vector<std::size_t> evenSubLayers(std::size_t length,
+                                       std::size_t parts);
+
+/**
+ * Build the execution plan for @p kind from per-layer stats.
+ *
+ * @param stats        one LayerApproxStats per layer, populated by an
+ *                     ApproxRunner evaluation pass.
+ * @param shape        full-size timing shape (Table II row).
+ * @param mts          maximum tissue size from the offline sweep.
+ * @param model_hidden hidden size of the accuracy model (to normalise
+ *                     skippedRows into a fraction).
+ */
+runtime::ExecutionPlan
+buildPlan(runtime::PlanKind kind,
+          const std::vector<LayerApproxStats> &stats,
+          const runtime::NetworkShape &shape, std::size_t mts,
+          std::size_t model_hidden);
+
+} // namespace core
+} // namespace mflstm
+
+#endif // MFLSTM_CORE_PLANNER_HH

@@ -1,0 +1,28 @@
+#include "core/predictor.hh"
+
+namespace mflstm {
+namespace core {
+
+LinkPredictor::LinkPredictor(std::size_t hidden_size, std::size_t bins)
+    : hDist_(hidden_size, -1.0, 1.0, bins),
+      // c_t is unbounded in principle but concentrates in a few units
+      // of magnitude; clamp the histogram range accordingly.
+      cDist_(hidden_size, -4.0, 4.0, bins)
+{}
+
+void
+LinkPredictor::observe(const std::vector<nn::LstmCellTrace> &traces)
+{
+    for (const nn::LstmCellTrace &t : traces)
+        observeLink(t.h, t.c);
+}
+
+void
+LinkPredictor::observeLink(const tensor::Vector &h, const tensor::Vector &c)
+{
+    hDist_.observe(h);
+    cDist_.observe(c);
+}
+
+} // namespace core
+} // namespace mflstm

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Context-link predictor (Section IV-B "Accuracy Recovery", Eq. 6).
+ * Offline, the LSTM is executed on training data and the value
+ * distribution of every element of the context link is collected; the
+ * per-element expectation vector predicts the links lost at breakpoints.
+ *
+ * The paper predicts the context link h. The first cell of a sub-layer
+ * also consumes the previous cell state c_{t-1} (Eq. 3); we collect and
+ * predict it the same way — the natural extension of Eq. 6, documented
+ * as a substitution in DESIGN.md.
+ */
+
+#ifndef MFLSTM_CORE_PREDICTOR_HH
+#define MFLSTM_CORE_PREDICTOR_HH
+
+#include <vector>
+
+#include "nn/lstm.hh"
+#include "tensor/stats.hh"
+
+namespace mflstm {
+namespace core {
+
+/** Collected distributions + predicted link for one layer. */
+class LinkPredictor
+{
+  public:
+    /**
+     * @param hidden_size  layer width.
+     * @param bins         histogram resolution per element (Eq. 6 rho).
+     */
+    explicit LinkPredictor(std::size_t hidden_size, std::size_t bins = 64);
+
+    /** Ingest every context link (h_t, c_t) of one forward trace. */
+    void observe(const std::vector<nn::LstmCellTrace> &traces);
+
+    /** Ingest a single link sample. */
+    void observeLink(const tensor::Vector &h, const tensor::Vector &c);
+
+    std::size_t samples() const { return hDist_.samples(); }
+
+    /** Predicted context link: per-element expectation of h (Eq. 6). */
+    tensor::Vector predictedH() const { return hDist_.expectation(); }
+
+    /** Predicted cell state at a breakpoint. */
+    tensor::Vector predictedC() const { return cDist_.expectation(); }
+
+  private:
+    tensor::VectorDistribution hDist_;
+    tensor::VectorDistribution cDist_;
+};
+
+} // namespace core
+} // namespace mflstm
+
+#endif // MFLSTM_CORE_PREDICTOR_HH

@@ -1,0 +1,147 @@
+#include "core/relevance.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/ops.hh"
+
+namespace mflstm {
+namespace core {
+
+LayerRelevanceContext::LayerRelevanceContext(
+    const nn::LstmLayerParams &params)
+    : df(tensor::rowAbsSums(params.uf)), di(tensor::rowAbsSums(params.ui)),
+      dc(tensor::rowAbsSums(params.uc)), dout(tensor::rowAbsSums(params.uo))
+{}
+
+double
+LayerRelevanceContext::relevance(const nn::LstmLayerParams &params,
+                                 const Vector &x_proj) const
+{
+    const std::size_t dim = params.hiddenSize();
+    if (x_proj.size() != 4 * dim)
+        throw std::invalid_argument("relevance: bad x_proj size");
+
+    // Algorithm 2 line 5, for gates whose both saturation ends are
+    // "insensitive" (i, c, o): overlap of [m - D, m + D] with the
+    // sensitive area via the two clipped terms of the paper's formula.
+    auto s_ico = [](double m, double d) {
+        const double a = 2.0 + std::min(2.0, std::fabs(m));
+        const double b =
+            std::min(2.0, 2.0 + d - std::max(2.0, std::fabs(m)));
+        return std::min(a, b);
+    };
+
+    double s = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+        // Algorithm 2 line 4: forget gate. Saturating high (f -> 1)
+        // preserves the cell state, so only the upper reach of the range
+        // matters; S_f measures how far it extends into/through the
+        // sensitive area.
+        const double mf = x_proj[j] + params.bf[j];
+        const double sf = std::min(4.0, std::max(mf + df[j] + 2.0, 0.0));
+
+        const double si = s_ico(x_proj[dim + j] + params.bi[j], di[j]);
+        const double sc = s_ico(x_proj[2 * dim + j] + params.bc[j], dc[j]);
+        const double so =
+            s_ico(x_proj[3 * dim + j] + params.bo[j], dout[j]);
+
+        // Line 6: combine through the cell dataflow — the output gate
+        // multiplies everything (Eq. 5), the forget path adds to the
+        // input*candidate path (Eq. 3).
+        const double sj = so * (sf + si * sc);
+        s += std::max(0.0, sj);
+    }
+    return s;
+}
+
+GruRelevanceContext::GruRelevanceContext(const nn::GruLayerParams &params)
+    : dz(tensor::rowAbsSums(params.uz)), dr(tensor::rowAbsSums(params.ur)),
+      dh(tensor::rowAbsSums(params.uh))
+{}
+
+double
+GruRelevanceContext::relevance(const nn::GruLayerParams &params,
+                               const Vector &x_proj) const
+{
+    const std::size_t dim = params.hiddenSize();
+    if (x_proj.size() != 3 * dim)
+        throw std::invalid_argument("gru relevance: bad x_proj size");
+
+    // Overlap lengths are clamped at zero per gate: unlike the LSTM
+    // combination (one multiplier), the GRU form multiplies two
+    // overlaps, and a negative-times-negative artefact must not read as
+    // relevance.
+    auto overlap = [](double m, double d) {
+        const double a = 2.0 + std::min(2.0, std::fabs(m));
+        const double b =
+            std::min(2.0, 2.0 + d - std::max(2.0, std::fabs(m)));
+        return std::max(0.0, std::min(a, b));
+    };
+
+    double s = 0.0;
+    for (std::size_t j = 0; j < dim; ++j) {
+        const double sz = overlap(x_proj[j] + params.bz[j], dz[j]);
+        const double sr =
+            overlap(x_proj[dim + j] + params.br[j], dr[j]);
+        // The candidate's recurrent reach includes the reset-gated
+        // state, so the reset row sum bounds it together with U_h.
+        const double sh = overlap(x_proj[2 * dim + j] + params.bh[j],
+                                  dh[j]);
+        s += std::max(0.0, sz * (sr + sh));
+    }
+    return s;
+}
+
+std::vector<double>
+layerLinkRelevances(const nn::LstmLayerParams &params,
+                    const std::vector<Vector> &x_projs)
+{
+    LayerRelevanceContext ctx(params);
+    std::vector<double> out(x_projs.size(),
+                            std::numeric_limits<double>::infinity());
+    // Link t-1 -> t is judged by how cell t *uses* h_{t-1}: evaluate
+    // Algorithm 2 with cell t's input projection.
+    for (std::size_t t = 1; t < x_projs.size(); ++t)
+        out[t] = ctx.relevance(params, x_projs[t]);
+    return out;
+}
+
+std::vector<std::size_t>
+findBreakpoints(const std::vector<double> &relevances, double alpha_inter)
+{
+    std::vector<std::size_t> breaks;
+    for (std::size_t t = 1; t < relevances.size(); ++t) {
+        if (relevances[t] < alpha_inter)
+            breaks.push_back(t);
+    }
+    return breaks;
+}
+
+std::vector<std::size_t>
+subLayerLengths(std::size_t length,
+                const std::vector<std::size_t> &breakpoints)
+{
+    if (length == 0)
+        return {};
+
+    std::vector<std::size_t> lens;
+    std::size_t start = 0;
+    for (std::size_t b : breakpoints) {
+        if (b == 0 || b >= length)
+            throw std::out_of_range("subLayerLengths: breakpoint range");
+        if (b <= start)
+            throw std::invalid_argument(
+                "subLayerLengths: breakpoints must be increasing");
+        lens.push_back(b - start);
+        start = b;
+    }
+    lens.push_back(length - start);
+    return lens;
+}
+
+} // namespace core
+} // namespace mflstm

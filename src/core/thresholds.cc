@@ -1,0 +1,178 @@
+#include "core/thresholds.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/planner.hh"
+#include "core/tissue.hh"
+
+namespace mflstm {
+namespace core {
+
+std::size_t
+projectedTissueCount(const ApproxRunner::CalibrationProfile &profile,
+                     double alpha_inter, std::size_t mts,
+                     std::size_t sequence_length)
+{
+    std::size_t total = 0;
+    for (std::size_t l = 0; l < profile.layerRelevances.size(); ++l) {
+        const double rate =
+            profile.layerBreakFraction(l, alpha_inter);
+        const auto parts = static_cast<std::size_t>(std::round(
+                               rate * static_cast<double>(
+                                          sequence_length - 1))) +
+                           1;
+        total += alignTissues(evenSubLayers(sequence_length, parts), mts)
+                     .size();
+    }
+    return total;
+}
+
+ThresholdLimits
+findThresholdLimits(const ApproxRunner::CalibrationProfile &profile,
+                    std::size_t mts, std::size_t sequence_length,
+                    double max_skip_cap)
+{
+    if (mts == 0 || sequence_length == 0)
+        throw std::invalid_argument("findThresholdLimits: zero inputs");
+
+    ThresholdLimits limits;
+    limits.maxSkipFraction = max_skip_cap;
+    limits.maxIntra = profile.outputGateQuantile(max_skip_cap);
+
+    if (profile.relevances.empty() || sequence_length < 2) {
+        limits.maxBreakFraction = 0.0;
+        limits.maxInter = 0.0;
+        return limits;
+    }
+
+    // Fig. 10 op 2: sweep candidate thresholds (quantiles of the pooled
+    // relevance distribution, capped at the median — breaking most
+    // links is never useful) and keep the smallest one that achieves
+    // the minimal projected tissue count.
+    constexpr std::size_t kSteps = 50;
+    constexpr double kMaxQuantile = 0.5;
+
+    double best_alpha = 0.0;
+    double best_q = 0.0;
+    std::size_t best_total =
+        projectedTissueCount(profile, 0.0, mts, sequence_length);
+    for (std::size_t i = 1; i <= kSteps; ++i) {
+        const double q = kMaxQuantile * static_cast<double>(i) /
+                         static_cast<double>(kSteps);
+        const double alpha = profile.relevanceQuantile(q);
+        const std::size_t total = projectedTissueCount(
+            profile, alpha, mts, sequence_length);
+        if (total < best_total) {
+            best_total = total;
+            best_alpha = alpha;
+            best_q = q;
+        }
+    }
+    limits.maxInter = best_alpha;
+    limits.maxBreakFraction = best_q;
+    return limits;
+}
+
+std::vector<ThresholdSet>
+thresholdLadder(const ApproxRunner::CalibrationProfile &profile,
+                const ThresholdLimits &limits, std::size_t count)
+{
+    if (count < 2)
+        throw std::invalid_argument("thresholdLadder: need >= 2 sets");
+
+    std::vector<ThresholdSet> ladder;
+    ladder.reserve(count);
+    ladder.push_back({0.0, 0.0});  // set 0: the baseline, no loss
+    for (std::size_t i = 1; i < count; ++i) {
+        const double f = static_cast<double>(i) /
+                         static_cast<double>(count - 1);
+        ThresholdSet set;
+        set.alphaInter =
+            profile.relevanceQuantile(f * limits.maxBreakFraction);
+        set.alphaIntra =
+            profile.outputGateQuantile(f * limits.maxSkipFraction);
+        ladder.push_back(set);
+    }
+    return ladder;
+}
+
+std::size_t
+selectAo(const std::vector<OperatingPoint> &points,
+         double baseline_accuracy, double max_loss_pct)
+{
+    if (points.empty())
+        throw std::invalid_argument("selectAo: no points");
+
+    const double floor =
+        baseline_accuracy - max_loss_pct / 100.0;
+    std::size_t best = 0;
+    double best_speedup = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].accuracy + 1e-12 >= floor &&
+            points[i].speedup > best_speedup) {
+            best = i;
+            best_speedup = points[i].speedup;
+        }
+    }
+    if (best_speedup < 0.0) {
+        // Nothing satisfies the loss budget: fall back to the most
+        // accurate point (which should be the baseline set 0).
+        best = static_cast<std::size_t>(
+            std::max_element(points.begin(), points.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.accuracy < b.accuracy;
+                             }) -
+            points.begin());
+    }
+    return best;
+}
+
+std::size_t
+selectBpa(const std::vector<OperatingPoint> &points)
+{
+    if (points.empty())
+        throw std::invalid_argument("selectBpa: no points");
+
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double score = points[i].speedup * points[i].accuracy;
+        if (score > best_score) {
+            best = i;
+            best_score = score;
+        }
+    }
+    return best;
+}
+
+std::size_t
+selectForPreference(const std::vector<OperatingPoint> &points,
+                    double min_accuracy)
+{
+    if (points.empty())
+        throw std::invalid_argument("selectForPreference: no points");
+
+    std::size_t best = points.size();
+    double best_speedup = -1.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (points[i].accuracy >= min_accuracy &&
+            points[i].speedup > best_speedup) {
+            best = i;
+            best_speedup = points[i].speedup;
+        }
+    }
+    if (best == points.size()) {
+        best = static_cast<std::size_t>(
+            std::max_element(points.begin(), points.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.accuracy < b.accuracy;
+                             }) -
+            points.begin());
+    }
+    return best;
+}
+
+} // namespace core
+} // namespace mflstm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Two cache models:
+ *
+ *  1. SetAssocCache — an exact LRU set-associative cache simulated on an
+ *     address stream. Used at unit scale to validate the analytic model
+ *     and by the tests that demonstrate the Section III observation (the
+ *     weight matrix thrashes the L2, so actually-loaded data is many
+ *     times the matrix size).
+ *
+ *  2. streamingReuseDramBytes — the analytic model the kernel lowering
+ *     uses at full Table II scale, where per-access simulation of
+ *     hundreds of megabytes of weight traffic would be pointlessly slow.
+ *     It models the canonical LSTM access pattern: a working set of F
+ *     bytes swept sequentially S times through a cache of C bytes.
+ */
+
+#ifndef MFLSTM_GPU_CACHE_HH
+#define MFLSTM_GPU_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mflstm {
+namespace gpu {
+
+/** Exact LRU set-associative cache over 64-bit byte addresses. */
+class SetAssocCache
+{
+  public:
+    SetAssocCache(std::size_t capacity_bytes, unsigned assoc,
+                  unsigned line_bytes);
+
+    /** Access one byte address; @return true on hit. */
+    bool access(std::uint64_t addr);
+
+    /** Touch a [addr, addr+size) range line by line. */
+    void accessRange(std::uint64_t addr, std::size_t size);
+
+    void reset();
+
+    std::size_t hits() const { return hits_; }
+    std::size_t misses() const { return misses_; }
+    std::size_t accesses() const { return hits_ + misses_; }
+    double missRate() const;
+
+    /** Bytes fetched from DRAM so far (misses x line size). */
+    std::size_t dramBytes() const { return misses_ * lineBytes_; }
+
+    std::size_t capacity() const { return sets_ * assoc_ * lineBytes_; }
+    unsigned lineBytes() const { return lineBytes_; }
+
+  private:
+    struct Way
+    {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t sets_;
+    unsigned assoc_;
+    unsigned lineBytes_;
+    std::vector<Way> ways_;  // sets_ x assoc_, row-major
+    std::uint64_t clock_ = 0;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/**
+ * Analytic DRAM traffic for S sequential sweeps over an F-byte working
+ * set through a C-byte LRU cache:
+ *
+ *  - F <= r*C: the set stays resident after the first sweep; later
+ *    sweeps hit. Traffic = F (compulsory only).
+ *  - F > r*C: cyclic sweeps under LRU evict every line before its reuse
+ *    (the classic thrashing pattern); every sweep misses almost
+ *    everything. Traffic = S * F, minus the small resident fraction.
+ *
+ * r < 1 is an effective-residency factor accounting for conflict misses
+ * and co-resident data (activations, outputs).
+ *
+ * @return bytes fetched from DRAM over all sweeps.
+ */
+double streamingReuseDramBytes(double footprint_bytes, double sweeps,
+                               double capacity_bytes,
+                               double residency_factor = 0.8);
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_CACHE_HH

@@ -1,0 +1,35 @@
+#include "gpu/config.hh"
+
+namespace mflstm {
+namespace gpu {
+
+GpuConfig
+GpuConfig::tegraX1()
+{
+    GpuConfig cfg;
+    cfg.name = "Tegra X1 (Maxwell, 256 cores @ 998 MHz)";
+    cfg.numSms = 2;
+    cfg.coresPerSm = 128;
+    cfg.coreClockGhz = 0.998;
+    cfg.dramBandwidthGBs = 25.6;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.sharedMemPerSmBytes = 64 * 1024;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::tegraX2Like()
+{
+    GpuConfig cfg;
+    cfg.name = "TX2-like (Pascal-class, 256 cores @ 1.3 GHz)";
+    cfg.numSms = 2;
+    cfg.coresPerSm = 128;
+    cfg.coreClockGhz = 1.3;
+    cfg.dramBandwidthGBs = 58.3;
+    cfg.l2Bytes = 512 * 1024;
+    cfg.sharedMemPerSmBytes = 64 * 1024;
+    return cfg;
+}
+
+} // namespace gpu
+} // namespace mflstm

@@ -1,0 +1,351 @@
+#include "gpu/cycle_sm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace mflstm {
+namespace gpu {
+
+namespace {
+
+/**
+ * Per-request chunk size for generated global loads: kernels unroll
+ * several coalesced 128 B lines per warp request, which is what gives a
+ * mobile GPU enough memory-level parallelism to saturate its DRAM from
+ * a modest warp count.
+ */
+constexpr std::uint32_t kLoadChunk = 512;
+
+/** Shared-memory access latency, cycles. */
+constexpr double kSharedLatency = 24.0;
+
+/** A bandwidth-serialised, fixed-latency service queue. */
+class ServiceQueue
+{
+  public:
+    ServiceQueue(double bytes_per_cycle, double latency)
+        : bytesPerCycle_(bytes_per_cycle), latency_(latency)
+    {}
+
+    /** Enqueue a request at @p now; @return its completion cycle. */
+    double
+    request(double now, double bytes)
+    {
+        const double start = std::max(now, nextFree_);
+        nextFree_ = start + bytes / bytesPerCycle_;
+        served_ += bytes;
+        return nextFree_ + latency_;
+    }
+
+    double servedBytes() const { return served_; }
+
+  private:
+    double bytesPerCycle_;
+    double latency_;
+    double nextFree_ = 0.0;
+    double served_ = 0.0;
+};
+
+/** Why a warp cannot issue right now. */
+enum class WaitKind : std::uint8_t {
+    None,
+    GlobalMem,
+    SharedMem,
+    Barrier,
+};
+
+struct WarpCtx
+{
+    const WarpProgram *program = nullptr;
+    std::uint32_t pc = 0;          ///< index into body
+    std::uint32_t iterLeft = 0;    ///< loop iterations remaining
+    std::uint32_t barriersLeft = 0;
+    double readyAt = 0.0;
+    WaitKind waiting = WaitKind::None;
+    bool done = false;
+    std::uint32_t cta = 0;
+
+    bool
+    ready(double now) const
+    {
+        return !done && waiting != WaitKind::Barrier && readyAt <= now;
+    }
+};
+
+} // anonymous namespace
+
+WarpProgram
+WarpProgram::fromKernel(const GpuConfig &cfg, const KernelDesc &desc,
+                        bool crm_applied)
+{
+    const std::uint32_t threads =
+        crm_applied ? desc.totalThreads() - desc.disabledThreads
+                    : desc.totalThreads();
+    const std::uint32_t warps =
+        std::max(1u, (threads + cfg.warpSize - 1) / cfg.warpSize);
+
+    const double divergence =
+        crm_applied ? 1.0 : desc.divergenceFactor;
+    const double flops_per_warp = desc.flops * divergence / warps;
+    const double global_per_warp =
+        (desc.dramReadBytes + desc.dramWriteBytes) *
+        desc.coalescingFactor / warps;
+    const double shared_per_warp = desc.sharedBytes / warps;
+
+    WarpProgram prog;
+    prog.iterations = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::ceil(global_per_warp / kLoadChunk)));
+
+    const double warp_fma_flops =
+        2.0 * static_cast<double>(cfg.warpSize);
+    const auto fmas_per_iter = static_cast<std::uint32_t>(std::ceil(
+        flops_per_warp / warp_fma_flops /
+        static_cast<double>(prog.iterations)));
+    const auto global_per_iter = static_cast<std::uint32_t>(std::ceil(
+        global_per_warp / static_cast<double>(prog.iterations)));
+    const auto shared_per_iter = static_cast<std::uint32_t>(std::ceil(
+        shared_per_warp / static_cast<double>(prog.iterations)));
+
+    if (global_per_iter > 0)
+        prog.body.push_back(
+            {WarpInstr::Op::GlobalLd, global_per_iter});
+    for (std::uint32_t left = shared_per_iter; left > 0;) {
+        const std::uint32_t chunk = std::min(left, kLoadChunk);
+        prog.body.push_back({WarpInstr::Op::SharedLd, chunk});
+        left -= chunk;
+    }
+    for (std::uint32_t f = 0; f < fmas_per_iter; ++f)
+        prog.body.push_back({WarpInstr::Op::Fma, 1});
+    if (prog.body.empty())
+        prog.body.push_back({WarpInstr::Op::Fma, 1});
+    return prog;
+}
+
+CycleSimResult
+cycleSimulate(const GpuConfig &cfg, const KernelDesc &desc,
+              bool crm_applied, std::uint64_t max_cycles)
+{
+    const WarpProgram program =
+        WarpProgram::fromKernel(cfg, desc, crm_applied);
+
+    const std::uint32_t threads_per_cta =
+        std::max(1u, desc.threadsPerCta);
+    // With the CRM applied the grid is compacted before dispatch: the
+    // surviving threads pack into proportionally fewer warps per CTA.
+    const std::uint32_t active_threads =
+        crm_applied ? desc.totalThreads() - desc.disabledThreads
+                    : desc.totalThreads();
+    const std::uint32_t total_warps = std::max(
+        1u, (active_threads + cfg.warpSize - 1) / cfg.warpSize);
+    const std::uint32_t warps_per_cta = std::max(
+        1u, (total_warps + std::max(1u, desc.ctas) - 1) /
+                std::max(1u, desc.ctas));
+    const std::uint32_t ctas_per_sm = std::max(
+        1u,
+        std::min(cfg.maxCtasPerSm, cfg.maxThreadsPerSm / threads_per_cta));
+    const std::uint32_t schedulers =
+        std::max(1u, cfg.coresPerSm / cfg.warpSize);
+
+    // Global (GPU-wide) DRAM queue; per-SM shared-memory queues.
+    ServiceQueue dram(cfg.dramBytesPerCycle(),
+                      cfg.dramLatencyNs * cfg.coreClockGhz);
+    std::vector<ServiceQueue> shared(
+        cfg.numSms,
+        ServiceQueue(cfg.sharedBytesPerCyclePerSm, kSharedLatency));
+
+    // CTA work list: CTAs are dispatched to SMs as slots free up.
+    std::uint32_t next_cta = 0;
+    const std::uint32_t total_ctas = std::max(1u, desc.ctas);
+
+    struct SmState
+    {
+        std::vector<WarpCtx> warps;
+        std::uint32_t liveCtas = 0;
+        std::uint32_t rr = 0;  ///< round-robin scan cursor
+    };
+    std::vector<SmState> sms(cfg.numSms);
+
+    auto launch_cta = [&](SmState &sm, std::uint32_t cta_id) {
+        for (std::uint32_t w = 0; w < warps_per_cta; ++w) {
+            WarpCtx ctx;
+            ctx.program = &program;
+            ctx.iterLeft = program.iterations;
+            ctx.barriersLeft = desc.syncsPerCta;
+            ctx.cta = cta_id;
+            sm.warps.push_back(ctx);
+        }
+        ++sm.liveCtas;
+    };
+
+    // Initial dispatch: round-robin across SMs (the GMU balances the
+    // machine rather than filling one SM first).
+    for (std::uint32_t c = 0; c < ctas_per_sm && next_cta < total_ctas;
+         ++c) {
+        for (std::uint32_t s = 0;
+             s < cfg.numSms && next_cta < total_ctas; ++s)
+            launch_cta(sms[s], next_cta++);
+    }
+
+    CycleSimResult res;
+    std::uint64_t cycle = 0;
+    std::uint32_t live = 0;
+    for (const SmState &sm : sms)
+        live += sm.liveCtas;
+
+    while (live > 0 || next_cta < total_ctas) {
+        if (++cycle > max_cycles)
+            throw std::runtime_error(
+                "cycleSimulate: kernel failed to drain");
+        const auto now = static_cast<double>(cycle);
+
+        for (std::uint32_t s = 0; s < cfg.numSms; ++s) {
+            SmState &sm = sms[s];
+
+            // Barrier release: a CTA whose live warps all wait at the
+            // barrier proceeds this cycle.
+            for (std::uint32_t cta = 0; cta < total_ctas; ++cta) {
+                bool any = false, all = true;
+                for (const WarpCtx &w : sm.warps) {
+                    if (w.cta != cta || w.done)
+                        continue;
+                    any = true;
+                    all &= w.waiting == WaitKind::Barrier;
+                }
+                if (any && all) {
+                    for (WarpCtx &w : sm.warps) {
+                        if (w.cta == cta && !w.done) {
+                            w.waiting = WaitKind::None;
+                            w.readyAt =
+                                now + cfg.barrierCostCycles;
+                        }
+                    }
+                }
+            }
+
+            for (std::uint32_t sched = 0; sched < schedulers; ++sched) {
+                res.issueSlots += 1.0;
+
+                // Pick the next ready warp owned by this scheduler.
+                WarpCtx *pick = nullptr;
+                const std::size_t n = sm.warps.size();
+                for (std::size_t k = 0; k < n; ++k) {
+                    const std::size_t idx = (sm.rr + k) % n;
+                    if (idx % schedulers != sched)
+                        continue;
+                    if (sm.warps[idx].ready(now)) {
+                        pick = &sm.warps[idx];
+                        sm.rr = (idx + 1) % std::max<std::size_t>(1, n);
+                        break;
+                    }
+                }
+
+                if (!pick) {
+                    // Attribute the idle slot to the dominant wait
+                    // reason among this scheduler's warps.
+                    bool g = false, sh = false, bar = false,
+                         pending = false;
+                    for (std::size_t idx = sched; idx < n;
+                         idx += schedulers) {
+                        const WarpCtx &w = sm.warps[idx];
+                        if (w.done)
+                            continue;
+                        pending = true;
+                        g |= w.waiting == WaitKind::GlobalMem;
+                        sh |= w.waiting == WaitKind::SharedMem;
+                        bar |= w.waiting == WaitKind::Barrier;
+                    }
+                    if (g)
+                        res.stalls.offChipMemory += 1.0;
+                    else if (sh)
+                        res.stalls.onChipBandwidth += 1.0;
+                    else if (bar)
+                        res.stalls.synchronization += 1.0;
+                    else if (pending)
+                        res.stalls.executionDependency += 1.0;
+                    else
+                        res.stalls.other += 1.0;
+                    continue;
+                }
+
+                // Issue one instruction of the picked warp.
+                res.issuedSlots += 1.0;
+                WarpCtx &w = *pick;
+                if (w.pc >= w.program->body.size()) {
+                    // End of one loop iteration.
+                    w.pc = 0;
+                    if (w.iterLeft > 0)
+                        --w.iterLeft;
+                    if (w.iterLeft == 0) {
+                        if (w.barriersLeft > 0) {
+                            --w.barriersLeft;
+                            w.waiting = WaitKind::Barrier;
+                        } else {
+                            w.done = true;
+                        }
+                        continue;
+                    }
+                }
+                const WarpInstr &ins = w.program->body[w.pc++];
+                switch (ins.op) {
+                  case WarpInstr::Op::Fma:
+                    // Pipelined: the warp may issue again next cycle.
+                    break;
+                  case WarpInstr::Op::GlobalLd:
+                    w.readyAt = dram.request(now, ins.amount);
+                    w.waiting = WaitKind::GlobalMem;
+                    break;
+                  case WarpInstr::Op::SharedLd:
+                    w.readyAt = shared[s].request(now, ins.amount);
+                    w.waiting = WaitKind::SharedMem;
+                    break;
+                  case WarpInstr::Op::Barrier:
+                    w.waiting = WaitKind::Barrier;
+                    break;
+                }
+            }
+
+            // Clear satisfied memory waits.
+            for (WarpCtx &w : sm.warps) {
+                if (!w.done && w.waiting != WaitKind::Barrier &&
+                    w.readyAt <= now) {
+                    w.waiting = WaitKind::None;
+                }
+            }
+
+            // Retire finished CTAs and dispatch pending ones.
+            for (std::uint32_t cta = 0; cta < total_ctas; ++cta) {
+                bool any = false, all_done = true;
+                for (const WarpCtx &w : sm.warps) {
+                    if (w.cta != cta)
+                        continue;
+                    any = true;
+                    all_done &= w.done;
+                }
+                if (any && all_done) {
+                    std::erase_if(sm.warps, [cta](const WarpCtx &w) {
+                        return w.cta == cta;
+                    });
+                    --sm.liveCtas;
+                    --live;
+                    if (next_cta < total_ctas) {
+                        launch_cta(sm, next_cta++);
+                        ++live;
+                    }
+                }
+            }
+        }
+    }
+
+    res.cycles = static_cast<double>(cycle);
+    res.timeUs = res.cycles / cfg.cyclesPerUs() + cfg.kernelLaunchUs;
+    res.dramBytes = dram.servedBytes();
+    for (const ServiceQueue &q : shared)
+        res.sharedBytes += q.servedBytes();
+    return res;
+}
+
+} // namespace gpu
+} // namespace mflstm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cycle-level SM model. The roofline model in gpu/sm.hh answers "what
+ * binds this kernel"; this model *executes* it: warps with generated
+ * instruction streams advance cycle by cycle through per-SM schedulers,
+ * a latency/bandwidth-limited DRAM queue, a banked shared-memory port
+ * and CTA-wide barriers. It exists to validate the analytic model (the
+ * cross-validation lives in tests/gpu_cycle_sm_test.cc and is run at
+ * reduced scale) and to attribute stalls from first principles rather
+ * than from bound ratios.
+ *
+ * Scope notes: SIMT lanes are not modelled individually — a warp is the
+ * unit of execution, divergence appears as replayed issue slots, and
+ * caches are summarised by the kernel's pre-computed DRAM/L2 traffic
+ * split (as in the rest of the simulator).
+ */
+
+#ifndef MFLSTM_GPU_CYCLE_SM_HH
+#define MFLSTM_GPU_CYCLE_SM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/config.hh"
+#include "gpu/kernel.hh"
+#include "gpu/sm.hh"
+
+namespace mflstm {
+namespace gpu {
+
+/** One warp-level instruction of the generated stream. */
+struct WarpInstr
+{
+    enum class Op : std::uint8_t {
+        Fma,      ///< one warp-wide FMA issue (64 FLOP)
+        GlobalLd, ///< warp-wide global load (bytes from DRAM/L2)
+        SharedLd, ///< warp-wide shared-memory access (bytes)
+        Barrier,  ///< __syncthreads
+    };
+
+    Op op = Op::Fma;
+    /// bytes moved for loads; replay count for Fma under divergence
+    std::uint32_t amount = 0;
+};
+
+/**
+ * The per-warp loop body generated from a KernelDesc: every warp of the
+ * grid executes `body` repeated `iterations` times. Generation spreads
+ * the kernel's aggregate FLOPs/bytes evenly over its warps, which
+ * matches the regular dense kernels this runtime emits.
+ */
+struct WarpProgram
+{
+    std::vector<WarpInstr> body;
+    std::uint32_t iterations = 1;
+
+    static WarpProgram fromKernel(const GpuConfig &cfg,
+                                  const KernelDesc &desc,
+                                  bool crm_applied);
+};
+
+/** Result of a cycle-level run. */
+struct CycleSimResult
+{
+    double cycles = 0.0;
+    double timeUs = 0.0;
+    StallBreakdown stalls;     ///< per-scheduler-slot stall cycles
+    double issueSlots = 0.0;   ///< total scheduler issue opportunities
+    double issuedSlots = 0.0;  ///< opportunities that issued a warp
+    double dramBytes = 0.0;
+    double sharedBytes = 0.0;
+
+    double issueUtilization() const
+    {
+        return issueSlots > 0.0 ? issuedSlots / issueSlots : 0.0;
+    }
+};
+
+/**
+ * Cycle-level execution of one kernel on the configured GPU.
+ *
+ * @param max_cycles  safety bound; the simulation aborts (throwing
+ *                    std::runtime_error) if the kernel has not drained,
+ *                    which in practice flags a modelling bug.
+ */
+CycleSimResult cycleSimulate(const GpuConfig &cfg, const KernelDesc &desc,
+                             bool crm_applied = false,
+                             std::uint64_t max_cycles = 50'000'000);
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_CYCLE_SM_HH

@@ -1,0 +1,74 @@
+#include "gpu/dram.hh"
+
+#include <algorithm>
+
+namespace mflstm {
+namespace gpu {
+
+BankedDram::BankedDram(const DramConfig &cfg)
+    : cfg_(cfg),
+      banks_(static_cast<std::size_t>(cfg.channels) *
+             cfg.banksPerChannel),
+      channelCycles_(cfg.channels, 0.0)
+{}
+
+void
+BankedDram::access(std::uint64_t addr)
+{
+    const std::uint64_t burst = addr / cfg_.burstBytes;
+    const std::uint64_t channel = burst % cfg_.channels;
+    const std::uint64_t chan_local = burst / cfg_.channels;
+    const std::uint64_t bursts_per_row =
+        cfg_.rowBytes / cfg_.burstBytes;
+    const std::uint64_t row = chan_local / bursts_per_row;
+    const std::uint64_t bank = row % cfg_.banksPerChannel;
+
+    Bank &b = banks_[channel * cfg_.banksPerChannel + bank];
+    double cost = cfg_.burstCycles;
+    if (b.valid && b.openRow == row) {
+        ++stats_.rowHits;
+        cost += cfg_.rowHitCycles;
+    } else {
+        ++stats_.rowMisses;
+        cost += cfg_.rowMissCycles;
+        b.valid = true;
+        b.openRow = row;
+    }
+
+    channelCycles_[channel] += cost;
+    ++stats_.accesses;
+    stats_.bytes += cfg_.burstBytes;
+    stats_.cycles = *std::max_element(channelCycles_.begin(),
+                                      channelCycles_.end());
+}
+
+void
+BankedDram::accessRange(std::uint64_t addr, std::uint64_t size)
+{
+    if (size == 0)
+        return;
+    const std::uint64_t first = addr / cfg_.burstBytes;
+    const std::uint64_t last = (addr + size - 1) / cfg_.burstBytes;
+    for (std::uint64_t b = first; b <= last; ++b)
+        access(b * cfg_.burstBytes);
+}
+
+void
+BankedDram::accessStrided(std::uint64_t addr, std::uint64_t stride,
+                          std::uint64_t count)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        access(addr + i * stride);
+}
+
+void
+BankedDram::resetStats()
+{
+    stats_ = DramStats{};
+    std::fill(channelCycles_.begin(), channelCycles_.end(), 0.0);
+    for (Bank &b : banks_)
+        b = Bank{};
+}
+
+} // namespace gpu
+} // namespace mflstm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Banked LPDDR4 model with row-buffer state. The rest of the simulator
+ * treats DRAM as a flat bandwidth pipe (which is what a fully-streamed
+ * weight matrix sees); this model resolves requests to channels, banks
+ * and rows, charging row activations on misses — it quantifies *why*
+ * the flat model is valid for the LSTM access patterns (sequential
+ * weight streaming is almost entirely row hits) and what irregular
+ * access (the zero-pruning comparator's gathers) actually costs.
+ */
+
+#ifndef MFLSTM_GPU_DRAM_HH
+#define MFLSTM_GPU_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace mflstm {
+namespace gpu {
+
+/** Geometry + timing of the modelled DRAM. */
+struct DramConfig
+{
+    unsigned channels = 2;
+    unsigned banksPerChannel = 8;
+    unsigned rowBytes = 2048;        ///< row-buffer (page) size
+    unsigned burstBytes = 32;        ///< bytes per column burst
+    double burstCycles = 1.25;       ///< data-bus cycles per burst
+    double rowHitCycles = 0.0;       ///< extra cycles on a row hit
+    double rowMissCycles = 12.0;     ///< precharge + activate penalty
+
+    /** Bytes per cycle when every access hits the open row. */
+    double
+    peakBytesPerCycle() const
+    {
+        return static_cast<double>(channels) * burstBytes / burstCycles;
+    }
+};
+
+/** Access statistics of one simulated stream. */
+struct DramStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    double cycles = 0.0;   ///< bus + activation cycles, max over channels
+    double bytes = 0.0;
+
+    double hitRate() const
+    {
+        return accesses
+                   ? static_cast<double>(rowHits) /
+                         static_cast<double>(accesses)
+                   : 0.0;
+    }
+
+    /** Achieved bandwidth relative to the row-hit peak. */
+    double efficiencyVsPeak(const DramConfig &cfg) const
+    {
+        if (cycles <= 0.0)
+            return 0.0;
+        return (bytes / cycles) / cfg.peakBytesPerCycle();
+    }
+};
+
+/**
+ * The banked DRAM. Addresses interleave across channels at burst
+ * granularity and across banks at row granularity (the standard
+ * bandwidth-spreading mapping).
+ */
+class BankedDram
+{
+  public:
+    explicit BankedDram(const DramConfig &cfg = {});
+
+    const DramConfig &config() const { return cfg_; }
+
+    /** Access one burst-aligned address. */
+    void access(std::uint64_t addr);
+
+    /** Stream a [addr, addr+size) range burst by burst. */
+    void accessRange(std::uint64_t addr, std::uint64_t size);
+
+    /**
+     * A strided gather: @p count bursts, @p stride bytes apart — the
+     * access shape sparse (CSR) weight formats produce.
+     */
+    void accessStrided(std::uint64_t addr, std::uint64_t stride,
+                       std::uint64_t count);
+
+    const DramStats &stats() const { return stats_; }
+    void resetStats();
+
+  private:
+    struct Bank
+    {
+        std::uint64_t openRow = ~0ull;
+        bool valid = false;
+    };
+
+    DramConfig cfg_;
+    std::vector<Bank> banks_;               // channels x banks
+    std::vector<double> channelCycles_;     // per-channel busy cycles
+    DramStats stats_;
+};
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_DRAM_HH

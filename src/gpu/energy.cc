@@ -1,0 +1,34 @@
+#include "gpu/energy.hh"
+
+namespace mflstm {
+namespace gpu {
+
+EnergyReport &
+EnergyReport::operator+=(const EnergyReport &rhs)
+{
+    staticJ += rhs.staticJ;
+    gpuDynamicJ += rhs.gpuDynamicJ;
+    dramJ += rhs.dramJ;
+    onChipJ += rhs.onChipJ;
+    crmJ += rhs.crmJ;
+    return *this;
+}
+
+EnergyReport
+computeEnergy(const GpuConfig &cfg, const ActivitySummary &a)
+{
+    EnergyReport e;
+    e.staticJ = (cfg.socStaticW + cfg.gpuIdleW) * a.timeSeconds;
+    e.gpuDynamicJ =
+        cfg.gpuIssueActiveW * a.issueBusyFraction * a.timeSeconds +
+        cfg.fmaPjPerFlop * a.flops * 1e-12;
+    e.dramJ = cfg.dramPjPerByte * a.dramBytes * 1e-12;
+    e.onChipJ = cfg.l2PjPerByte * a.l2Bytes * 1e-12 +
+                cfg.sharedPjPerByte * a.sharedBytes * 1e-12;
+    e.crmJ = a.crmDynamicJ +
+             (a.crmPresent ? cfg.crmStaticW * a.timeSeconds : 0.0);
+    return e;
+}
+
+} // namespace gpu
+} // namespace mflstm

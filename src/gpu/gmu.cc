@@ -1,0 +1,27 @@
+#include "gpu/gmu.hh"
+
+namespace mflstm {
+namespace gpu {
+
+DispatchInfo
+GridManagementUnit::dispatch(const KernelDesc &desc)
+{
+    ++dispatched_;
+
+    DispatchInfo info;
+    info.activeThreads = desc.totalThreads();
+
+    if (desc.hasRowSkipArg && crmPresent_) {
+        ++throughCrm_;
+        const CrmResult res = crm_.reorganizeSummary(
+            desc.disabledThreads, desc.totalThreads());
+        info.routedThroughCrm = true;
+        info.activeThreads = res.activeThreads;
+        info.crmCycles = res.cycles;
+        info.crmEnergyJ = res.energyJ;
+    }
+    return info;
+}
+
+} // namespace gpu
+} // namespace mflstm

@@ -1,0 +1,27 @@
+#include "gpu/kernel.hh"
+
+namespace mflstm {
+namespace gpu {
+
+const char *
+toString(KernelClass k)
+{
+    switch (k) {
+      case KernelClass::Sgemm:
+        return "Sgemm";
+      case KernelClass::Sgemv:
+        return "Sgemv";
+      case KernelClass::ElementWise:
+        return "lstm_ew";
+      case KernelClass::Drs:
+        return "DRS";
+      case KernelClass::Relevance:
+        return "Relevance";
+      case KernelClass::Other:
+        return "Other";
+    }
+    return "Unknown";
+}
+
+} // namespace gpu
+} // namespace mflstm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Kernel descriptors: the interface between the LSTM runtime (which
+ * lowers Algorithm 1 / Algorithm 3 / the tissue flow into kernel
+ * sequences) and the GPU timing simulator. A KernelDesc plays the role a
+ * compiled cuDNN/cuBLAS kernel plays on the real board: grid geometry
+ * plus aggregate work and traffic.
+ */
+
+#ifndef MFLSTM_GPU_KERNEL_HH
+#define MFLSTM_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mflstm {
+namespace gpu {
+
+/** Kernel families the LSTM runtime emits (Sections II-C and V-B). */
+enum class KernelClass {
+    Sgemm,        ///< matrix-matrix multiply
+    Sgemv,        ///< matrix-vector multiply
+    ElementWise,  ///< lstm_ew: gate nonlinearities + state update
+    Drs,          ///< the DRS threshold/scan kernel of Algorithm 3 line 6
+    Relevance,    ///< inter-cell breakpoint search (Algorithm 2)
+    Other,
+};
+
+const char *toString(KernelClass k);
+
+/** One GPU kernel launch, in aggregate-work form. */
+struct KernelDesc
+{
+    std::string name;
+    KernelClass klass = KernelClass::Other;
+
+    // --- Grid geometry --------------------------------------------------
+    unsigned ctas = 1;
+    unsigned threadsPerCta = 128;
+
+    // --- Work -----------------------------------------------------------
+    double flops = 0.0;           ///< useful FP operations
+    double dramReadBytes = 0.0;   ///< off-chip reads after caching
+    double dramWriteBytes = 0.0;
+    double l2AccessBytes = 0.0;   ///< total L2-level traffic (hits+misses)
+    double sharedBytes = 0.0;     ///< shared-memory traffic
+
+    // --- Behaviour --------------------------------------------------------
+    unsigned syncsPerCta = 0;
+    /**
+     * Issue-slot inflation from branch divergence: 1.0 = converged. The
+     * pure-software DRS of Section VI-B2 pays ~2x here because trivial-
+     * and non-trivial-row threads take different paths inside a warp.
+     */
+    double divergenceFactor = 1.0;
+    /**
+     * DRAM-transaction inflation from uncoalesced access: 1.0 = fully
+     * coalesced. Element-level zero-pruning pays heavily here.
+     */
+    double coalescingFactor = 1.0;
+
+    // --- Row-skip plumbing (Section V-B hardware design) -----------------
+    /// Kernel carries the trivial-row list R as an extra argument; the
+    /// GMU routes such kernels through the CTA-reorganization module.
+    bool hasRowSkipArg = false;
+    /// Thread slots that would be disabled by the skip list.
+    unsigned disabledThreads = 0;
+
+    unsigned totalThreads() const { return ctas * threadsPerCta; }
+};
+
+/** A dependency-ordered kernel sequence for one inference. */
+using KernelTrace = std::vector<KernelDesc>;
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_KERNEL_HH

@@ -1,0 +1,97 @@
+#include "gpu/simulator.hh"
+
+namespace mflstm {
+namespace gpu {
+
+double
+TraceResult::classShare(KernelClass k) const
+{
+    if (timeUs <= 0.0)
+        return 0.0;
+    const auto it = timePerClassUs.find(k);
+    return it == timePerClassUs.end() ? 0.0 : it->second / timeUs;
+}
+
+Simulator::Simulator(const GpuConfig &cfg, bool crm_present)
+    : cfg_(cfg), gmu_(cfg_, crm_present)
+{}
+
+KernelTiming
+Simulator::runKernel(const KernelDesc &desc)
+{
+    const DispatchInfo dispatch = gmu_.dispatch(desc);
+    KernelTiming t = timeKernel(cfg_, desc, dispatch.routedThroughCrm);
+    if (dispatch.routedThroughCrm) {
+        t.crmCycles = dispatch.crmCycles;
+        t.crmEnergyJ = dispatch.crmEnergyJ;
+        t.cycles += dispatch.crmCycles;
+        t.timeUs += dispatch.crmCycles / cfg_.cyclesPerUs();
+        t.activeThreads = dispatch.activeThreads;
+    }
+    return t;
+}
+
+TraceResult
+Simulator::runTrace(const KernelTrace &trace)
+{
+    TraceResult res;
+    const std::size_t crm_before = gmu_.kernelsThroughCrm();
+
+    double dram_util_weighted = 0.0;
+    double shared_util_weighted = 0.0;
+    double crm_energy = 0.0;
+
+    bool first = true;
+    for (const KernelDesc &desc : trace) {
+        KernelTiming t = runKernel(desc);
+
+        // Back-to-back launches overlap the previous kernel's execution:
+        // only the leading kernel pays the full launch overhead.
+        if (!first) {
+            t.timeUs -=
+                cfg_.kernelLaunchUs - cfg_.streamedLaunchUs();
+        }
+        first = false;
+
+        res.timeUs += t.timeUs;
+        res.cycles += t.cycles;
+        res.computeCycles += t.computeCycles;
+        res.stalls += t.stalls;
+        res.flops += t.flops;
+        res.dramBytes += t.dramBytes;
+        res.l2Bytes += t.l2Bytes;
+        res.sharedBytes += t.sharedBytes;
+        res.crmCycles += t.crmCycles;
+        crm_energy += t.crmEnergyJ;
+
+        dram_util_weighted += t.dramUtilization * t.timeUs;
+        shared_util_weighted += t.sharedUtilization * t.timeUs;
+
+        res.timePerClassUs[desc.klass] += t.timeUs;
+        ++res.kernelsPerClass[desc.klass];
+        ++res.kernelCount;
+    }
+
+    if (res.timeUs > 0.0) {
+        res.dramUtilization = dram_util_weighted / res.timeUs;
+        res.sharedUtilization = shared_util_weighted / res.timeUs;
+    }
+    res.kernelsThroughCrm = gmu_.kernelsThroughCrm() - crm_before;
+
+    ActivitySummary activity;
+    activity.timeSeconds = res.timeUs * 1e-6;
+    activity.flops = res.flops;
+    activity.dramBytes = res.dramBytes;
+    activity.l2Bytes = res.l2Bytes;
+    activity.sharedBytes = res.sharedBytes;
+    activity.issueBusyFraction =
+        res.cycles > 0.0 ? res.computeCycles / res.cycles : 0.0;
+    activity.crmDynamicJ = crm_energy;
+    activity.crmPresent = gmu_.crmPresent();
+    res.energy = computeEnergy(cfg_, activity);
+
+    return res;
+}
+
+} // namespace gpu
+} // namespace mflstm

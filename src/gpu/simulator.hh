@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulator facade: executes a dependency-ordered kernel trace on the
+ * configured mobile GPU (kernels are serialised, as they are on the TX1
+ * where one LSTM stream saturates the part) and aggregates time, stall,
+ * bandwidth and energy statistics. This is the stand-in for the paper's
+ * Jetson board + DeepBench measurement loop.
+ */
+
+#ifndef MFLSTM_GPU_SIMULATOR_HH
+#define MFLSTM_GPU_SIMULATOR_HH
+
+#include <map>
+
+#include "gpu/config.hh"
+#include "gpu/energy.hh"
+#include "gpu/gmu.hh"
+#include "gpu/kernel.hh"
+#include "gpu/sm.hh"
+
+namespace mflstm {
+namespace gpu {
+
+/** Aggregated result of running one kernel trace. */
+struct TraceResult
+{
+    double timeUs = 0.0;
+    double cycles = 0.0;
+    double computeCycles = 0.0;
+    std::size_t kernelCount = 0;
+
+    StallBreakdown stalls;
+
+    double flops = 0.0;
+    double dramBytes = 0.0;
+    double l2Bytes = 0.0;
+    double sharedBytes = 0.0;
+
+    /// time-weighted mean utilisations over the whole trace
+    double dramUtilization = 0.0;
+    double sharedUtilization = 0.0;
+
+    /// wall time per kernel class, microseconds
+    std::map<KernelClass, double> timePerClassUs;
+    /// kernel count per class
+    std::map<KernelClass, std::size_t> kernelsPerClass;
+
+    double crmCycles = 0.0;
+    std::size_t kernelsThroughCrm = 0;
+
+    EnergyReport energy;
+
+    /** Share of trace wall time spent in a kernel class, [0,1]. */
+    double classShare(KernelClass k) const;
+};
+
+/** One simulated GPU instance. */
+class Simulator
+{
+  public:
+    /**
+     * @param crm_present  build the GPU with the paper's CTA-
+     *                     reorganization hardware (Section V-B).
+     */
+    explicit Simulator(const GpuConfig &cfg, bool crm_present = true);
+
+    const GpuConfig &config() const { return cfg_; }
+    bool crmPresent() const { return gmu_.crmPresent(); }
+
+    /** Time one kernel, including GMU/CRM routing. */
+    KernelTiming runKernel(const KernelDesc &desc);
+
+    /** Run a whole trace in order and aggregate. */
+    TraceResult runTrace(const KernelTrace &trace);
+
+  private:
+    GpuConfig cfg_;
+    GridManagementUnit gmu_;
+};
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_SIMULATOR_HH

@@ -1,0 +1,110 @@
+#include "gpu/sm.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mflstm {
+namespace gpu {
+
+StallBreakdown &
+StallBreakdown::operator+=(const StallBreakdown &rhs)
+{
+    offChipMemory += rhs.offChipMemory;
+    onChipBandwidth += rhs.onChipBandwidth;
+    synchronization += rhs.synchronization;
+    executionDependency += rhs.executionDependency;
+    other += rhs.other;
+    return *this;
+}
+
+KernelTiming
+timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
+{
+    KernelTiming t;
+
+    // --- Resource demands, in core cycles ------------------------------
+    const double divergence = crm_applied ? 1.0 : desc.divergenceFactor;
+    t.flops = desc.flops;
+    t.computeCycles = desc.flops / cfg.flopsPerCycle() * divergence;
+
+    t.dramBytes =
+        (desc.dramReadBytes + desc.dramWriteBytes) * desc.coalescingFactor;
+    const double dram_cycles = t.dramBytes / cfg.dramBytesPerCycle();
+
+    t.l2Bytes = desc.l2AccessBytes;
+    const double l2_cycles = t.l2Bytes / cfg.l2BytesPerCycle;
+
+    t.sharedBytes = desc.sharedBytes;
+    const double shared_cycles = t.sharedBytes / cfg.sharedBytesPerCycle();
+
+    // --- Occupancy: how many CTA waves the grid needs -------------------
+    const unsigned threads_per_cta = std::max(1u, desc.threadsPerCta);
+    const unsigned ctas_per_sm =
+        std::max(1u, std::min(cfg.maxCtasPerSm,
+                              cfg.maxThreadsPerSm / threads_per_cta));
+    const double concurrent_ctas =
+        static_cast<double>(ctas_per_sm) * cfg.numSms;
+    const double waves =
+        std::max(1.0, std::ceil(desc.ctas / concurrent_ctas));
+
+    const double sync_cycles =
+        static_cast<double>(desc.syncsPerCta) * cfg.barrierCostCycles *
+        waves;
+    const double latency_cycles =
+        t.dramBytes > 0.0 ? cfg.dramLatencyNs * cfg.coreClockGhz : 0.0;
+
+    // --- Bottleneck resolution ------------------------------------------
+    double exec_cycles = std::max({t.computeCycles, dram_cycles,
+                                   l2_cycles, shared_cycles});
+    t.reconfigured =
+        shared_cycles > std::max({t.computeCycles, dram_cycles,
+                                  l2_cycles});
+    if (t.reconfigured) {
+        // Shared memory is the binding constraint: the kernel is
+        // re-configured with more, thinner threads so per-thread on-chip
+        // demand stays legal; the extra threads and lost locality cost
+        // a multiplicative slowdown (Section IV-C).
+        exec_cycles = shared_cycles * cfg.reconfigPenalty;
+    }
+
+    t.crmCycles = 0.0;  // charged by the simulator's GMU model
+    t.cycles = exec_cycles + sync_cycles + latency_cycles;
+    t.timeUs = t.cycles / cfg.cyclesPerUs() + cfg.kernelLaunchUs;
+
+    t.activeThreads = crm_applied
+                          ? desc.totalThreads() - desc.disabledThreads
+                          : desc.totalThreads();
+
+    // --- Utilisation ------------------------------------------------------
+    if (t.cycles > 0.0) {
+        t.dramUtilization = std::min(1.0, dram_cycles / t.cycles);
+        t.sharedUtilization = std::min(1.0, shared_cycles / t.cycles);
+        t.l2Utilization = std::min(1.0, l2_cycles / t.cycles);
+    }
+
+    // --- Stall attribution ------------------------------------------------
+    const double stall_total = std::max(0.0, t.cycles - t.computeCycles);
+    const double p_offchip =
+        std::max(0.0, dram_cycles - t.computeCycles) + latency_cycles;
+    const double p_onchip =
+        std::max(0.0, shared_cycles - t.computeCycles) +
+        0.5 * std::max(0.0, l2_cycles - t.computeCycles);
+    const double p_sync = sync_cycles;
+    const double p_dep = 0.10 * t.computeCycles;
+    const double p_other = 0.05 * exec_cycles + 1.0;
+
+    const double p_sum = p_offchip + p_onchip + p_sync + p_dep + p_other;
+    if (p_sum > 0.0 && stall_total > 0.0) {
+        const double scale = stall_total / p_sum;
+        t.stalls.offChipMemory = p_offchip * scale;
+        t.stalls.onChipBandwidth = p_onchip * scale;
+        t.stalls.synchronization = p_sync * scale;
+        t.stalls.executionDependency = p_dep * scale;
+        t.stalls.other = p_other * scale;
+    }
+
+    return t;
+}
+
+} // namespace gpu
+} // namespace mflstm

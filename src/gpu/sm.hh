@@ -1,0 +1,77 @@
+/**
+ * @file
+ * SM-level kernel timing with stall attribution. The model is a
+ * bottleneck (roofline-style) issue model: a kernel's duration is set by
+ * its most contended resource — FP issue, off-chip bandwidth, L2
+ * bandwidth, or shared-memory bandwidth — plus synchronization and fixed
+ * latencies. Cycles the issue stage could not retire useful work are
+ * attributed to stall causes, reproducing the Fig. 4 breakdown.
+ */
+
+#ifndef MFLSTM_GPU_SM_HH
+#define MFLSTM_GPU_SM_HH
+
+#include "gpu/config.hh"
+#include "gpu/kernel.hh"
+
+namespace mflstm {
+namespace gpu {
+
+/** Pipeline stall cycles by cause (the Fig. 4 categories). */
+struct StallBreakdown
+{
+    double offChipMemory = 0.0;
+    double onChipBandwidth = 0.0;
+    double synchronization = 0.0;
+    double executionDependency = 0.0;
+    double other = 0.0;
+
+    double total() const
+    {
+        return offChipMemory + onChipBandwidth + synchronization +
+               executionDependency + other;
+    }
+
+    StallBreakdown &operator+=(const StallBreakdown &rhs);
+};
+
+/** Timing result for one kernel launch. */
+struct KernelTiming
+{
+    double cycles = 0.0;        ///< on-GPU execution cycles
+    double timeUs = 0.0;        ///< wall time incl. launch overhead
+    double computeCycles = 0.0; ///< cycles retiring useful FP work
+
+    StallBreakdown stalls;
+
+    double flops = 0.0;
+    double dramBytes = 0.0;     ///< after coalescing inflation
+    double l2Bytes = 0.0;
+    double sharedBytes = 0.0;
+
+    double dramUtilization = 0.0;    ///< of off-chip bandwidth, [0,1]
+    double sharedUtilization = 0.0;  ///< of on-chip bandwidth; may be
+                                     ///< reported >1 as *demand* before
+                                     ///< the reconfiguration clamp
+    double l2Utilization = 0.0;
+
+    double crmCycles = 0.0;     ///< CRM pipeline latency charged
+    double crmEnergyJ = 0.0;
+    unsigned activeThreads = 0;
+    bool reconfigured = false;  ///< shared-BW-driven kernel reconfig hit
+};
+
+/**
+ * Time one kernel on the configured GPU.
+ *
+ * @param crm_applied  the GMU ran this kernel's grid through the CRM:
+ *                     divergence from the row-skip branch disappears and
+ *                     the thread count shrinks to the active set.
+ */
+KernelTiming timeKernel(const GpuConfig &cfg, const KernelDesc &desc,
+                        bool crm_applied = false);
+
+} // namespace gpu
+} // namespace mflstm
+
+#endif // MFLSTM_GPU_SM_HH

@@ -1,0 +1,102 @@
+#include "nn/gru.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/activations.hh"
+#include "tensor/ops.hh"
+
+namespace mflstm {
+namespace nn {
+
+GruLayerParams::GruLayerParams(std::size_t input_size,
+                               std::size_t hidden_size)
+    : wz(hidden_size, input_size), wr(hidden_size, input_size),
+      wh(hidden_size, input_size), uz(hidden_size, hidden_size),
+      ur(hidden_size, hidden_size), uh(hidden_size, hidden_size),
+      bz(hidden_size), br(hidden_size), bh(hidden_size)
+{}
+
+void
+GruLayerParams::init(tensor::Rng &rng)
+{
+    const std::size_t in = inputSize();
+    const std::size_t hid = hiddenSize();
+    for (Matrix *w : {&wz, &wr, &wh})
+        rng.fillXavier(*w, in, hid);
+    for (Matrix *u : {&uz, &ur, &uh})
+        rng.fillXavier(*u, hid, hid);
+}
+
+Matrix
+GruLayerParams::unitedW() const
+{
+    return tensor::vconcat({&wz, &wr, &wh});
+}
+
+std::vector<Vector>
+gruProjectInputs(const GruLayerParams &p, const std::vector<Vector> &xs)
+{
+    const Matrix w = p.unitedW();
+    std::vector<Vector> out;
+    out.reserve(xs.size());
+    for (const Vector &x : xs) {
+        Vector proj;
+        tensor::gemv(w, x, proj);
+        out.push_back(std::move(proj));
+    }
+    return out;
+}
+
+Vector
+gruCellForward(const GruLayerParams &p, const Vector &x_proj,
+               const Vector &h_prev, SigmoidKind sk)
+{
+    const std::size_t hid = p.hiddenSize();
+    assert(x_proj.size() == 3 * hid);
+    assert(h_prev.size() == hid);
+
+    auto sig = [sk](float v) {
+        return sk == SigmoidKind::Logistic ? tensor::sigmoid(v)
+                                           : tensor::hardSigmoid(v);
+    };
+
+    Vector rz, rr;
+    tensor::gemv(p.uz, h_prev, rz);
+    tensor::gemv(p.ur, h_prev, rr);
+
+    Vector z(hid), r(hid), gated(hid);
+    for (std::size_t j = 0; j < hid; ++j) {
+        z[j] = sig(x_proj[j] + rz[j] + p.bz[j]);
+        r[j] = sig(x_proj[hid + j] + rr[j] + p.br[j]);
+        gated[j] = r[j] * h_prev[j];
+    }
+
+    Vector rh;
+    tensor::gemv(p.uh, gated, rh);
+
+    Vector h(hid);
+    for (std::size_t j = 0; j < hid; ++j) {
+        const float g = std::tanh(x_proj[2 * hid + j] + rh[j] + p.bh[j]);
+        h[j] = (1.0f - z[j]) * h_prev[j] + z[j] * g;
+    }
+    return h;
+}
+
+std::vector<Vector>
+gruLayerForward(const GruLayerParams &p, const std::vector<Vector> &xs,
+                SigmoidKind sk)
+{
+    const std::vector<Vector> projs = gruProjectInputs(p, xs);
+    Vector h(p.hiddenSize());
+    std::vector<Vector> out;
+    out.reserve(xs.size());
+    for (const Vector &proj : projs) {
+        h = gruCellForward(p, proj, h, sk);
+        out.push_back(h);
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace mflstm

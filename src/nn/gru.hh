@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GRU cell and layer forward pass — the extension the paper sketches in
+ * Section II-B ("the proposed methods can also be applied to GRUs with
+ * simple adjustment"). The GRU has two gates (update z, reset r) and a
+ * candidate state:
+ *
+ *   z_t = sigma(W_z x_t + U_z h_{t-1} + b_z)
+ *   r_t = sigma(W_r x_t + U_r h_{t-1} + b_r)
+ *   g_t = tanh(W_h x_t + U_h (r_t . h_{t-1}) + b_h)
+ *   h_t = (1 - z_t) . h_{t-1} + z_t . g_t
+ *
+ * The inter-cell relevance adjustment lives in core/relevance.hh
+ * (gruLinkRelevance).
+ */
+
+#ifndef MFLSTM_NN_GRU_HH
+#define MFLSTM_NN_GRU_HH
+
+#include <vector>
+
+#include "nn/lstm.hh"
+
+namespace mflstm {
+namespace nn {
+
+/** Parameters of one GRU layer (z/r/h order throughout). */
+struct GruLayerParams
+{
+    GruLayerParams() = default;
+    GruLayerParams(std::size_t input_size, std::size_t hidden_size);
+
+    std::size_t inputSize() const { return wz.cols(); }
+    std::size_t hiddenSize() const { return wz.rows(); }
+
+    /** Xavier-initialise weights; biases zero. */
+    void init(tensor::Rng &rng);
+
+    /** United input matrix W_{z,r,h} (3H x E). */
+    Matrix unitedW() const;
+
+    Matrix wz, wr, wh;
+    Matrix uz, ur, uh;
+    Vector bz, br, bh;
+};
+
+/**
+ * Precomputed input projections: element t is the 3H vector
+ * W_{z,r,h} x_t (no bias), the GRU analogue of the per-layer Sgemm.
+ */
+std::vector<Vector> gruProjectInputs(const GruLayerParams &p,
+                                     const std::vector<Vector> &xs);
+
+/** One GRU cell step given the precomputed 3H input projection. */
+Vector gruCellForward(const GruLayerParams &p, const Vector &x_proj,
+                      const Vector &h_prev,
+                      SigmoidKind sk = SigmoidKind::Logistic);
+
+/** Full-layer GRU forward; returns h_t for every timestep. */
+std::vector<Vector>
+gruLayerForward(const GruLayerParams &p, const std::vector<Vector> &xs,
+                SigmoidKind sk = SigmoidKind::Logistic);
+
+} // namespace nn
+} // namespace mflstm
+
+#endif // MFLSTM_NN_GRU_HH

@@ -1,0 +1,206 @@
+#include "nn/model.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hh"
+
+namespace mflstm {
+namespace nn {
+
+void
+EmbeddingParams::init(tensor::Rng &rng)
+{
+    rng.fillNormal(table, 0.0f, 0.1f);
+}
+
+void
+LinearParams::init(tensor::Rng &rng)
+{
+    rng.fillXavier(w, inSize(), outSize());
+    b.zero();
+}
+
+Vector
+linearForward(const LinearParams &p, const Vector &x)
+{
+    Vector y;
+    tensor::gemv(p.w, x, p.b, y);
+    return y;
+}
+
+void
+softmaxInplace(std::span<float> logits)
+{
+    assert(!logits.empty());
+    const float mx = *std::max_element(logits.begin(), logits.end());
+    float sum = 0.0f;
+    for (float &v : logits) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    for (float &v : logits)
+        v /= sum;
+}
+
+float
+crossEntropy(std::span<const float> probs, std::size_t target)
+{
+    assert(target < probs.size());
+    constexpr float eps = 1e-12f;
+    return -std::log(std::max(probs[target], eps));
+}
+
+LstmModel::LstmModel(const ModelConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg), embedding_(cfg.vocab, cfg.embedSize),
+      head_(cfg.hiddenSize, cfg.headClasses())
+{
+    if (cfg.vocab == 0 || cfg.embedSize == 0 || cfg.hiddenSize == 0 ||
+        cfg.numLayers == 0) {
+        throw std::invalid_argument("LstmModel: zero dimension in config");
+    }
+    if (cfg.task == TaskKind::Classification && cfg.numClasses < 2)
+        throw std::invalid_argument("LstmModel: need >= 2 classes");
+
+    tensor::Rng rng(seed);
+    embedding_.init(rng);
+    layers_.reserve(cfg.numLayers);
+    for (std::size_t l = 0; l < cfg.numLayers; ++l) {
+        const std::size_t in = l == 0 ? cfg.embedSize : cfg.hiddenSize;
+        layers_.emplace_back(in, cfg.hiddenSize);
+        layers_.back().init(rng);
+    }
+    head_.init(rng);
+}
+
+std::vector<Vector>
+LstmModel::embed(std::span<const std::int32_t> tokens) const
+{
+    std::vector<Vector> out;
+    out.reserve(tokens.size());
+    for (std::int32_t tok : tokens) {
+        if (tok < 0 || static_cast<std::size_t>(tok) >= cfg_.vocab)
+            throw std::out_of_range("LstmModel::embed: token out of vocab");
+        Vector v(cfg_.embedSize);
+        const auto row = embedding_.table.row(static_cast<std::size_t>(tok));
+        std::copy(row.begin(), row.end(), v.begin());
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+std::vector<Vector>
+LstmModel::runLayers(const std::vector<Vector> &inputs,
+                     std::vector<std::vector<LstmCellTrace>> *traces) const
+{
+    if (traces) {
+        traces->clear();
+        traces->resize(layers_.size());
+    }
+
+    std::vector<Vector> acts = inputs;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        acts = lstmLayerForward(layers_[l], acts, cfg_.sigmoid,
+                                traces ? &(*traces)[l] : nullptr);
+    }
+    return acts;
+}
+
+Vector
+LstmModel::classify(std::span<const std::int32_t> tokens) const
+{
+    assert(cfg_.task == TaskKind::Classification);
+    if (tokens.empty())
+        throw std::invalid_argument("LstmModel::classify: empty sequence");
+    const std::vector<Vector> top = runLayers(embed(tokens));
+    return linearForward(head_, top.back());
+}
+
+std::vector<Vector>
+LstmModel::lmLogits(std::span<const std::int32_t> tokens) const
+{
+    assert(cfg_.task == TaskKind::LanguageModel);
+    const std::vector<Vector> top = runLayers(embed(tokens));
+    std::vector<Vector> logits;
+    logits.reserve(top.size());
+    for (const Vector &h : top)
+        logits.push_back(linearForward(head_, h));
+    return logits;
+}
+
+std::size_t
+LstmModel::parameterCount() const
+{
+    std::size_t n = embedding_.table.size();
+    for (const LstmLayerParams &p : layers_) {
+        n += p.wf.size() * 4 + p.uf.size() * 4 + p.bf.size() * 4;
+    }
+    n += head_.w.size() + head_.b.size();
+    return n;
+}
+
+double
+classificationAccuracy(const LstmModel &model,
+                       const std::vector<Sample> &data)
+{
+    if (data.empty())
+        return 0.0;
+    std::size_t correct = 0;
+    for (const Sample &s : data) {
+        const Vector logits = model.classify(s.tokens);
+        if (tensor::argmax(logits.span()) ==
+            static_cast<std::size_t>(s.label)) {
+            ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double
+lmNextTokenAccuracy(const LstmModel &model,
+                    const std::vector<std::vector<std::int32_t>> &seqs)
+{
+    std::size_t correct = 0;
+    std::size_t total = 0;
+    for (const auto &seq : seqs) {
+        if (seq.size() < 2)
+            continue;
+        const auto logits = model.lmLogits(
+            std::span(seq.data(), seq.size() - 1));
+        for (std::size_t t = 0; t < logits.size(); ++t) {
+            if (tensor::argmax(logits[t].span()) ==
+                static_cast<std::size_t>(seq[t + 1])) {
+                ++correct;
+            }
+            ++total;
+        }
+    }
+    return total ? static_cast<double>(correct) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+lmPerplexity(const LstmModel &model,
+             const std::vector<std::vector<std::int32_t>> &seqs)
+{
+    double sum = 0.0;
+    std::size_t total = 0;
+    for (const auto &seq : seqs) {
+        if (seq.size() < 2)
+            continue;
+        auto logits = model.lmLogits(std::span(seq.data(), seq.size() - 1));
+        for (std::size_t t = 0; t < logits.size(); ++t) {
+            softmaxInplace(logits[t].span());
+            sum += crossEntropy(logits[t].span(),
+                                static_cast<std::size_t>(seq[t + 1]));
+            ++total;
+        }
+    }
+    return total ? std::exp(sum / static_cast<double>(total)) : 1.0;
+}
+
+} // namespace nn
+} // namespace mflstm

@@ -1,0 +1,132 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace mflstm {
+namespace nn {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4d464c31;  // "MFL1"
+constexpr std::uint32_t kVersion = 1;
+
+void
+writeU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+std::uint32_t
+readU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    if (!is)
+        throw std::runtime_error("loadModel: truncated header");
+    return v;
+}
+
+void
+writeFloats(std::ostream &os, const float *data, std::size_t n)
+{
+    os.write(reinterpret_cast<const char *>(data),
+             static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+void
+readFloats(std::istream &is, float *data, std::size_t n)
+{
+    is.read(reinterpret_cast<char *>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!is)
+        throw std::runtime_error("loadModel: truncated tensor");
+}
+
+} // anonymous namespace
+
+void
+saveModel(const LstmModel &model, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("saveModel: cannot open " + path);
+
+    const ModelConfig &cfg = model.config();
+    writeU32(os, kMagic);
+    writeU32(os, kVersion);
+    writeU32(os, cfg.task == TaskKind::LanguageModel ? 1 : 0);
+    writeU32(os, static_cast<std::uint32_t>(cfg.vocab));
+    writeU32(os, static_cast<std::uint32_t>(cfg.embedSize));
+    writeU32(os, static_cast<std::uint32_t>(cfg.hiddenSize));
+    writeU32(os, static_cast<std::uint32_t>(cfg.numLayers));
+    writeU32(os, static_cast<std::uint32_t>(cfg.numClasses));
+    writeU32(os, cfg.sigmoid == SigmoidKind::Hard ? 1 : 0);
+
+    writeFloats(os, model.embedding().table.data(),
+                model.embedding().table.size());
+    for (const LstmLayerParams &p : model.layers()) {
+        for (const tensor::Matrix *m :
+             {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
+            writeFloats(os, m->data(), m->size());
+        for (const tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
+            writeFloats(os, v->data(), v->size());
+    }
+    writeFloats(os, model.head().w.data(), model.head().w.size());
+    writeFloats(os, model.head().b.data(), model.head().b.size());
+
+    if (!os)
+        throw std::runtime_error("saveModel: write failed for " + path);
+}
+
+LstmModel
+loadModel(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("loadModel: cannot open " + path);
+
+    if (readU32(is) != kMagic)
+        throw std::runtime_error("loadModel: bad magic in " + path);
+    if (readU32(is) != kVersion)
+        throw std::runtime_error("loadModel: unsupported version");
+
+    ModelConfig cfg;
+    cfg.task = readU32(is) ? TaskKind::LanguageModel
+                           : TaskKind::Classification;
+    cfg.vocab = readU32(is);
+    cfg.embedSize = readU32(is);
+    cfg.hiddenSize = readU32(is);
+    cfg.numLayers = readU32(is);
+    cfg.numClasses = readU32(is);
+    cfg.sigmoid = readU32(is) ? SigmoidKind::Hard : SigmoidKind::Logistic;
+
+    LstmModel model(cfg, 0);
+    readFloats(is, model.embedding().table.data(),
+               model.embedding().table.size());
+    for (LstmLayerParams &p : model.layers()) {
+        for (tensor::Matrix *m :
+             {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
+            readFloats(is, m->data(), m->size());
+        for (tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
+            readFloats(is, v->data(), v->size());
+    }
+    readFloats(is, model.head().w.data(), model.head().w.size());
+    readFloats(is, model.head().b.data(), model.head().b.size());
+    return model;
+}
+
+bool
+isModelFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::uint32_t magic = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    return is && magic == kMagic;
+}
+
+} // namespace nn
+} // namespace mflstm

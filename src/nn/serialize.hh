@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary model serialization. Benchmark binaries train the six Table II
+ * accuracy models once and cache them on disk; the format is a simple
+ * versioned little-endian dump (config header + raw fp32 tensors).
+ */
+
+#ifndef MFLSTM_NN_SERIALIZE_HH
+#define MFLSTM_NN_SERIALIZE_HH
+
+#include <string>
+
+#include "nn/model.hh"
+
+namespace mflstm {
+namespace nn {
+
+/** Write a model to @p path; throws std::runtime_error on I/O failure. */
+void saveModel(const LstmModel &model, const std::string &path);
+
+/**
+ * Read a model from @p path; throws std::runtime_error on I/O or format
+ * errors (bad magic, version, or truncated tensors).
+ */
+LstmModel loadModel(const std::string &path);
+
+/** True when @p path exists and carries the expected magic. */
+bool isModelFile(const std::string &path);
+
+} // namespace nn
+} // namespace mflstm
+
+#endif // MFLSTM_NN_SERIALIZE_HH

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Backpropagation-through-time training for LstmModel. The paper trains
+ * its six NLP applications offline (in PyTorch) and only then applies the
+ * inference-time approximations; this trainer fills the same role so the
+ * accuracy experiments in bench/ act on genuinely trained gate statistics
+ * rather than random weights.
+ *
+ * Hand-derived gradients for Eq. 1-5 (no autograd): per cell, with
+ * s = sigma and the cached gate activations f, i, g=tanh(.), o,
+ *
+ *   dL/do   = dL/dh * tanh(c)
+ *   dL/dc  += dL/dh * o * (1 - tanh^2(c))
+ *   dL/df   = dL/dc * c_prev        dL/di = dL/dc * g
+ *   dL/dg   = dL/dc * i             dL/dc_prev = dL/dc * f
+ *
+ * then through the gate nonlinearities into the pre-activations, and via
+ * U^T / W^T into h_{t-1} and x_t.
+ */
+
+#ifndef MFLSTM_NN_TRAIN_HH
+#define MFLSTM_NN_TRAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hh"
+
+namespace mflstm {
+namespace nn {
+
+/** Gradient buffers shaped like one LstmLayerParams. */
+struct LstmLayerGrads
+{
+    LstmLayerGrads() = default;
+    LstmLayerGrads(std::size_t input_size, std::size_t hidden_size);
+
+    void zero();
+
+    Matrix wf, wi, wc, wo;
+    Matrix uf, ui, uc, uo;
+    Vector bf, bi, bc, bo;
+};
+
+/** Gradient buffers for a whole model. */
+struct ModelGrads
+{
+    explicit ModelGrads(const LstmModel &model);
+
+    void zero();
+
+    Matrix embedding;
+    std::vector<LstmLayerGrads> layers;
+    Matrix headW;
+    Vector headB;
+};
+
+/** Hyper-parameters for Trainer. */
+struct TrainConfig
+{
+    double lr = 1e-3;        ///< Adam step size
+    double beta1 = 0.9;      ///< Adam first-moment decay
+    double beta2 = 0.999;    ///< Adam second-moment decay
+    double epsilon = 1e-8;   ///< Adam denominator fuzz
+    double clipNorm = 5.0;   ///< global-norm gradient clip; <=0 disables
+    /**
+     * Decoupled (AdamW-style) weight decay, applied to the *recurrent*
+     * matrices U_* only. Besides regularising, decay keeps the recurrent
+     * weight rows small — the property the paper's relevance analysis
+     * (Section IV-A) exploits, since the reach of h_{t-1} into a gate is
+     * bounded by the row's L1 norm. Input/embedding/head weights are
+     * left alone so the decay cannot starve the task signal.
+     */
+    double recurrentDecay = 3e-2;
+    std::uint64_t shuffleSeed = 1;  ///< epoch shuffling seed
+};
+
+/**
+ * Single-sample (stochastic) BPTT trainer with Adam. Deliberately simple:
+ * the accuracy models in this reproduction are small (Section 5 of
+ * DESIGN.md), so per-sample updates train them in seconds.
+ */
+class Trainer
+{
+  public:
+    Trainer(LstmModel &model, const TrainConfig &cfg);
+
+    /**
+     * One optimisation step on a classification sample.
+     * @return the sample's cross-entropy loss before the update.
+     */
+    double stepClassification(const Sample &sample);
+
+    /**
+     * One optimisation step on an LM sequence (predict token t+1 at t).
+     * @return mean per-step cross-entropy before the update.
+     */
+    double stepLanguageModel(const std::vector<std::int32_t> &seq);
+
+    /** Shuffled multi-epoch loop over a classification set. */
+    double trainClassification(const std::vector<Sample> &data,
+                               std::size_t epochs);
+
+    /** Shuffled multi-epoch loop over an LM corpus. */
+    double
+    trainLanguageModel(const std::vector<std::vector<std::int32_t>> &seqs,
+                       std::size_t epochs);
+
+    std::size_t stepsTaken() const { return step_; }
+
+    /**
+     * Fill grads() for one sample without touching the parameters.
+     * Exposed so tests can finite-difference-check the BPTT math.
+     * @return the loss at the current parameters.
+     */
+    double computeGradients(const std::vector<std::int32_t> &tokens,
+                            std::int32_t label, bool language_model);
+
+    const ModelGrads &grads() const { return grads_; }
+
+  private:
+
+    void applyAdam();
+    double gradNorm() const;
+    void scaleGrads(double factor);
+
+    /** Flat (param, grad, moment) registry built once at construction. */
+    void registerAll();
+    void registerPair(float *param, float *grad, std::size_t n,
+                      bool decay = false);
+
+    LstmModel &model_;
+    TrainConfig cfg_;
+    ModelGrads grads_;
+
+    struct Slot
+    {
+        float *param;
+        float *grad;
+        std::size_t size;
+        std::size_t momentOffset;
+        bool decay;
+    };
+    std::vector<Slot> slots_;
+    std::vector<double> m_;
+    std::vector<double> v_;
+    std::size_t step_ = 0;
+};
+
+} // namespace nn
+} // namespace mflstm
+
+#endif // MFLSTM_NN_TRAIN_HH

@@ -1,0 +1,52 @@
+#include "runtime/executor.hh"
+
+#include <stdexcept>
+
+namespace mflstm {
+namespace runtime {
+
+double
+speedup(const RunReport &base, const RunReport &opt)
+{
+    if (opt.result.timeUs <= 0.0)
+        throw std::invalid_argument("speedup: zero optimized time");
+    return base.result.timeUs / opt.result.timeUs;
+}
+
+double
+energySavingPct(const RunReport &base, const RunReport &opt)
+{
+    const double base_j = base.result.energy.totalJ();
+    if (base_j <= 0.0)
+        throw std::invalid_argument("energySavingPct: zero base energy");
+    return 100.0 * (1.0 - opt.result.energy.totalJ() / base_j);
+}
+
+RunReport
+NetworkExecutor::run(const NetworkShape &shape,
+                     const ExecutionPlan &plan) const
+{
+    gpu::Simulator sim(cfg_, plan.usesCrmHardware());
+    RunReport report;
+    report.kind = plan.kind;
+    report.result = sim.runTrace(lowering_.lower(shape, plan));
+    return report;
+}
+
+RunReport
+NetworkExecutor::runLayer(const LstmLayerShape &layer,
+                          const ExecutionPlan &plan,
+                          std::size_t layer_index) const
+{
+    gpu::Simulator sim(cfg_, plan.usesCrmHardware());
+    gpu::KernelTrace trace;
+    lowering_.lowerLayer(layer, plan, layer_index, trace);
+
+    RunReport report;
+    report.kind = plan.kind;
+    report.result = sim.runTrace(trace);
+    return report;
+}
+
+} // namespace runtime
+} // namespace mflstm

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Network executor: lowers a network + plan onto the simulated GPU and
+ * reports timing/energy, plus the comparison helpers the benches use
+ * (speedup, energy saving). This is the reproduction's equivalent of the
+ * paper's DeepBench-drives-the-Jetson-board measurement loop.
+ */
+
+#ifndef MFLSTM_RUNTIME_EXECUTOR_HH
+#define MFLSTM_RUNTIME_EXECUTOR_HH
+
+#include "gpu/simulator.hh"
+#include "runtime/lowering.hh"
+#include "runtime/plan.hh"
+
+namespace mflstm {
+namespace runtime {
+
+/** One measured run. */
+struct RunReport
+{
+    PlanKind kind = PlanKind::Baseline;
+    gpu::TraceResult result;
+};
+
+/** Speedup of @p opt over @p base (wall time ratio). */
+double speedup(const RunReport &base, const RunReport &opt);
+
+/** Energy saving of @p opt vs @p base, percent of baseline energy. */
+double energySavingPct(const RunReport &base, const RunReport &opt);
+
+/** Runs plans for network shapes on one GPU configuration. */
+class NetworkExecutor
+{
+  public:
+    explicit NetworkExecutor(const gpu::GpuConfig &cfg)
+        : cfg_(cfg), lowering_(cfg_)
+    {}
+
+    const gpu::GpuConfig &config() const { return cfg_; }
+    const Lowering &lowering() const { return lowering_; }
+
+    /** Lower + simulate the whole network. */
+    RunReport run(const NetworkShape &shape,
+                  const ExecutionPlan &plan) const;
+
+    /** Lower + simulate a single layer (for the Fig. 15 study). */
+    RunReport runLayer(const LstmLayerShape &layer,
+                       const ExecutionPlan &plan,
+                       std::size_t layer_index) const;
+
+  private:
+    gpu::GpuConfig cfg_;
+    Lowering lowering_;
+};
+
+} // namespace runtime
+} // namespace mflstm
+
+#endif // MFLSTM_RUNTIME_EXECUTOR_HH

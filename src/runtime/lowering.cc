@@ -1,0 +1,439 @@
+#include "runtime/lowering.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "gpu/cache.hh"
+
+namespace mflstm {
+namespace runtime {
+
+namespace {
+
+constexpr double kFloat = 4.0;  // sizeof(float)
+
+/** Threads per CTA used by all dense kernels in this lowering. */
+constexpr unsigned kCta = 128;
+
+unsigned
+ctasFor(double threads)
+{
+    return static_cast<unsigned>(
+        std::max(1.0, std::ceil(threads / kCta)));
+}
+
+} // anonymous namespace
+
+double
+sgemmSharedBytesPerMac(std::size_t hidden_size, std::size_t cols)
+{
+    if (cols >= 32) {
+        // Wide GEMM: 8x8 register blocking amortises shared reads.
+        return 1.2;
+    }
+    // Narrow (per-tissue) GEMM: no column blocking; every MAC pulls its
+    // weight operand from shared memory and H_t columns are re-read per
+    // row tile. Small hidden sizes double-buffer inside the 64 KB shared
+    // memory and avoid some redundant re-reads. Calibrated (jointly with
+    // the L2 residency model, which trims small matrices' DRAM time) so
+    // the maximum tissue size (Fig. 9) lands at 6 for H < 300 and 5
+    // otherwise.
+    return hidden_size < 300 ? 5.2 : 6.8;
+}
+
+double
+sgemvSharedBytesPerMac()
+{
+    return 4.0;  // only the input vector is staged on chip
+}
+
+double
+swSkipCoalescedSaving()
+{
+    // One thread per row: a surviving warp still pulls the transactions
+    // covering its skipped neighbours, so only ~15% of a skipped row's
+    // bytes leave the bus in the software scheme.
+    return 0.15;
+}
+
+double
+Lowering::layerWeightTraffic(double footprint_bytes, double sweeps) const
+{
+    return gpu::streamingReuseDramBytes(footprint_bytes, sweeps,
+                                        static_cast<double>(cfg_.l2Bytes));
+}
+
+gpu::KernelDesc
+Lowering::inputSgemm(const LstmLayerShape &shape) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double e = static_cast<double>(shape.inputSize);
+    const double n = static_cast<double>(shape.length);
+
+    const double macs = 4.0 * h * e * n;
+    const double w_bytes = 4.0 * h * e * kFloat;
+    const double in_bytes = n * e * kFloat;
+    const double out_bytes = n * 4.0 * h * kFloat;
+
+    gpu::KernelDesc k;
+    k.name = "Sgemm(W_fico, x)";
+    k.klass = gpu::KernelClass::Sgemm;
+    k.flops = 2.0 * macs;
+    k.dramReadBytes = w_bytes + in_bytes;
+    k.dramWriteBytes = out_bytes;
+    k.l2AccessBytes = w_bytes + in_bytes + out_bytes;
+    k.sharedBytes =
+        macs * sgemmSharedBytesPerMac(shape.hiddenSize, shape.length);
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(4.0 * h * n);
+    k.syncsPerCta = 4;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::cellSgemv(const LstmLayerShape &shape,
+                    double dram_bytes_weights) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double macs = 4.0 * h * h;
+    const double vec_bytes = 5.0 * h * kFloat;  // h in, 4H out
+
+    gpu::KernelDesc k;
+    k.name = "Sgemv(U_fico, h)";
+    k.klass = gpu::KernelClass::Sgemv;
+    k.flops = 2.0 * macs;
+    k.dramReadBytes = dram_bytes_weights + h * kFloat;
+    k.dramWriteBytes = 4.0 * h * kFloat;
+    k.l2AccessBytes = 4.0 * h * h * kFloat + vec_bytes;
+    k.sharedBytes = macs * sgemvSharedBytesPerMac();
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(4.0 * h);
+    k.syncsPerCta = 2;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
+                      double dram_bytes_weights,
+                      double skip_fraction) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double tk = static_cast<double>(tissue_size);
+    const double keep = 1.0 - skip_fraction;
+    const double macs = 4.0 * h * h * tk;
+
+    gpu::KernelDesc k;
+    k.name = "Sgemm(U_fico, H_t)";
+    k.klass = gpu::KernelClass::Sgemm;
+    // With DRS inside the tissue, skipped rows drop their compute and
+    // on-chip traffic; the weight load is shared across cells and only
+    // disappears for rows trivial in *every* cell — the paper's
+    // "overlap" between the two optimisations (Section VI-B3).
+    const double all_skip = std::pow(skip_fraction, tk);
+    k.flops = 2.0 * macs * keep;
+    k.dramReadBytes = dram_bytes_weights * (1.0 - 0.75 * all_skip) +
+                      tk * h * kFloat;
+    k.dramWriteBytes = tk * 4.0 * h * kFloat;
+    k.l2AccessBytes = 4.0 * h * h * kFloat + tk * 5.0 * h * kFloat;
+    k.sharedBytes = macs * keep *
+                    sgemmSharedBytesPerMac(shape.hiddenSize, tissue_size);
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(4.0 * h * tk);
+    k.syncsPerCta = 4;
+    if (skip_fraction > 0.0) {
+        k.hasRowSkipArg = true;
+        k.disabledThreads = static_cast<unsigned>(
+            skip_fraction * 3.0 * h * tk);
+    }
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double elems = h * static_cast<double>(cells);
+    const double bytes = 7.0 * elems * kFloat;  // gates + c in/out + h
+
+    gpu::KernelDesc k;
+    k.name = "lstm_ew";
+    k.klass = gpu::KernelClass::ElementWise;
+    k.flops = 25.0 * elems;  // activations + state update per element
+    // Inputs were just produced by the preceding GEMM kernels and are
+    // still L2-resident; only spill traffic reaches DRAM.
+    k.dramReadBytes = 0.1 * bytes;
+    k.dramWriteBytes = 0.1 * bytes;
+    k.l2AccessBytes = bytes;
+    k.sharedBytes = 0.0;
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(elems);
+    k.syncsPerCta = 0;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::outputGateSgemv(const LstmLayerShape &shape,
+                          double dram_bytes_weights) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double macs = h * h;
+
+    gpu::KernelDesc k;
+    k.name = "Sgemv(U_o, h)";
+    k.klass = gpu::KernelClass::Sgemv;
+    k.flops = 2.0 * macs;
+    k.dramReadBytes = dram_bytes_weights + h * kFloat;
+    k.dramWriteBytes = h * kFloat;
+    k.l2AccessBytes = h * h * kFloat + 2.0 * h * kFloat;
+    k.sharedBytes = macs * sgemvSharedBytesPerMac();
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(h);
+    k.syncsPerCta = 2;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::drsScan(const LstmLayerShape &shape) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+
+    gpu::KernelDesc k;
+    k.name = "DRS(o_t, alpha, R)";
+    k.klass = gpu::KernelClass::Drs;
+    k.flops = 3.0 * h;  // compare + flag + compacting scan
+    k.dramReadBytes = 0.0;
+    k.dramWriteBytes = 0.0;
+    k.l2AccessBytes = 2.0 * h * kFloat;
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(h);
+    k.syncsPerCta = 1;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::rowSkipSgemv(const LstmLayerShape &shape,
+                       double dram_bytes_weights, double skip_fraction,
+                       bool hw_compacted) const
+{
+    if (skip_fraction < 0.0 || skip_fraction > 1.0)
+        throw std::invalid_argument("rowSkipSgemv: bad skip fraction");
+
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double keep = 1.0 - skip_fraction;
+    const double macs = 3.0 * h * h;
+
+    gpu::KernelDesc k;
+    k.name = "Sgemv(U_fic, h, R)";
+    k.klass = gpu::KernelClass::Sgemv;
+    k.flops = 2.0 * macs * keep;  // skipped rows are never computed
+    k.hasRowSkipArg = true;
+    k.disabledThreads =
+        static_cast<unsigned>(std::round(skip_fraction * 3.0 * h));
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(3.0 * h);
+    k.syncsPerCta = 2;
+
+    if (hw_compacted) {
+        // CRM-compacted grid: skipped rows vanish from both the issue
+        // stage and the memory stream.
+        k.dramReadBytes = dram_bytes_weights * keep + h * kFloat;
+        k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
+        k.divergenceFactor = 1.0;
+    } else {
+        // Software path: divergent warps, and skipped rows' bytes mostly
+        // still cross the bus (transaction granularity).
+        const double saving = swSkipCoalescedSaving() * skip_fraction;
+        k.dramReadBytes =
+            dram_bytes_weights * (1.0 - saving) + h * kFloat;
+        k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
+        k.divergenceFactor = 1.0 + 1.2 * skip_fraction;
+    }
+    k.dramWriteBytes = 3.0 * h * kFloat;
+    k.l2AccessBytes = 3.0 * h * h * kFloat * (hw_compacted ? keep : 1.0) +
+                      4.0 * h * kFloat;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::relevanceKernel(const LstmLayerShape &shape) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double n = static_cast<double>(shape.length);
+
+    gpu::KernelDesc k;
+    k.name = "relevance+predict";
+    k.klass = gpu::KernelClass::Relevance;
+    // Algorithm 2 per cell: a handful of ops per hidden element using
+    // the precomputed row sums D and the Sgemm outputs X'.
+    k.flops = 30.0 * h * n;
+    k.dramReadBytes = 0.5 * n * 4.0 * h * kFloat;
+    k.dramWriteBytes = n * kFloat;
+    k.l2AccessBytes = n * 4.0 * h * kFloat + 4.0 * h * kFloat;
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(n * h / 32.0);
+    k.syncsPerCta = 1;
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::tissueGather(const LstmLayerShape &shape,
+                       std::size_t tissue_size) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double tk = static_cast<double>(tissue_size);
+
+    gpu::KernelDesc k;
+    k.name = "gather(H_t, C_t)";
+    k.klass = gpu::KernelClass::Other;
+    k.flops = 0.0;
+    k.l2AccessBytes = 4.0 * tk * h * kFloat;  // h and c, read + write
+    k.dramReadBytes = 0.0;
+    k.dramWriteBytes = 0.0;
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(tk * h);
+    return k;
+}
+
+gpu::KernelDesc
+Lowering::prunedSgemv(const LstmLayerShape &shape,
+                      double dram_bytes_weights,
+                      double prune_fraction) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double keep = 1.0 - prune_fraction;
+    const double macs = 4.0 * h * h;
+
+    gpu::KernelDesc k;
+    k.name = "SpMV(U_pruned, h)";
+    k.klass = gpu::KernelClass::Sgemv;
+    k.flops = 2.0 * macs * keep;
+    // @p dram_bytes_weights is the per-cell share of the *pruned,
+    // CSR-encoded* footprint's streaming traffic; the caller sizes it.
+    k.dramReadBytes = dram_bytes_weights + h * kFloat;
+    k.dramWriteBytes = 4.0 * h * kFloat;
+    k.l2AccessBytes = 4.0 * h * h * kFloat * keep * 1.5 +
+                      5.0 * h * kFloat;
+    k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
+    k.coalescingFactor = 1.55;
+    k.divergenceFactor = 1.6;
+    k.threadsPerCta = kCta;
+    k.ctas = ctasFor(4.0 * h);
+    k.syncsPerCta = 2;
+    return k;
+}
+
+void
+Lowering::lowerLayer(const LstmLayerShape &shape,
+                     const ExecutionPlan &plan, std::size_t layer_index,
+                     gpu::KernelTrace &out) const
+{
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double n = static_cast<double>(shape.length);
+    const double u_bytes = 4.0 * h * h * kFloat;
+
+    out.push_back(inputSgemm(shape));
+
+    // A layer the breakpoint search could not divide (all tissues of
+    // size 1) gains nothing from the tissue flow but would pay its
+    // per-tissue kernel overheads; fall back to the per-cell flow.
+    const bool inter = plan.usesInter() &&
+                       layer_index < plan.inter.size() &&
+                       !plan.inter[layer_index].tissueSizes.empty() &&
+                       plan.inter[layer_index].maxTissue() > 1;
+    const bool intra = plan.usesIntra() &&
+                       layer_index < plan.intra.size();
+    const double skip =
+        intra ? plan.intra[layer_index].skipFraction : 0.0;
+
+    if (plan.kind == PlanKind::ZeroPruning) {
+        // CSR storage: surviving values + 4 B column indices (1.5x the
+        // surviving value bytes).
+        const double pruned_footprint =
+            u_bytes * (1.0 - plan.pruneFraction) * 1.5;
+        const double traffic = layerWeightTraffic(pruned_footprint, n);
+        for (std::size_t t = 0; t < shape.length; ++t) {
+            out.push_back(
+                prunedSgemv(shape, traffic / n, plan.pruneFraction));
+            out.push_back(elementWise(shape, 1));
+        }
+        return;
+    }
+
+    if (inter) {
+        const LayerInterPlan &ip = plan.inter[layer_index];
+        if (ip.totalCells() != shape.length)
+            throw std::invalid_argument(
+                "lowerLayer: tissue sizes do not cover the layer");
+
+        out.push_back(relevanceKernel(shape));
+
+        const double tissues = static_cast<double>(ip.tissueSizes.size());
+        const double traffic = layerWeightTraffic(u_bytes, tissues);
+        for (std::size_t tissue : ip.tissueSizes) {
+            out.push_back(tissueGather(shape, tissue));
+            if (intra && skip > 0.0) {
+                // Combined flow: per-tissue U_o Sgemm, element-wise,
+                // DRS scan, then the row-skipped U_fic tissue Sgemm.
+                gpu::KernelDesc uo = tissueSgemm(shape, tissue, 0.0, 0.0);
+                uo.name = "Sgemm(U_o, H_t)";
+                uo.flops *= 0.25;
+                uo.dramReadBytes = traffic / tissues * 0.25;
+                uo.sharedBytes *= 0.25;
+                uo.l2AccessBytes *= 0.25;
+                uo.ctas = std::max(1u, uo.ctas / 4);
+                out.push_back(uo);
+                out.push_back(elementWise(shape, tissue));
+                out.push_back(drsScan(shape));
+
+                gpu::KernelDesc fic =
+                    tissueSgemm(shape, tissue, traffic / tissues * 0.75,
+                                skip);
+                fic.name = "Sgemm(U_fic, H_t, R)";
+                fic.flops *= 0.75;
+                fic.sharedBytes *= 0.75;
+                fic.l2AccessBytes *= 0.75;
+                out.push_back(fic);
+            } else {
+                out.push_back(
+                    tissueSgemm(shape, tissue, traffic / tissues, 0.0));
+            }
+            out.push_back(elementWise(shape, tissue));
+        }
+        return;
+    }
+
+    if (intra && skip > 0.0) {
+        // Algorithm 3, per cell.
+        const bool hw = plan.usesCrmHardware();
+        const double uo_traffic = layerWeightTraffic(u_bytes * 0.25, n);
+        const double fic_traffic = layerWeightTraffic(u_bytes * 0.75, n);
+        for (std::size_t t = 0; t < shape.length; ++t) {
+            out.push_back(outputGateSgemv(shape, uo_traffic / n));
+            out.push_back(elementWise(shape, 1));
+            out.push_back(drsScan(shape));
+            out.push_back(rowSkipSgemv(shape, fic_traffic / n, skip, hw));
+            out.push_back(elementWise(shape, 1));
+        }
+        return;
+    }
+
+    // Baseline: Algorithm 1.
+    const double traffic = layerWeightTraffic(u_bytes, n);
+    for (std::size_t t = 0; t < shape.length; ++t) {
+        out.push_back(cellSgemv(shape, traffic / n));
+        out.push_back(elementWise(shape, 1));
+    }
+}
+
+gpu::KernelTrace
+Lowering::lower(const NetworkShape &shape, const ExecutionPlan &plan) const
+{
+    gpu::KernelTrace trace;
+    for (std::size_t l = 0; l < shape.layers.size(); ++l)
+        lowerLayer(shape.layers[l], plan, l, trace);
+    return trace;
+}
+
+} // namespace runtime
+} // namespace mflstm

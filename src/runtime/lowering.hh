@@ -1,0 +1,137 @@
+/**
+ * @file
+ * LSTM-to-kernel lowering: turns a network shape plus an execution plan
+ * into the kernel trace the GPU simulator consumes. This captures the
+ * paper's three computation flows —
+ *
+ *   Algorithm 1 (baseline): Sgemm(W,x) per layer, Sgemv(U,h) + lstm_ew
+ *   per cell;
+ *
+ *   Section IV-D (inter-cell): breakpoint search + link prediction
+ *   kernels after the input Sgemm, then one batched Sgemm(U,H_t) +
+ *   lstm_ew per tissue;
+ *
+ *   Algorithm 3 (intra-cell DRS): split Sgemv(U_o) -> lstm_ew(o_t) ->
+ *   DRS scan -> row-skipped Sgemv(U_fic,h,R) -> lstm_ew per cell;
+ *
+ * plus the zero-pruning comparator of Section VI-B2.
+ *
+ * Traffic calibration (see DESIGN.md §5): Sgemv stages the input vector
+ * in shared memory (4 B/MAC of on-chip traffic) and streams weights from
+ * DRAM through the L2; Sgemm stages both operand tiles in shared memory
+ * (~8 B/MAC; small hidden sizes double-buffer better and pay ~6.6 B/MAC,
+ * which is what makes the BABI/MR maximum tissue size land at 6 instead
+ * of 5). Cross-kernel weight reuse follows the streaming L2 model in
+ * gpu/cache.hh.
+ */
+
+#ifndef MFLSTM_RUNTIME_LOWERING_HH
+#define MFLSTM_RUNTIME_LOWERING_HH
+
+#include "gpu/config.hh"
+#include "gpu/kernel.hh"
+#include "runtime/plan.hh"
+
+namespace mflstm {
+namespace runtime {
+
+/**
+ * Shared-memory bytes per MAC for an Sgemm with @p cols output columns.
+ * Wide GEMMs (the per-layer input projection) register-block 8x8 tiles
+ * and touch shared memory rarely; the narrow per-tissue GEMM (cols =
+ * tissue size <= MTS) cannot block along columns and re-reads both
+ * operands from shared memory almost per MAC.
+ */
+double sgemmSharedBytesPerMac(std::size_t hidden_size, std::size_t cols);
+
+/** Shared-memory bytes per MAC for an Sgemv (input staged on chip). */
+double sgemvSharedBytesPerMac();
+
+/**
+ * Fraction of a skipped row's DRAM bytes that software row-skip fails to
+ * save: with one thread per row, a warp's surviving lanes still touch
+ * the memory transactions that cover its skipped neighbours, so only a
+ * small fraction of the skipped bytes disappears from the bus.
+ */
+double swSkipCoalescedSaving();
+
+/** Lowers network shapes + plans into kernel traces for one GPU. */
+class Lowering
+{
+  public:
+    explicit Lowering(const gpu::GpuConfig &cfg) : cfg_(cfg) {}
+
+    /** Lower one layer; appends kernels to @p out. */
+    void lowerLayer(const LstmLayerShape &shape,
+                    const ExecutionPlan &plan, std::size_t layer_index,
+                    gpu::KernelTrace &out) const;
+
+    /** Lower the whole network. */
+    gpu::KernelTrace lower(const NetworkShape &shape,
+                           const ExecutionPlan &plan) const;
+
+    // --- Individual kernel builders (exposed for tests/benches) --------
+
+    /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
+    gpu::KernelDesc inputSgemm(const LstmLayerShape &shape) const;
+
+    /**
+     * Baseline per-cell Sgemv(U_{f,i,c,o}, h_{t-1}).
+     * @param dram_bytes_weights  this cell's share of the layer's
+     *        weight-streaming DRAM traffic (cache model applied at layer
+     *        granularity).
+     */
+    gpu::KernelDesc cellSgemv(const LstmLayerShape &shape,
+                              double dram_bytes_weights) const;
+
+    /** Per-tissue Sgemm(U_{f,i,c,o}, H_t) over @p tissue_size cells. */
+    gpu::KernelDesc tissueSgemm(const LstmLayerShape &shape,
+                                std::size_t tissue_size,
+                                double dram_bytes_weights,
+                                double skip_fraction) const;
+
+    /** Element-wise kernel over @p cells cells' gate vectors. */
+    gpu::KernelDesc elementWise(const LstmLayerShape &shape,
+                                std::size_t cells) const;
+
+    /** DRS split kernel 1: Sgemv(U_o, h_{t-1}). */
+    gpu::KernelDesc outputGateSgemv(const LstmLayerShape &shape,
+                                    double dram_bytes_weights) const;
+
+    /** DRS threshold/scan kernel (Algorithm 3 line 6). */
+    gpu::KernelDesc drsScan(const LstmLayerShape &shape) const;
+
+    /**
+     * DRS split kernel 2: Sgemv(U_{f,i,c}, h, R) with @p skip_fraction of
+     * rows disabled. @p hw_compacted selects the CRM dataflow (full
+     * bandwidth saving) vs the divergent software path.
+     */
+    gpu::KernelDesc rowSkipSgemv(const LstmLayerShape &shape,
+                                 double dram_bytes_weights,
+                                 double skip_fraction,
+                                 bool hw_compacted) const;
+
+    /** Inter-cell breakpoint search + link prediction (runtime ops). */
+    gpu::KernelDesc relevanceKernel(const LstmLayerShape &shape) const;
+
+    /** Gathers h/c vectors of a tissue into the batched H_t/C_t. */
+    gpu::KernelDesc tissueGather(const LstmLayerShape &shape,
+                                 std::size_t tissue_size) const;
+
+    /** Sparse (zero-pruned) per-cell Sgemv of the comparator scheme. */
+    gpu::KernelDesc prunedSgemv(const LstmLayerShape &shape,
+                                double dram_bytes_weights,
+                                double prune_fraction) const;
+
+    /** Per-layer weight-streaming DRAM traffic (cache model). */
+    double layerWeightTraffic(double footprint_bytes,
+                              double sweeps) const;
+
+  private:
+    const gpu::GpuConfig &cfg_;
+};
+
+} // namespace runtime
+} // namespace mflstm
+
+#endif // MFLSTM_RUNTIME_LOWERING_HH

@@ -1,0 +1,62 @@
+#include "runtime/plan.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mflstm {
+namespace runtime {
+
+const char *
+toString(PlanKind kind)
+{
+    switch (kind) {
+      case PlanKind::Baseline:
+        return "baseline";
+      case PlanKind::InterCell:
+        return "inter-cell";
+      case PlanKind::IntraCellSw:
+        return "intra-cell-sw";
+      case PlanKind::IntraCellHw:
+        return "intra-cell-hw";
+      case PlanKind::Combined:
+        return "combined";
+      case PlanKind::ZeroPruning:
+        return "zero-pruning";
+    }
+    return "unknown";
+}
+
+NetworkShape
+NetworkShape::stacked(std::size_t embed_size, std::size_t hidden_size,
+                      std::size_t num_layers, std::size_t length)
+{
+    if (!embed_size || !hidden_size || !num_layers || !length)
+        throw std::invalid_argument("NetworkShape: zero dimension");
+
+    NetworkShape shape;
+    shape.layers.reserve(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l) {
+        shape.layers.push_back({l == 0 ? embed_size : hidden_size,
+                                hidden_size, length});
+    }
+    return shape;
+}
+
+std::size_t
+LayerInterPlan::totalCells() const
+{
+    return std::accumulate(tissueSizes.begin(), tissueSizes.end(),
+                           std::size_t{0});
+}
+
+std::size_t
+LayerInterPlan::maxTissue() const
+{
+    return tissueSizes.empty()
+               ? 0
+               : *std::max_element(tissueSizes.begin(), tissueSizes.end());
+}
+
+} // namespace runtime
+} // namespace mflstm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Execution plans: which dataflow the runtime lowers an LSTM network
+ * onto. A plan is pure schedule/approximation metadata — the decisions
+ * themselves (where to break context links, how many rows to skip) are
+ * produced by the optimisation passes in src/core and recorded here.
+ */
+
+#ifndef MFLSTM_RUNTIME_PLAN_HH
+#define MFLSTM_RUNTIME_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mflstm {
+namespace runtime {
+
+/** The execution schemes compared in the paper's evaluation. */
+enum class PlanKind {
+    Baseline,     ///< Algorithm 1: per-cell Sgemv (state of the art)
+    InterCell,    ///< Section IV: layer division + tissue Sgemm
+    IntraCellSw,  ///< Section V DRS, pure software (divergent)
+    IntraCellHw,  ///< Section V DRS with the CRM hardware
+    Combined,     ///< inter + intra(HW) together
+    ZeroPruning,  ///< element-level magnitude pruning comparator [31]
+};
+
+const char *toString(PlanKind kind);
+
+/** Static shape of one LSTM layer on the device. */
+struct LstmLayerShape
+{
+    std::size_t inputSize = 0;   ///< E for layer 0, H above
+    std::size_t hiddenSize = 0;  ///< H
+    std::size_t length = 0;      ///< cells per layer (timesteps)
+};
+
+/** Shape of a whole stacked-LSTM network (Table II row). */
+struct NetworkShape
+{
+    std::vector<LstmLayerShape> layers;
+
+    /** Standard stack: embed-size input, uniform hidden size. */
+    static NetworkShape stacked(std::size_t embed_size,
+                                std::size_t hidden_size,
+                                std::size_t num_layers,
+                                std::size_t length);
+};
+
+/** Inter-cell decisions for one layer: the aligned tissue schedule. */
+struct LayerInterPlan
+{
+    /**
+     * Tissue sizes in execution order; sums to the layer length. A
+     * baseline layer is equivalent to all-ones. Produced by breakpoint
+     * search + tissue formation + alignment (src/core/tissue).
+     */
+    std::vector<std::size_t> tissueSizes;
+
+    std::size_t totalCells() const;
+    std::size_t maxTissue() const;
+};
+
+/** Intra-cell decisions for one layer. */
+struct LayerIntraPlan
+{
+    /**
+     * Mean fraction of U_{f,i,c} rows skipped per cell (from the
+     * functional DRS pass over the model, src/core/drs).
+     */
+    double skipFraction = 0.0;
+};
+
+/** A full execution plan for one network. */
+struct ExecutionPlan
+{
+    PlanKind kind = PlanKind::Baseline;
+    /// one entry per layer when inter-cell optimisation is active
+    std::vector<LayerInterPlan> inter;
+    /// one entry per layer when DRS is active
+    std::vector<LayerIntraPlan> intra;
+    /// element fraction pruned by the zero-pruning comparator
+    double pruneFraction = 0.0;
+
+    bool usesInter() const
+    {
+        return kind == PlanKind::InterCell || kind == PlanKind::Combined;
+    }
+    bool usesIntra() const
+    {
+        return kind == PlanKind::IntraCellSw ||
+               kind == PlanKind::IntraCellHw ||
+               kind == PlanKind::Combined;
+    }
+    /** Lowering emits HW-compacted row-skip kernels (CRM available). */
+    bool usesCrmHardware() const
+    {
+        return kind == PlanKind::IntraCellHw ||
+               kind == PlanKind::Combined;
+    }
+};
+
+} // namespace runtime
+} // namespace mflstm
+
+#endif // MFLSTM_RUNTIME_PLAN_HH

@@ -1,0 +1,89 @@
+#include "runtime/pruning.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace mflstm {
+namespace runtime {
+
+double
+magnitudeThreshold(const tensor::Matrix &m, double target_fraction)
+{
+    if (target_fraction < 0.0 || target_fraction > 1.0)
+        throw std::invalid_argument("magnitudeThreshold: bad fraction");
+    if (m.empty() || target_fraction == 0.0)
+        return 0.0;
+
+    std::vector<float> mags(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i)
+        mags[i] = std::fabs(m.data()[i]);
+
+    const auto k = static_cast<std::size_t>(
+        target_fraction * static_cast<double>(mags.size()));
+    if (k == 0)
+        return 0.0;
+    const std::size_t idx = std::min(k, mags.size() - 1);
+    std::nth_element(mags.begin(), mags.begin() + idx, mags.end());
+    return mags[idx];
+}
+
+double
+pruneBelow(tensor::Matrix &m, double threshold)
+{
+    if (m.empty())
+        return 0.0;
+    std::size_t pruned = 0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+        if (std::fabs(m.data()[i]) < threshold) {
+            m.data()[i] = 0.0f;
+            ++pruned;
+        }
+    }
+    return static_cast<double>(pruned) / static_cast<double>(m.size());
+}
+
+PruningResult
+applyZeroPruning(nn::LstmModel &model, double target_fraction)
+{
+    // Pool all recurrent magnitudes for a single global threshold, as
+    // deep-compression-style pruning does.
+    std::vector<float> mags;
+    for (const nn::LstmLayerParams &p : model.layers()) {
+        for (const tensor::Matrix *u : {&p.uf, &p.ui, &p.uc, &p.uo}) {
+            for (std::size_t i = 0; i < u->size(); ++i)
+                mags.push_back(std::fabs(u->data()[i]));
+        }
+    }
+    if (mags.empty())
+        return {};
+
+    const auto k = static_cast<std::size_t>(
+        target_fraction * static_cast<double>(mags.size()));
+    PruningResult res;
+    if (k > 0) {
+        const std::size_t idx = std::min(k, mags.size() - 1);
+        std::nth_element(mags.begin(), mags.begin() + idx, mags.end());
+        res.threshold = mags[idx];
+    }
+
+    std::size_t pruned = 0;
+    std::size_t total = 0;
+    for (nn::LstmLayerParams &p : model.layers()) {
+        for (tensor::Matrix *u : {&p.uf, &p.ui, &p.uc, &p.uo}) {
+            total += u->size();
+            pruned += static_cast<std::size_t>(
+                pruneBelow(*u, res.threshold) *
+                static_cast<double>(u->size()) + 0.5);
+        }
+    }
+    res.prunedFraction =
+        total ? static_cast<double>(pruned) / static_cast<double>(total)
+              : 0.0;
+    res.compressionRatio = res.prunedFraction;
+    return res;
+}
+
+} // namespace runtime
+} // namespace mflstm

@@ -1,0 +1,78 @@
+#include "tensor/activations.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mflstm {
+namespace tensor {
+
+float
+sigmoid(float x)
+{
+    return 1.0f / (1.0f + std::exp(-x));
+}
+
+float
+hardSigmoid(float x)
+{
+    return std::clamp(0.25f * x + 0.5f, 0.0f, 1.0f);
+}
+
+float
+tanhAct(float x)
+{
+    return std::tanh(x);
+}
+
+float
+sigmoidGradFromOutput(float s)
+{
+    return s * (1.0f - s);
+}
+
+float
+tanhGradFromOutput(float t)
+{
+    return 1.0f - t * t;
+}
+
+void
+sigmoidInplace(std::span<float> x)
+{
+    for (float &v : x)
+        v = sigmoid(v);
+}
+
+void
+hardSigmoidInplace(std::span<float> x)
+{
+    for (float &v : x)
+        v = hardSigmoid(v);
+}
+
+void
+tanhInplace(std::span<float> x)
+{
+    for (float &v : x)
+        v = std::tanh(v);
+}
+
+bool
+intervalInsensitive(float lo, float hi)
+{
+    assert(lo <= hi);
+    return hi <= -kSensitiveBound || lo >= kSensitiveBound;
+}
+
+float
+sensitiveOverlap(float lo, float hi)
+{
+    assert(lo <= hi);
+    const float a = std::max(lo, -kSensitiveBound);
+    const float b = std::min(hi, kSensitiveBound);
+    return std::max(0.0f, b - a);
+}
+
+} // namespace tensor
+} // namespace mflstm

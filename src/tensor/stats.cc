@@ -1,0 +1,111 @@
+#include "tensor/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace mflstm {
+namespace tensor {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    if (count_ == 1) {
+        mean_ = min_ = max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        throw std::invalid_argument("Histogram: bad range or bin count");
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++samples_;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    assert(i < counts_.size());
+    return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double
+Histogram::probability(std::size_t i) const
+{
+    assert(i < counts_.size());
+    if (samples_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_[i]) /
+           static_cast<double>(samples_);
+}
+
+double
+Histogram::expectation() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        acc += binCenter(i) * probability(i);
+    return acc;
+}
+
+VectorDistribution::VectorDistribution(std::size_t dim, double lo,
+                                       double hi, std::size_t bins)
+{
+    elements_.reserve(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        elements_.emplace_back(lo, hi, bins);
+}
+
+void
+VectorDistribution::observe(const Vector &v)
+{
+    if (v.size() != elements_.size())
+        throw std::invalid_argument("VectorDistribution: dim mismatch");
+    for (std::size_t i = 0; i < v.size(); ++i)
+        elements_[i].add(v[i]);
+    ++samples_;
+}
+
+Vector
+VectorDistribution::expectation() const
+{
+    Vector out(elements_.size());
+    for (std::size_t i = 0; i < elements_.size(); ++i)
+        out[i] = static_cast<float>(elements_[i].expectation());
+    return out;
+}
+
+} // namespace tensor
+} // namespace mflstm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Streaming statistics. The context-link predictor (Section IV-B,
+ * "Accuracy Recovery") collects the value distribution of every element of
+ * h_t over an offline run and predicts lost links with the per-element
+ * expectation (Eq. 6); Histogram and VectorDistribution implement exactly
+ * that. RunningStat is the general mean/variance accumulator used by the
+ * instrumentation across the repo.
+ */
+
+#ifndef MFLSTM_TENSOR_STATS_HH
+#define MFLSTM_TENSOR_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace mflstm {
+namespace tensor {
+
+/** Welford-style streaming mean / variance / extrema accumulator. */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-range histogram over [lo, hi] with uniform bins; out-of-range
+ * samples clamp to the edge bins so the probability mass always sums to 1.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t samples() const { return samples_; }
+    std::size_t bins() const { return counts_.size(); }
+    double binCenter(std::size_t i) const;
+
+    /** Empirical probability of bin i (rho_ij in Eq. 6). */
+    double probability(std::size_t i) const;
+
+    /**
+     * Expectation under the empirical distribution:
+     * sum_i binCenter(i) * probability(i) — Eq. 6 for one element.
+     */
+    double expectation() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::size_t samples_ = 0;
+    std::vector<std::size_t> counts_;
+};
+
+/**
+ * Distribution of each element of a fixed-size vector observed many
+ * times. observe() ingests one context-link vector; expectation() returns
+ * the predicted context link of Eq. 6.
+ */
+class VectorDistribution
+{
+  public:
+    /**
+     * @param dim   vector dimensionality (the hidden size).
+     * @param lo/hi histogram range; context links h_t live in [-1, 1].
+     * @param bins  histogram resolution per element.
+     */
+    VectorDistribution(std::size_t dim, double lo, double hi,
+                       std::size_t bins);
+
+    void observe(const Vector &v);
+
+    std::size_t dim() const { return elements_.size(); }
+    std::size_t samples() const { return samples_; }
+
+    const Histogram &element(std::size_t i) const { return elements_[i]; }
+
+    /** Per-element expectation vector (the predicted link). */
+    Vector expectation() const;
+
+  private:
+    std::size_t samples_ = 0;
+    std::vector<Histogram> elements_;
+};
+
+} // namespace tensor
+} // namespace mflstm
+
+#endif // MFLSTM_TENSOR_STATS_HH

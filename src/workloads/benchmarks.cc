@@ -1,0 +1,137 @@
+#include "workloads/benchmarks.hh"
+
+#include <stdexcept>
+
+namespace mflstm {
+namespace workloads {
+
+runtime::NetworkShape
+BenchmarkSpec::timingShape() const
+{
+    // The paper's models embed into the hidden dimension; layer 0's
+    // input size therefore equals the hidden size.
+    return runtime::NetworkShape::stacked(hiddenSize, hiddenSize,
+                                          numLayers, length);
+}
+
+nn::ModelConfig
+BenchmarkSpec::accuracyModelConfig() const
+{
+    nn::ModelConfig cfg;
+    cfg.task = isLanguageModel() ? nn::TaskKind::LanguageModel
+                                 : nn::TaskKind::Classification;
+    cfg.vocab = vocab;
+    cfg.embedSize = modelHidden;
+    cfg.hiddenSize = modelHidden;
+    cfg.numLayers = numLayers;  // per-layer stats must map 1:1
+    cfg.numClasses = numClasses;
+    return cfg;
+}
+
+const std::vector<BenchmarkSpec> &
+tableII()
+{
+    static const std::vector<BenchmarkSpec> specs = [] {
+        std::vector<BenchmarkSpec> v;
+
+        BenchmarkSpec imdb;
+        imdb.name = "IMDB";
+        imdb.abbrev = "SC";
+        imdb.family = TaskFamily::Sentiment;
+        imdb.hiddenSize = 512;
+        imdb.numLayers = 3;
+        imdb.length = 80;
+        imdb.modelHidden = 48;
+        imdb.modelLength = 24;
+        imdb.vocab = 48;
+        imdb.numClasses = 2;
+        imdb.seed = 101;
+        v.push_back(imdb);
+
+        BenchmarkSpec mr;
+        mr.name = "MR";
+        mr.abbrev = "SC";
+        mr.family = TaskFamily::Sentiment;
+        mr.hiddenSize = 256;
+        mr.numLayers = 1;
+        mr.length = 22;
+        mr.modelHidden = 40;
+        mr.modelLength = 16;
+        mr.vocab = 40;
+        mr.numClasses = 2;
+        mr.seed = 102;
+        v.push_back(mr);
+
+        BenchmarkSpec babi;
+        babi.name = "BABI";
+        babi.abbrev = "QA";
+        babi.family = TaskFamily::Qa;
+        babi.hiddenSize = 256;
+        babi.numLayers = 3;
+        babi.length = 86;
+        babi.modelHidden = 48;
+        babi.modelLength = 26;
+        babi.vocab = 56;
+        babi.numClasses = 4;
+        babi.seed = 103;
+        v.push_back(babi);
+
+        BenchmarkSpec snli;
+        snli.name = "SNLI";
+        snli.abbrev = "ET";
+        snli.family = TaskFamily::Entailment;
+        snli.hiddenSize = 300;
+        snli.numLayers = 2;
+        snli.length = 100;
+        snli.modelHidden = 48;
+        snli.modelLength = 24;
+        snli.vocab = 48;
+        snli.numClasses = 3;
+        snli.seed = 104;
+        v.push_back(snli);
+
+        BenchmarkSpec ptb;
+        ptb.name = "PTB";
+        ptb.abbrev = "LM";
+        ptb.family = TaskFamily::LanguageModel;
+        ptb.hiddenSize = 650;
+        ptb.numLayers = 3;
+        ptb.length = 200;
+        ptb.modelHidden = 56;
+        ptb.modelLength = 32;
+        ptb.vocab = 40;
+        ptb.numClasses = 0;
+        ptb.seed = 105;
+        v.push_back(ptb);
+
+        BenchmarkSpec mt;
+        mt.name = "MT";
+        mt.abbrev = "MT";
+        mt.family = TaskFamily::Translation;
+        mt.hiddenSize = 500;
+        mt.numLayers = 4;
+        mt.length = 50;
+        mt.modelHidden = 48;
+        mt.modelLength = 24;
+        mt.vocab = 36;
+        mt.numClasses = 0;
+        mt.seed = 106;
+        v.push_back(mt);
+
+        return v;
+    }();
+    return specs;
+}
+
+const BenchmarkSpec &
+benchmarkByName(const std::string &name)
+{
+    for (const BenchmarkSpec &spec : tableII()) {
+        if (spec.name == name)
+            return spec;
+    }
+    throw std::out_of_range("benchmarkByName: unknown benchmark " + name);
+}
+
+} // namespace workloads
+} // namespace mflstm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The Table II benchmark registry: the six NLP applications the paper
+ * evaluates, with their full-size LSTM configurations (hidden size,
+ * layer count, sequence length) used for the timing simulation, plus the
+ * scaled-down accuracy-model configuration this reproduction trains on
+ * synthetic tasks (DESIGN.md §2 — mirroring the paper's own split of
+ * PyTorch-for-accuracy vs board-for-performance).
+ */
+
+#ifndef MFLSTM_WORKLOADS_BENCHMARKS_HH
+#define MFLSTM_WORKLOADS_BENCHMARKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hh"
+#include "runtime/plan.hh"
+
+namespace mflstm {
+namespace workloads {
+
+/** The synthetic task family standing in for each dataset. */
+enum class TaskFamily {
+    Sentiment,    ///< SC: signed-token counting (IMDB, MR)
+    Qa,           ///< QA: early fact, late query (BABI)
+    Entailment,   ///< ET: two-segment agreement (SNLI)
+    LanguageModel,///< LM: structured Markov corpus (PTB)
+    Translation,  ///< MT: source half -> mapped target half (MT)
+};
+
+/** One Table II row plus reproduction-side metadata. */
+struct BenchmarkSpec
+{
+    std::string name;        ///< "IMDB", "MR", ...
+    std::string abbrev;      ///< "SC", "QA", ...
+    TaskFamily family = TaskFamily::Sentiment;
+
+    // --- Full-size (timing) configuration: Table II -------------------
+    std::size_t hiddenSize = 0;
+    std::size_t numLayers = 0;
+    std::size_t length = 0;   ///< cells per LSTM layer
+
+    // --- Scaled accuracy-model configuration ---------------------------
+    std::size_t modelHidden = 64;
+    std::size_t modelLength = 24;
+    std::size_t vocab = 64;
+    std::size_t numClasses = 2;
+    std::uint64_t seed = 1;
+
+    /** Full-size network shape for the timing simulator. */
+    runtime::NetworkShape timingShape() const;
+
+    /** Configuration of the trainable accuracy model. */
+    nn::ModelConfig accuracyModelConfig() const;
+
+    bool isLanguageModel() const
+    {
+        return family == TaskFamily::LanguageModel ||
+               family == TaskFamily::Translation;
+    }
+};
+
+/** All six Table II applications, in the paper's order. */
+const std::vector<BenchmarkSpec> &tableII();
+
+/** Look up a benchmark by name; throws std::out_of_range if missing. */
+const BenchmarkSpec &benchmarkByName(const std::string &name);
+
+} // namespace workloads
+} // namespace mflstm
+
+#endif // MFLSTM_WORKLOADS_BENCHMARKS_HH

@@ -1,0 +1,367 @@
+#include "workloads/datagen.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/train.hh"
+#include "tensor/rng.hh"
+
+namespace mflstm {
+namespace workloads {
+
+namespace {
+
+using tensor::Rng;
+
+std::vector<std::int32_t>
+randomTokens(Rng &rng, std::size_t n, std::int32_t lo, std::int32_t hi)
+{
+    std::vector<std::int32_t> toks(n);
+    for (auto &t : toks)
+        t = static_cast<std::int32_t>(rng.integer(lo, hi));
+    return toks;
+}
+
+} // anonymous namespace
+
+std::vector<std::vector<std::int32_t>>
+TaskData::calibrationSequences(std::size_t limit) const
+{
+    std::vector<std::vector<std::int32_t>> seqs;
+    if (isLm) {
+        for (const auto &s : lm.train) {
+            if (seqs.size() == limit)
+                break;
+            seqs.push_back(s);
+        }
+    } else {
+        for (const nn::Sample &s : cls.train) {
+            if (seqs.size() == limit)
+                break;
+            seqs.push_back(s.tokens);
+        }
+    }
+    return seqs;
+}
+
+ClassificationData
+makeSentimentTask(std::size_t vocab, std::size_t length,
+                  std::size_t n_train, std::size_t n_test,
+                  std::uint64_t seed)
+{
+    if (vocab < 12)
+        throw std::invalid_argument("makeSentimentTask: vocab too small");
+
+    Rng rng(seed);
+    const auto v = static_cast<std::int32_t>(vocab);
+    const std::int32_t reset_tok = v - 1;           // discourse boundary
+    const std::int32_t pos_hi = v / 4 - 1;          // [0, v/4)
+    const std::int32_t neg_lo = v / 4;              // [v/4, v/2)
+    const std::int32_t neg_hi = v / 2 - 1;
+
+    // Episodic reviews: "however"-style discourse boundaries split the
+    // text into segments. The verdict weighs the *final* segment twice
+    // as heavily as the rest of the review — mostly-local structure
+    // (weak links at boundaries, Section IV-A) with a genuine global
+    // component that link-breaking can lose.
+    auto make = [&](std::size_t n) {
+        std::vector<nn::Sample> out;
+        out.reserve(n);
+        while (out.size() < n) {
+            const bool want_positive = rng.chance(0.5);
+            nn::Sample s;
+            int seg = 0;     // final-segment running sentiment
+            int global = 0;  // whole-review sentiment
+            for (std::size_t t = 0; t < length; ++t) {
+                const bool last_slot = t + 1 == length;
+                if (!last_slot && t > 0 && rng.chance(0.14)) {
+                    s.tokens.push_back(reset_tok);
+                    seg = 0;  // a new segment starts fresh
+                    continue;
+                }
+                const double r = rng.uniform(0.0f, 1.0f);
+                const double p_pos = want_positive ? 0.40 : 0.20;
+                const double p_neg = want_positive ? 0.20 : 0.40;
+                if (r < p_pos) {
+                    s.tokens.push_back(static_cast<std::int32_t>(
+                        rng.integer(0, pos_hi)));
+                    ++seg;
+                    ++global;
+                } else if (r < p_pos + p_neg) {
+                    s.tokens.push_back(static_cast<std::int32_t>(
+                        rng.integer(neg_lo, neg_hi)));
+                    --seg;
+                    --global;
+                } else {
+                    s.tokens.push_back(static_cast<std::int32_t>(
+                        rng.integer(v / 2, v - 2)));
+                }
+            }
+            const int score = 2 * seg + global;
+            if (score == 0)
+                continue;  // ambiguous review; redraw
+            s.label = score > 0 ? 1 : 0;
+            out.push_back(std::move(s));
+        }
+        return out;
+    };
+
+    return {make(n_train), make(n_test)};
+}
+
+ClassificationData
+makeQaTask(std::size_t vocab, std::size_t num_classes, std::size_t length,
+           std::size_t n_train, std::size_t n_test, std::uint64_t seed)
+{
+    const auto classes = static_cast<std::int32_t>(num_classes);
+    if (vocab < num_classes + 6 || length < 12)
+        throw std::invalid_argument("makeQaTask: config too small");
+
+    Rng rng(seed);
+    const auto v = static_cast<std::int32_t>(vocab);
+    const std::int32_t key_tok = classes;        // "the fact is about X"
+    const std::int32_t query_tok = classes + 1;  // "what was X?"
+    const std::int32_t noise_lo = classes + 2;
+
+    // BABI-style story: several [key, value] facts appear over the
+    // story and *overwrite* each other; the query at the end asks for
+    // the latest value. A trained model resets its belief at each new
+    // fact, so the links into facts are weak.
+    auto make = [&](std::size_t n) {
+        std::vector<nn::Sample> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            nn::Sample s;
+            s.tokens = randomTokens(rng, length, noise_lo, v - 1);
+            const auto facts = static_cast<std::size_t>(
+                rng.integer(2, 3));
+            const std::size_t span = (length - 2) / facts;
+            std::int32_t answer = 0;
+            for (std::size_t f = 0; f < facts; ++f) {
+                const auto at = static_cast<std::size_t>(
+                    f * span +
+                    rng.integer(0, static_cast<std::int64_t>(span) - 2));
+                answer = static_cast<std::int32_t>(
+                    rng.integer(0, classes - 1));
+                s.tokens[at] = key_tok;
+                s.tokens[at + 1] = answer;  // value token == class id
+            }
+            s.tokens[length - 1] = query_tok;
+            s.label = answer;
+            out.push_back(std::move(s));
+        }
+        return out;
+    };
+
+    return {make(n_train), make(n_test)};
+}
+
+ClassificationData
+makeEntailmentTask(std::size_t vocab, std::size_t length,
+                   std::size_t n_train, std::size_t n_test,
+                   std::uint64_t seed)
+{
+    if (vocab < 20 || length < 8)
+        throw std::invalid_argument("makeEntailmentTask: config too small");
+
+    Rng rng(seed);
+    const auto v = static_cast<std::int32_t>(vocab);
+    // Four topic groups in [1, v); opposite(g) = g ^ 1.
+    const std::int32_t group_span = (v - 1) / 4;
+    const std::int32_t sep_tok = 0;
+
+    auto group_token = [&](std::int32_t g) {
+        return static_cast<std::int32_t>(
+            1 + g * group_span + rng.integer(0, group_span - 1));
+    };
+
+    auto make = [&](std::size_t n) {
+        std::vector<nn::Sample> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            nn::Sample s;
+            // 0 = entailment, 1 = contradiction, 2 = neutral.
+            s.label = static_cast<std::int32_t>(rng.integer(0, 2));
+            const auto ga = static_cast<std::int32_t>(rng.integer(0, 3));
+            std::int32_t gb;
+            if (s.label == 0) {
+                gb = ga;
+            } else if (s.label == 1) {
+                gb = ga ^ 1;
+            } else {
+                // Neutral: a group from the *other* pair, so it neither
+                // entails nor contradicts the premise.
+                const std::int32_t other_pair = ga < 2 ? 2 : 0;
+                gb = other_pair +
+                     static_cast<std::int32_t>(rng.integer(0, 1));
+            }
+
+            const std::size_t half = length / 2;
+            for (std::size_t t = 0; t + 1 < half; ++t)
+                s.tokens.push_back(group_token(ga));
+            s.tokens.push_back(sep_tok);
+            while (s.tokens.size() < length)
+                s.tokens.push_back(group_token(gb));
+            out.push_back(std::move(s));
+        }
+        return out;
+    };
+
+    return {make(n_train), make(n_test)};
+}
+
+LmData
+makeLanguageModelTask(std::size_t vocab, std::size_t length,
+                      std::size_t n_train, std::size_t n_test,
+                      std::uint64_t seed)
+{
+    if (vocab < 8)
+        throw std::invalid_argument("makeLanguageModelTask: vocab small");
+
+    Rng rng(seed);
+    const auto v = static_cast<std::int64_t>(vocab);
+
+    // Sparse *second-order* Markov chain with sentence boundaries:
+    // token 0 ends a "sentence" (p=.1), after which the next token is
+    // drawn fresh — history is irrelevant across the boundary, the
+    // natural weak-link structure of language-model corpora. Inside a
+    // sentence the successor depends on the last *two* tokens, so the
+    // recurrent state genuinely matters and broken links cost
+    // predictions.
+    auto step = [&](std::int64_t prev, std::int64_t cur) -> std::int64_t {
+        if (cur == 0)
+            return rng.integer(1, v - 1);  // fresh sentence start
+        const double r = rng.uniform(0.0f, 1.0f);
+        if (r < 0.10)
+            return 0;  // sentence boundary
+        if (r < 0.65)
+            return 1 + (3 * cur + prev) % (v - 1);
+        if (r < 0.88)
+            return 1 + (3 * cur + prev + 7) % (v - 1);
+        return rng.integer(1, v - 1);
+    };
+
+    auto make = [&](std::size_t n) {
+        std::vector<std::vector<std::int32_t>> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<std::int32_t> seq;
+            seq.reserve(length);
+            std::int64_t prev = 0;
+            std::int64_t cur = rng.integer(1, v - 1);
+            seq.push_back(static_cast<std::int32_t>(cur));
+            while (seq.size() < length) {
+                const std::int64_t next = step(prev, cur);
+                prev = cur;
+                cur = next;
+                seq.push_back(static_cast<std::int32_t>(cur));
+            }
+            out.push_back(std::move(seq));
+        }
+        return out;
+    };
+
+    return {make(n_train), make(n_test)};
+}
+
+LmData
+makeTranslationTask(std::size_t vocab, std::size_t length,
+                    std::size_t n_train, std::size_t n_test,
+                    std::uint64_t seed)
+{
+    if (vocab < 8 || length < 6)
+        throw std::invalid_argument("makeTranslationTask: config small");
+
+    Rng rng(seed);
+    const auto v = static_cast<std::int32_t>(vocab);
+    const std::int32_t sep_tok = 0;
+
+    // Fixed "dictionary": target token = mapped source token. Predicting
+    // the target half exactly requires remembering the source half.
+    std::vector<std::int32_t> mapping(vocab);
+    for (std::size_t i = 0; i < vocab; ++i)
+        mapping[i] = static_cast<std::int32_t>(
+            1 + (i * 7 + 3) % (vocab - 1));
+
+    auto make = [&](std::size_t n) {
+        std::vector<std::vector<std::int32_t>> out;
+        out.reserve(n);
+        const std::size_t half = (length - 1) / 2;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::vector<std::int32_t> seq;
+            seq.reserve(length);
+            const auto src = randomTokens(rng, half, 1, v - 1);
+            seq.insert(seq.end(), src.begin(), src.end());
+            seq.push_back(sep_tok);
+            for (std::int32_t tok : src)
+                seq.push_back(mapping[static_cast<std::size_t>(tok)]);
+            while (seq.size() < length)
+                seq.push_back(sep_tok);  // end-of-pair padding
+            out.push_back(std::move(seq));
+        }
+        return out;
+    };
+
+    return {make(n_train), make(n_test)};
+}
+
+TaskData
+makeTask(const BenchmarkSpec &spec, std::size_t n_train,
+         std::size_t n_test)
+{
+    TaskData data;
+    switch (spec.family) {
+      case TaskFamily::Sentiment:
+        data.cls = makeSentimentTask(spec.vocab, spec.modelLength,
+                                     n_train, n_test, spec.seed);
+        break;
+      case TaskFamily::Qa:
+        data.cls = makeQaTask(spec.vocab, spec.numClasses,
+                              spec.modelLength, n_train, n_test,
+                              spec.seed);
+        break;
+      case TaskFamily::Entailment:
+        data.cls = makeEntailmentTask(spec.vocab, spec.modelLength,
+                                      n_train, n_test, spec.seed);
+        break;
+      case TaskFamily::LanguageModel:
+        data.lm = makeLanguageModelTask(spec.vocab, spec.modelLength,
+                                        n_train, n_test, spec.seed);
+        data.isLm = true;
+        break;
+      case TaskFamily::Translation:
+        data.lm = makeTranslationTask(spec.vocab, spec.modelLength,
+                                      n_train, n_test, spec.seed);
+        data.isLm = true;
+        break;
+    }
+    return data;
+}
+
+nn::LstmModel
+trainAccuracyModel(const BenchmarkSpec &spec, const TaskData &data,
+                   std::size_t epochs)
+{
+    nn::LstmModel model(spec.accuracyModelConfig(), spec.seed);
+
+    nn::TrainConfig tc;
+    tc.lr = 2e-3;
+    tc.shuffleSeed = spec.seed + 7;
+    nn::Trainer trainer(model, tc);
+
+    if (data.isLm)
+        trainer.trainLanguageModel(data.lm.train, epochs);
+    else
+        trainer.trainClassification(data.cls.train, epochs);
+    return model;
+}
+
+double
+exactAccuracy(const nn::LstmModel &model, const TaskData &data)
+{
+    return data.isLm ? nn::lmNextTokenAccuracy(model, data.lm.test)
+                     : nn::classificationAccuracy(model, data.cls.test);
+}
+
+} // namespace workloads
+} // namespace mflstm

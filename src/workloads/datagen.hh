@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's six NLP
+ * corpora (Table II). Each generator produces a task whose solution
+ * genuinely requires the LSTM's context links — so the inter-cell
+ * approximation has a real accuracy cost to trade against — while
+ * remaining learnable by a small model in seconds:
+ *
+ *   Sentiment (IMDB/MR):  sign-count of "positive" vs "negative" tokens;
+ *   QA (BABI):            a key/value fact appears early, the query for
+ *                         the key arrives at the end;
+ *   Entailment (SNLI):    premise segment and hypothesis segment agree /
+ *                         contradict / are unrelated;
+ *   LM (PTB):             first-order Markov corpus with a sparse,
+ *                         structured transition graph;
+ *   MT (Tatoeba-like):    source half followed by its token-mapped
+ *                         translation (prediction of the target half
+ *                         requires carrying the source).
+ */
+
+#ifndef MFLSTM_WORKLOADS_DATAGEN_HH
+#define MFLSTM_WORKLOADS_DATAGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.hh"
+#include "workloads/benchmarks.hh"
+
+namespace mflstm {
+namespace workloads {
+
+/** Token sequences + labels for the classification families. */
+struct ClassificationData
+{
+    std::vector<nn::Sample> train;
+    std::vector<nn::Sample> test;
+};
+
+/** Token sequences for the LM families. */
+struct LmData
+{
+    std::vector<std::vector<std::int32_t>> train;
+    std::vector<std::vector<std::int32_t>> test;
+};
+
+/** Holder for either family (exactly one side is populated). */
+struct TaskData
+{
+    ClassificationData cls;
+    LmData lm;
+    bool isLm = false;
+
+    /** Token sequences usable for offline calibration (training side). */
+    std::vector<std::vector<std::int32_t>>
+    calibrationSequences(std::size_t limit) const;
+};
+
+ClassificationData
+makeSentimentTask(std::size_t vocab, std::size_t length,
+                  std::size_t n_train, std::size_t n_test,
+                  std::uint64_t seed);
+
+ClassificationData
+makeQaTask(std::size_t vocab, std::size_t num_classes, std::size_t length,
+           std::size_t n_train, std::size_t n_test, std::uint64_t seed);
+
+ClassificationData
+makeEntailmentTask(std::size_t vocab, std::size_t length,
+                   std::size_t n_train, std::size_t n_test,
+                   std::uint64_t seed);
+
+LmData
+makeLanguageModelTask(std::size_t vocab, std::size_t length,
+                      std::size_t n_train, std::size_t n_test,
+                      std::uint64_t seed);
+
+LmData
+makeTranslationTask(std::size_t vocab, std::size_t length,
+                    std::size_t n_train, std::size_t n_test,
+                    std::uint64_t seed);
+
+/** Generate the right family for a Table II benchmark. */
+TaskData makeTask(const BenchmarkSpec &spec, std::size_t n_train,
+                  std::size_t n_test);
+
+/**
+ * Train a fresh accuracy model for a benchmark on its synthetic task.
+ * @return the trained model; training is deterministic given the spec.
+ */
+nn::LstmModel trainAccuracyModel(const BenchmarkSpec &spec,
+                                 const TaskData &data,
+                                 std::size_t epochs = 20);
+
+/** Task-appropriate accuracy of an exact model on the test split. */
+double exactAccuracy(const nn::LstmModel &model, const TaskData &data);
+
+} // namespace workloads
+} // namespace mflstm
+
+#endif // MFLSTM_WORKLOADS_DATAGEN_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Integration tests for the MemoryFriendlyLstm facade on a small model:
+ * calibration, threshold evaluation, and the end-to-end consistency
+ * between the accuracy-side statistics and the timing-side plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::core;
+
+nn::ModelConfig
+modelConfig()
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 20;
+    cfg.embedSize = 8;
+    cfg.hiddenSize = 12;
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+std::vector<std::vector<std::int32_t>>
+seqs(std::size_t n, std::size_t len, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    std::vector<std::vector<std::int32_t>> out(n);
+    for (auto &s : out)
+        for (std::size_t t = 0; t < len; ++t)
+            s.push_back(static_cast<std::int32_t>(rng.integer(0, 19)));
+    return out;
+}
+
+class ApiTest : public ::testing::Test
+{
+  protected:
+    ApiTest()
+        : model(modelConfig(), 77),
+          mf(model, {gpu::GpuConfig::tegraX1(),
+                     runtime::NetworkShape::stacked(512, 512, 2, 40)})
+    {}
+
+    nn::LstmModel model;
+    MemoryFriendlyLstm mf;
+};
+
+TEST_F(ApiTest, ConstructionRunsBaseline)
+{
+    EXPECT_GT(mf.baseline().result.timeUs, 0.0);
+    EXPECT_EQ(mf.baseline().kind, runtime::PlanKind::Baseline);
+    // Section III: Sgemv dominates the baseline.
+    EXPECT_GT(mf.baseline().result.classShare(gpu::KernelClass::Sgemv),
+              0.9);
+}
+
+TEST_F(ApiTest, LayerCountMismatchRejected)
+{
+    EXPECT_THROW(
+        MemoryFriendlyLstm(model,
+                           {gpu::GpuConfig::tegraX1(),
+                            runtime::NetworkShape::stacked(64, 64, 3,
+                                                           10)}),
+        std::invalid_argument);
+}
+
+TEST_F(ApiTest, CalibrationRequiredBeforeUse)
+{
+    EXPECT_FALSE(mf.calibrated());
+    EXPECT_THROW(mf.calibration(), std::logic_error);
+    EXPECT_THROW(mf.evaluateTiming(runtime::PlanKind::InterCell),
+                 std::logic_error);
+
+    mf.calibrate(seqs(4, 8, 5));
+    EXPECT_TRUE(mf.calibrated());
+    EXPECT_GE(mf.calibration().mts, 1u);
+    EXPECT_FALSE(mf.calibration().profile.relevances.empty());
+}
+
+TEST_F(ApiTest, BaselineEvaluationIsIdentity)
+{
+    const TimingOutcome out =
+        mf.evaluateTiming(runtime::PlanKind::Baseline);
+    EXPECT_DOUBLE_EQ(out.speedup, 1.0);
+    EXPECT_DOUBLE_EQ(out.energySavingPct, 0.0);
+}
+
+TEST_F(ApiTest, ZeroPruningNeedsNoCalibration)
+{
+    const TimingOutcome out =
+        mf.evaluateTiming(runtime::PlanKind::ZeroPruning, 0.37);
+    EXPECT_LT(out.speedup, 1.0);  // Fig. 16: pruning degrades GPU perf
+    EXPECT_DOUBLE_EQ(out.plan.pruneFraction, 0.37);
+}
+
+TEST_F(ApiTest, IntraCellTimingImprovesWithSkips)
+{
+    mf.calibrate(seqs(4, 8, 5));
+    mf.runner().setThresholds(0.0, 0.4);
+    // Drive a few sequences through so stats carry a skip fraction.
+    for (const auto &s : seqs(5, 10, 6))
+        mf.runner().classify(s);
+
+    const double skip =
+        mf.runner().stats()[0].skipFraction(modelConfig().hiddenSize);
+    const TimingOutcome hw =
+        mf.evaluateTiming(runtime::PlanKind::IntraCellHw);
+    const TimingOutcome sw =
+        mf.evaluateTiming(runtime::PlanKind::IntraCellSw);
+
+    if (skip > 0.1) {
+        EXPECT_GT(hw.speedup, 1.1);
+        // Software row-skip barely helps (Fig. 16).
+        EXPECT_LT(sw.speedup, hw.speedup);
+        EXPECT_GT(sw.speedup, 0.9);
+    }
+    EXPECT_EQ(hw.plan.kind, runtime::PlanKind::IntraCellHw);
+    ASSERT_EQ(hw.plan.intra.size(), 2u);
+    EXPECT_NEAR(hw.plan.intra[0].skipFraction, skip, 1e-9);
+}
+
+TEST_F(ApiTest, InterCellTimingUsesAlignedTissues)
+{
+    mf.calibrate(seqs(4, 8, 5));
+    mf.runner().resetStats();
+    mf.runner().setThresholds(1e9, 0.0);  // break everything
+    for (const auto &s : seqs(3, 10, 7))
+        mf.runner().classify(s);
+
+    const TimingOutcome out =
+        mf.evaluateTiming(runtime::PlanKind::InterCell);
+    ASSERT_EQ(out.plan.inter.size(), 2u);
+    for (const auto &ip : out.plan.inter) {
+        EXPECT_EQ(ip.totalCells(), 40u);
+        EXPECT_LE(ip.maxTissue(), mf.calibration().mts);
+        EXPECT_EQ(ip.maxTissue(), mf.calibration().mts);
+    }
+    // Full division at H=512, n=40: big win.
+    EXPECT_GT(out.speedup, 2.0);
+    EXPECT_GT(out.energySavingPct, 10.0);
+}
+
+TEST_F(ApiTest, CombinedAtZeroThresholdsIsNearBaseline)
+{
+    mf.calibrate(seqs(4, 8, 5));
+    mf.runner().resetStats();
+    mf.runner().setThresholds(0.0, 0.0);
+    for (const auto &s : seqs(3, 10, 8))
+        mf.runner().classify(s);
+
+    const TimingOutcome out =
+        mf.evaluateTiming(runtime::PlanKind::Combined);
+    // No divisions, no skips: the plan degenerates to per-cell flow and
+    // only pays small bookkeeping overheads.
+    EXPECT_NEAR(out.speedup, 1.0, 0.05);
+}
+
+TEST_F(ApiTest, LadderEndsAtBaselineAndLimits)
+{
+    const auto &cal = mf.calibrate(seqs(6, 10, 9));
+    const auto ladder = cal.ladder();
+    ASSERT_EQ(ladder.size(), 11u);
+    EXPECT_DOUBLE_EQ(ladder[0].alphaInter, 0.0);
+    EXPECT_NEAR(ladder.back().alphaIntra, cal.limits.maxIntra, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the functional approximations: DRS cell semantics (both
+ * state policies), the link predictor, and the ApproxRunner — in
+ * particular that zero thresholds reproduce the exact model bit-for-bit
+ * and that the statistics it reports are consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/approx.hh"
+#include "core/predictor.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::core;
+
+nn::ModelConfig
+smallConfig(std::size_t layers = 2)
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 16;
+    cfg.embedSize = 6;
+    cfg.hiddenSize = 10;
+    cfg.numLayers = layers;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+std::vector<std::vector<std::int32_t>>
+someSequences(std::size_t n, std::size_t len, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    std::vector<std::vector<std::int32_t>> seqs(n);
+    for (auto &s : seqs)
+        for (std::size_t t = 0; t < len; ++t)
+            s.push_back(static_cast<std::int32_t>(rng.integer(0, 15)));
+    return seqs;
+}
+
+TEST(DrsCell, NoThresholdMatchesExactCell)
+{
+    nn::LstmLayerParams p(4, 6);
+    tensor::Rng rng(1);
+    p.init(rng);
+
+    Vector x_proj(24);
+    for (std::size_t j = 0; j < 24; ++j)
+        x_proj[j] = rng.uniform(-1.0f, 1.0f);
+    nn::LstmState prev(6);
+    prev.h[2] = 0.4f;
+    prev.c[3] = -0.7f;
+
+    std::size_t skipped = 123;
+    const auto drs = lstmCellForwardDrs(p, x_proj, prev, 0.0,
+                                        nn::SigmoidKind::Logistic,
+                                        &skipped);
+    const auto exact = nn::lstmCellForward(p, x_proj, prev);
+    EXPECT_EQ(skipped, 0u);
+    for (std::size_t j = 0; j < 6; ++j) {
+        EXPECT_NEAR(drs.h[j], exact.h[j], 1e-6f);
+        EXPECT_NEAR(drs.c[j], exact.c[j], 1e-6f);
+    }
+}
+
+TEST(DrsCell, ThresholdOneSkipsEverything)
+{
+    nn::LstmLayerParams p(4, 6);
+    tensor::Rng rng(2);
+    p.init(rng);
+    Vector x_proj(24, 0.2f);
+    nn::LstmState prev(6);
+    prev.h[0] = 0.5f;
+
+    std::size_t skipped = 0;
+    lstmCellForwardDrs(p, x_proj, prev, 0.999999,
+                       nn::SigmoidKind::Logistic, &skipped);
+    EXPECT_EQ(skipped, 6u);
+}
+
+TEST(DrsCell, ZeroStatePolicyNullsSkippedElements)
+{
+    nn::LstmLayerParams p(4, 6);
+    tensor::Rng rng(3);
+    p.init(rng);
+    Vector x_proj(24, 0.3f);
+    nn::LstmState prev(6);
+    prev.c[1] = 2.0f;
+
+    const auto out = lstmCellForwardDrs(p, x_proj, prev, 0.999999,
+                                        nn::SigmoidKind::Logistic,
+                                        nullptr,
+                                        DrsStatePolicy::ZeroState);
+    for (std::size_t j = 0; j < 6; ++j) {
+        EXPECT_FLOAT_EQ(out.c[j], 0.0f);
+        EXPECT_FLOAT_EQ(out.h[j], 0.0f);
+    }
+}
+
+TEST(DrsCell, DropRecurrentKeepsInputDrivenState)
+{
+    // Under the default policy a fully skipped cell still integrates
+    // the input projection: c_t = f(Wx+b) * c_prev + i*g.
+    nn::LstmLayerParams p(4, 6);
+    tensor::Rng rng(4);
+    p.init(rng);
+    Vector x_proj(24, 0.3f);
+    nn::LstmState prev(6);
+    prev.c[1] = 2.0f;
+
+    const auto out = lstmCellForwardDrs(p, x_proj, prev, 0.999999,
+                                        nn::SigmoidKind::Logistic);
+    EXPECT_NE(out.c[1], 0.0f);  // forget path survived
+}
+
+TEST(DrsCell, SkippedRowsLoseOnlyRecurrentTerm)
+{
+    // Build a cell where U is nonzero only in row 0: skipping row 0
+    // must equal running the exact cell with U zeroed in that row.
+    nn::LstmLayerParams p(2, 4);
+    tensor::Rng rng(5);
+    p.init(rng);
+    // Make the output gate of row 0 near-closed so DRS selects it:
+    p.bo[0] = -50.0f;
+
+    Vector x_proj(16);
+    for (std::size_t j = 0; j < 16; ++j)
+        x_proj[j] = rng.uniform(-0.5f, 0.5f);
+    nn::LstmState prev(4);
+    prev.h[1] = 0.6f;
+    prev.c[0] = 0.8f;
+
+    std::size_t skipped = 0;
+    const auto drs = lstmCellForwardDrs(p, x_proj, prev, 0.01,
+                                        nn::SigmoidKind::Logistic,
+                                        &skipped);
+    ASSERT_EQ(skipped, 1u);
+
+    nn::LstmLayerParams stripped = p;
+    for (std::size_t c = 0; c < 4; ++c) {
+        stripped.uf(0, c) = 0.0f;
+        stripped.ui(0, c) = 0.0f;
+        stripped.uc(0, c) = 0.0f;
+    }
+    const auto exact = nn::lstmCellForward(stripped, x_proj, prev);
+    for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(drs.c[j], exact.c[j], 1e-6f);
+        EXPECT_NEAR(drs.h[j], exact.h[j], 1e-6f);
+    }
+}
+
+TEST(LinkPredictor, ExpectationTracksObservedLinks)
+{
+    LinkPredictor pred(3, 32);
+    for (int i = 0; i < 2000; ++i) {
+        Vector h{0.5f, -0.25f, 0.0f};
+        Vector c{1.0f, 0.0f, -2.0f};
+        pred.observeLink(h, c);
+    }
+    const Vector ph = pred.predictedH();
+    const Vector pc = pred.predictedC();
+    EXPECT_NEAR(ph[0], 0.5f, 0.05f);
+    EXPECT_NEAR(ph[1], -0.25f, 0.05f);
+    // c histogram spans [-4, 4] in 32 bins: expectation quantises to
+    // the 0.25-wide bin centre.
+    EXPECT_NEAR(pc[0], 1.0f, 0.15f);
+    EXPECT_NEAR(pc[2], -2.0f, 0.15f);
+    EXPECT_EQ(pred.samples(), 2000u);
+}
+
+TEST(ApproxRunner, ZeroThresholdsMatchExactModel)
+{
+    const nn::LstmModel model(smallConfig(), 21);
+    ApproxRunner runner(model);
+
+    const std::int32_t toks[] = {1, 5, 9, 2, 14};
+    const auto approx = runner.classify(toks);
+    const auto exact = model.classify(toks);
+    EXPECT_EQ(approx, exact);
+}
+
+TEST(ApproxRunner, RequiresCalibrationForDivision)
+{
+    const nn::LstmModel model(smallConfig(), 22);
+    ApproxRunner runner(model);
+    EXPECT_FALSE(runner.calibrated());
+    EXPECT_THROW(runner.setThresholds(1.0, 0.0), std::logic_error);
+    // DRS alone needs no calibration.
+    EXPECT_NO_THROW(runner.setThresholds(0.0, 0.1));
+
+    runner.calibrate(someSequences(3, 6, 7));
+    EXPECT_TRUE(runner.calibrated());
+    EXPECT_NO_THROW(runner.setThresholds(1.0, 0.1));
+}
+
+TEST(ApproxRunner, RejectsOutOfRangeThresholds)
+{
+    const nn::LstmModel model(smallConfig(), 23);
+    ApproxRunner runner(model);
+    EXPECT_THROW(runner.setThresholds(-1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(runner.setThresholds(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(ApproxRunner, StatsCountCellsAndLinks)
+{
+    const nn::LstmModel model(smallConfig(2), 24);
+    ApproxRunner runner(model);
+    runner.calibrate(someSequences(2, 8, 9));
+    runner.setThresholds(1e9, 0.0);  // break every link
+
+    const std::int32_t toks[] = {1, 2, 3, 4, 5, 6};
+    runner.classify(toks);
+
+    for (const LayerApproxStats &st : runner.stats()) {
+        EXPECT_EQ(st.sequences, 1u);
+        EXPECT_EQ(st.cells, 6u);
+        EXPECT_EQ(st.links, 5u);
+        EXPECT_EQ(st.breaks, 5u);  // threshold above any possible S
+        EXPECT_DOUBLE_EQ(st.breakRate(), 1.0);
+        EXPECT_DOUBLE_EQ(st.avgSubLayers(), 6.0);
+    }
+
+    runner.resetStats();
+    EXPECT_EQ(runner.stats()[0].cells, 0u);
+}
+
+TEST(ApproxRunner, SkipFractionConsistentWithThresholdOne)
+{
+    const nn::LstmModel model(smallConfig(1), 25);
+    ApproxRunner runner(model);
+    runner.setThresholds(0.0, 0.999999);
+    const std::int32_t toks[] = {3, 4, 5};
+    runner.classify(toks);
+    EXPECT_DOUBLE_EQ(
+        runner.stats()[0].skipFraction(model.config().hiddenSize), 1.0);
+}
+
+TEST(ApproxRunner, BrokenLinksUsePredictedState)
+{
+    // With all links broken, changing early tokens cannot affect the
+    // last cell beyond its own input: check the first layer's outputs
+    // at the final step only depend on the final token.
+    const nn::LstmModel model(smallConfig(1), 26);
+    ApproxRunner runner(model);
+    runner.calibrate(someSequences(4, 6, 11));
+    runner.setThresholds(1e9, 0.0);
+
+    const std::int32_t a[] = {1, 2, 3};
+    const std::int32_t b[] = {9, 9, 3};  // same final token
+    EXPECT_EQ(runner.classify(a), runner.classify(b));
+}
+
+TEST(ApproxRunner, ProfileIsSortedAndPopulated)
+{
+    const nn::LstmModel model(smallConfig(), 27);
+    ApproxRunner runner(model);
+    const auto prof = runner.profile(someSequences(3, 7, 13));
+
+    // 3 seqs x 2 layers x 6 links; o gates: 3 x 2 x 7 x 10.
+    EXPECT_EQ(prof.relevances.size(), 36u);
+    EXPECT_EQ(prof.outputGates.size(), 420u);
+    EXPECT_TRUE(std::is_sorted(prof.relevances.begin(),
+                               prof.relevances.end()));
+    EXPECT_TRUE(std::is_sorted(prof.outputGates.begin(),
+                               prof.outputGates.end()));
+    EXPECT_LE(prof.relevanceQuantile(0.0), prof.relevanceQuantile(1.0));
+    EXPECT_LE(prof.outputGateQuantile(0.1),
+              prof.outputGateQuantile(0.9));
+}
+
+TEST(ApproxMetrics, MatchExactHelpersAtZeroThresholds)
+{
+    const nn::LstmModel model(smallConfig(), 28);
+    ApproxRunner runner(model);
+
+    std::vector<nn::Sample> data;
+    tensor::Rng rng(4);
+    for (int i = 0; i < 10; ++i) {
+        nn::Sample s;
+        for (int t = 0; t < 5; ++t)
+            s.tokens.push_back(
+                static_cast<std::int32_t>(rng.integer(0, 15)));
+        s.label = static_cast<std::int32_t>(rng.integer(0, 1));
+        data.push_back(s);
+    }
+    EXPECT_DOUBLE_EQ(approxClassificationAccuracy(runner, data),
+                     nn::classificationAccuracy(model, data));
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the online user-oriented threshold controller: climbing on
+ * slack, backing off on violations, hysteresis under noisy feedback,
+ * and convergence to the user's best rung.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/controller.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::core;
+
+std::vector<ThresholdSet>
+someLadder(std::size_t n = 11)
+{
+    std::vector<ThresholdSet> ladder;
+    for (std::size_t i = 0; i < n; ++i)
+        ladder.push_back({static_cast<double>(i),
+                          static_cast<double>(i) / 20.0});
+    return ladder;
+}
+
+TEST(Controller, ConstructionValidates)
+{
+    EXPECT_THROW(UserOrientedController({}, 0.9),
+                 std::invalid_argument);
+    EXPECT_THROW(UserOrientedController(someLadder(), 1.5),
+                 std::invalid_argument);
+
+    ControllerConfig cfg;
+    cfg.initialIndex = 99;  // clamped to the top rung
+    UserOrientedController c(someLadder(), 0.9, cfg);
+    EXPECT_EQ(c.currentIndex(), 10u);
+}
+
+TEST(Controller, ClimbsWhileAccuracyHasSlack)
+{
+    UserOrientedController c(someLadder(), 0.90);
+    EXPECT_EQ(c.currentIndex(), 0u);
+    for (int i = 0; i < 5; ++i)
+        c.observe(0.95);  // comfortably above the preference
+    EXPECT_EQ(c.currentIndex(), 5u);
+    EXPECT_DOUBLE_EQ(c.current().alphaInter, 5.0);
+}
+
+TEST(Controller, StopsAtTheTopRung)
+{
+    UserOrientedController c(someLadder(3), 0.5);
+    for (int i = 0; i < 10; ++i)
+        c.observe(0.99);
+    EXPECT_EQ(c.currentIndex(), 2u);
+}
+
+TEST(Controller, BacksOffOnViolation)
+{
+    ControllerConfig cfg;
+    cfg.initialIndex = 6;
+    UserOrientedController c(someLadder(), 0.90, cfg);
+    c.observe(0.80);  // user unhappy
+    EXPECT_EQ(c.currentIndex(), 5u);
+}
+
+TEST(Controller, CooldownPreventsOscillation)
+{
+    ControllerConfig cfg;
+    cfg.initialIndex = 5;
+    cfg.cooldown = 3;
+    UserOrientedController c(someLadder(), 0.90, cfg);
+
+    c.observe(0.50);  // back off to 4, start cooldown
+    EXPECT_EQ(c.currentIndex(), 4u);
+    // Good scores during cooldown must not climb back immediately.
+    c.observe(0.99);
+    c.observe(0.99);
+    c.observe(0.99);
+    EXPECT_EQ(c.currentIndex(), 4u);
+    // After the cooldown drains, climbing resumes.
+    c.observe(0.99);
+    EXPECT_EQ(c.currentIndex(), 5u);
+}
+
+TEST(Controller, HoldsInsideTheDeadband)
+{
+    ControllerConfig cfg;
+    cfg.initialIndex = 4;
+    cfg.climbMargin = 0.02;
+    UserOrientedController c(someLadder(), 0.90, cfg);
+    // Accuracy meets the preference but without climbing slack.
+    for (int i = 0; i < 6; ++i)
+        c.observe(0.905);
+    EXPECT_EQ(c.currentIndex(), 4u);
+}
+
+TEST(Controller, FloorsAtBaseline)
+{
+    UserOrientedController c(someLadder(), 0.99);
+    for (int i = 0; i < 5; ++i)
+        c.observe(0.10);
+    EXPECT_EQ(c.currentIndex(), 0u);
+}
+
+TEST(Controller, ConvergesToTheUsersBestRung)
+{
+    // Ground truth: accuracy degrades with the rung; the user's floor
+    // admits rungs 0..6. Noisy observations.
+    auto accuracy_at = [](std::size_t idx) {
+        return 0.98 - 0.01 * static_cast<double>(idx);
+    };
+    tensor::Rng rng(7);
+
+    ControllerConfig cfg;
+    cfg.climbMargin = 0.005;
+    UserOrientedController c(someLadder(), 0.915, cfg);
+    for (int step = 0; step < 200; ++step) {
+        const double noisy =
+            accuracy_at(c.currentIndex()) + rng.normal(0.0f, 0.004f);
+        c.observe(noisy);
+    }
+    // Settles in the neighbourhood of rung 6 (0.92 expected accuracy).
+    EXPECT_GE(c.currentIndex(), 5u);
+    EXPECT_LE(c.currentIndex(), 7u);
+}
+
+TEST(Controller, PreferenceChangeRetunes)
+{
+    UserOrientedController c(someLadder(), 0.90);
+    for (int i = 0; i < 8; ++i)
+        c.observe(0.95);
+    const std::size_t relaxed = c.currentIndex();
+    EXPECT_GT(relaxed, 4u);
+
+    c.setPreferredAccuracy(0.97);
+    EXPECT_THROW(c.setPreferredAccuracy(-0.1), std::invalid_argument);
+    c.observe(0.95);  // now below the stricter preference
+    EXPECT_LT(c.currentIndex(), relaxed);
+}
+
+TEST(Controller, EstimateTracksEma)
+{
+    UserOrientedController c(someLadder(), 0.5);
+    c.observe(0.8);
+    EXPECT_DOUBLE_EQ(c.estimate(), 0.8);
+    EXPECT_EQ(c.observations(), 1u);
+}
+
+} // namespace

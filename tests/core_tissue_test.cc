@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for tissue formation, tissue alignment (Section IV-C) and the
+ * MTS finder, including property-based sweeps over random sub-layer
+ * multisets: alignment must always cover every cell, never exceed the
+ * MTS, and never schedule two cells of one sub-layer in one tissue.
+ */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/tissue.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::core;
+
+TEST(TissueFormation, PaperFigure8Example)
+{
+    // Fig. 8: sub-layers of lengths {3, 1, 3, 2} (cells 0-2 | 3 | 4-6 |
+    // 7-8): tissue 0 takes one cell from each -> 4; tissue 1 from the
+    // three long ones -> 3; tissue 2 from the two of length 3 -> 2.
+    EXPECT_EQ(formTissues({3, 1, 3, 2}),
+              (std::vector<std::size_t>{4, 3, 2}));
+}
+
+TEST(TissueFormation, SingleSubLayerIsAllOnes)
+{
+    EXPECT_EQ(formTissues({4}), (std::vector<std::size_t>{1, 1, 1, 1}));
+}
+
+TEST(TissueFormation, EmptyInput)
+{
+    EXPECT_TRUE(formTissues({}).empty());
+}
+
+TEST(TissueAlignment, RespectsMtsOnFigure8Example)
+{
+    // With MTS = 3 the fat first tissue (4 cells) must shed a cell.
+    const auto tissues = alignTissues({3, 1, 3, 2}, 3);
+    const std::size_t total =
+        std::accumulate(tissues.begin(), tissues.end(), std::size_t{0});
+    EXPECT_EQ(total, 9u);
+    for (std::size_t t : tissues)
+        EXPECT_LE(t, 3u);
+    // N >= max(longest sub-layer, ceil(9/3)) = 3; the schedule must use
+    // exactly that minimum here.
+    EXPECT_EQ(tissues.size(), 3u);
+}
+
+TEST(TissueAlignment, MinimalTissueCountEq7)
+{
+    // Perfectly divisible case: Eq. 7's N_min = ceil(n / MTS).
+    const auto tissues = alignTissues({5, 5, 5, 5}, 4);
+    EXPECT_EQ(tissues.size(), 5u);  // max length 5 dominates ceil(20/4)=5
+    const std::size_t total =
+        std::accumulate(tissues.begin(), tissues.end(), std::size_t{0});
+    EXPECT_EQ(total, 20u);
+}
+
+TEST(TissueAlignment, LongSubLayerDictatesCount)
+{
+    // One sub-layer of 10 forces >= 10 tissues regardless of MTS.
+    const auto tissues = alignTissues({10, 2}, 6);
+    EXPECT_EQ(tissues.size(), 10u);
+}
+
+TEST(TissueAlignment, MtsOneSerialises)
+{
+    const auto tissues = alignTissues({3, 2}, 1);
+    EXPECT_EQ(tissues.size(), 5u);
+    for (std::size_t t : tissues)
+        EXPECT_EQ(t, 1u);
+}
+
+TEST(TissueAlignment, RejectsZeroMts)
+{
+    EXPECT_THROW(alignTissues({3}, 0), std::invalid_argument);
+}
+
+/** Property sweep: random sub-layer multisets, all MTS values. */
+class TissueAlignmentProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(TissueAlignmentProperty, InvariantsHold)
+{
+    tensor::Rng rng(GetParam());
+    const auto n_subs =
+        static_cast<std::size_t>(rng.integer(1, 12));
+    std::vector<std::size_t> lens;
+    std::size_t total = 0;
+    std::size_t longest = 0;
+    for (std::size_t i = 0; i < n_subs; ++i) {
+        const auto len = static_cast<std::size_t>(rng.integer(1, 40));
+        lens.push_back(len);
+        total += len;
+        longest = std::max(longest, len);
+    }
+
+    for (std::size_t mts = 1; mts <= 8; ++mts) {
+        const auto tissues = alignTissues(lens, mts);
+
+        // (1) covers every cell
+        EXPECT_EQ(std::accumulate(tissues.begin(), tissues.end(),
+                                  std::size_t{0}),
+                  total);
+        // (2) never exceeds MTS
+        for (std::size_t t : tissues)
+            EXPECT_LE(t, mts);
+        // (3) a sub-layer contributes <= 1 cell per tissue, so the
+        //     tissue count is at least the longest sub-layer, and the
+        //     schedule meets the Eq. 7 lower bound exactly
+        const std::size_t n_min = std::max(
+            longest, (total + mts - 1) / mts);
+        EXPECT_EQ(tissues.size(), n_min);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSubLayers, TissueAlignmentProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(FindMts, PicksThePerformancePeak)
+{
+    runtime::NetworkExecutor ex(gpu::GpuConfig::tegraX1());
+    const runtime::LstmLayerShape layer{512, 512, 80};
+    const MtsResult res = findMts(ex, layer, 10);
+
+    // Fig. 9 on the TX1 at H = 512: the peak sits at 5.
+    EXPECT_EQ(res.mts, 5u);
+    ASSERT_EQ(res.timesUs.size(), 10u);
+    // Performance first improves...
+    EXPECT_LT(res.timesUs[4], res.timesUs[0]);
+    // ...then droops past the MTS.
+    EXPECT_GT(res.timesUs[5], res.timesUs[4]);
+    // Shared-memory utilisation climbs toward saturation at the MTS.
+    EXPECT_GT(res.sharedUtilization[4], res.sharedUtilization[0]);
+    EXPECT_GT(res.sharedUtilization[4], 0.75);
+}
+
+TEST(FindMts, SmallHiddenSizeGetsLargerMts)
+{
+    runtime::NetworkExecutor ex(gpu::GpuConfig::tegraX1());
+    const MtsResult small = findMts(ex, {256, 256, 86}, 10);
+    const MtsResult large = findMts(ex, {650, 650, 200}, 10);
+    EXPECT_EQ(small.mts, 6u);  // BABI/MR in Fig. 9
+    EXPECT_EQ(large.mts, 5u);  // PTB
+}
+
+TEST(FindMts, DrsReliefExtendsMts)
+{
+    // The combined scheme's row skipping cuts the tissue GEMM's on-chip
+    // traffic, pushing the bandwidth crossover outward.
+    runtime::NetworkExecutor ex(gpu::GpuConfig::tegraX1());
+    const MtsResult plain = findMts(ex, {512, 512, 80}, 12, 0.0);
+    const MtsResult skipped = findMts(ex, {512, 512, 80}, 12, 0.5);
+    EXPECT_GT(skipped.mts, plain.mts);
+}
+
+TEST(FindMts, RejectsZeroMaxK)
+{
+    runtime::NetworkExecutor ex(gpu::GpuConfig::tegraX1());
+    EXPECT_THROW(findMts(ex, {512, 512, 80}, 0),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the cycle-level SM model and its cross-validation against
+ * the analytic roofline model of gpu/sm.hh: on the kernel shapes this
+ * runtime emits, the two must agree on the bottleneck, within a modest
+ * factor on cycle counts, and on the dominant stall cause.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/cycle_sm.hh"
+
+namespace {
+
+using namespace mflstm::gpu;
+
+/** Down-scaled Sgemv(U, h): memory-bound. */
+KernelDesc
+smallSgemv()
+{
+    const double h = 128.0;
+    KernelDesc k;
+    k.name = "sgemv128";
+    k.klass = KernelClass::Sgemv;
+    k.flops = 2.0 * 4 * h * h;
+    k.dramReadBytes = 4.0 * h * h * 4.0;
+    k.l2AccessBytes = k.dramReadBytes;
+    k.sharedBytes = 4.0 * h * h * 4.0;
+    k.ctas = 4;
+    k.threadsPerCta = 128;
+    k.syncsPerCta = 2;
+    return k;
+}
+
+/** Compute-bound small GEMM. */
+KernelDesc
+smallGemm()
+{
+    KernelDesc k;
+    k.name = "gemm";
+    k.klass = KernelClass::Sgemm;
+    k.flops = 4.0e6;
+    k.dramReadBytes = 8.0e3;
+    k.l2AccessBytes = 1.6e4;
+    k.sharedBytes = 8.0e3;
+    k.ctas = 8;
+    k.threadsPerCta = 128;
+    return k;
+}
+
+TEST(WarpProgram, ConservesWork)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallSgemv();
+    const WarpProgram p = WarpProgram::fromKernel(cfg, k, false);
+
+    const std::uint32_t warps = k.totalThreads() / cfg.warpSize;
+    double global = 0.0, shared = 0.0, fmas = 0.0;
+    for (const WarpInstr &i : p.body) {
+        switch (i.op) {
+          case WarpInstr::Op::GlobalLd:
+            global += i.amount;
+            break;
+          case WarpInstr::Op::SharedLd:
+            shared += i.amount;
+            break;
+          case WarpInstr::Op::Fma:
+            fmas += 1.0;
+            break;
+          default:
+            break;
+        }
+    }
+    global *= p.iterations * warps;
+    shared *= p.iterations * warps;
+    fmas *= p.iterations * warps;
+
+    // Generation rounds chunks upward: work within +15% of the kernel's.
+    EXPECT_GE(global, k.dramReadBytes);
+    EXPECT_LE(global, k.dramReadBytes * 1.15);
+    EXPECT_GE(shared, k.sharedBytes);
+    EXPECT_LE(shared, k.sharedBytes * 1.15);
+    EXPECT_GE(fmas * 64.0, k.flops);
+}
+
+TEST(WarpProgram, DivergenceReplaysFmas)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    KernelDesc k = smallGemm();
+    k.divergenceFactor = 2.0;
+    const WarpProgram divergent = WarpProgram::fromKernel(cfg, k, false);
+    const WarpProgram compacted = WarpProgram::fromKernel(cfg, k, true);
+
+    auto fma_count = [](const WarpProgram &p) {
+        std::size_t n = 0;
+        for (const WarpInstr &i : p.body)
+            n += i.op == WarpInstr::Op::Fma;
+        return n * p.iterations;
+    };
+    EXPECT_GT(fma_count(divergent), fma_count(compacted));
+}
+
+TEST(CycleSim, MemoryBoundAgreesWithAnalyticModel)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallSgemv();
+
+    const CycleSimResult cyc = cycleSimulate(cfg, k);
+    const KernelTiming ana = timeKernel(cfg, k);
+
+    // Cycle counts agree within 30% on this bandwidth-dominated shape.
+    EXPECT_NEAR(cyc.cycles / ana.cycles, 1.0, 0.3);
+    // Both attribute the stalls to off-chip memory first.
+    EXPECT_GT(cyc.stalls.offChipMemory, cyc.stalls.onChipBandwidth);
+    EXPECT_GT(cyc.stalls.offChipMemory, cyc.stalls.synchronization);
+    EXPECT_GT(cyc.stalls.offChipMemory / cyc.stalls.total(), 0.5);
+}
+
+TEST(CycleSim, ComputeBoundAgreesWithAnalyticModel)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallGemm();
+
+    const CycleSimResult cyc = cycleSimulate(cfg, k);
+    const KernelTiming ana = timeKernel(cfg, k);
+
+    EXPECT_NEAR(cyc.cycles / ana.cycles, 1.0, 0.35);
+    // Compute-bound: the schedulers stay busy.
+    EXPECT_GT(cyc.issueUtilization(), 0.5);
+}
+
+TEST(CycleSim, BandwidthCeilingRespected)
+{
+    // The DRAM queue must not move bytes faster than the interface.
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallSgemv();
+    const CycleSimResult cyc = cycleSimulate(cfg, k);
+    EXPECT_LE(cyc.dramBytes / cyc.cycles,
+              cfg.dramBytesPerCycle() * 1.001);
+    EXPECT_GE(cyc.dramBytes, k.dramReadBytes);
+}
+
+TEST(CycleSim, CrmRemovesDivergenceCost)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    KernelDesc k = smallGemm();
+    k.divergenceFactor = 2.0;
+    k.hasRowSkipArg = true;
+    k.disabledThreads = k.totalThreads() / 2;
+
+    const CycleSimResult sw = cycleSimulate(cfg, k, false);
+    const CycleSimResult hw = cycleSimulate(cfg, k, true);
+    EXPECT_LT(hw.cycles, sw.cycles);
+}
+
+TEST(CycleSim, BarriersProduceSyncStalls)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    KernelDesc k = smallGemm();
+    k.syncsPerCta = 8;
+    const CycleSimResult with_bars = cycleSimulate(cfg, k);
+    k.syncsPerCta = 0;
+    const CycleSimResult without = cycleSimulate(cfg, k);
+    EXPECT_GT(with_bars.stalls.synchronization,
+              without.stalls.synchronization);
+    EXPECT_GE(with_bars.cycles, without.cycles);
+}
+
+TEST(CycleSim, MoreCtasTakeLonger)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    KernelDesc k = smallGemm();
+    const CycleSimResult small = cycleSimulate(cfg, k);
+    k.ctas *= 4;
+    k.flops *= 4.0;
+    k.dramReadBytes *= 4.0;
+    k.sharedBytes *= 4.0;
+    const CycleSimResult big = cycleSimulate(cfg, k);
+    EXPECT_GT(big.cycles, small.cycles * 2.0);
+}
+
+TEST(CycleSim, Deterministic)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallSgemv();
+    const CycleSimResult a = cycleSimulate(cfg, k);
+    const CycleSimResult b = cycleSimulate(cfg, k);
+    EXPECT_DOUBLE_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.stalls.total(), b.stalls.total());
+}
+
+TEST(CycleSim, RunawayGuard)
+{
+    const GpuConfig cfg = GpuConfig::tegraX1();
+    const KernelDesc k = smallSgemv();
+    EXPECT_THROW(cycleSimulate(cfg, k, false, 10),
+                 std::runtime_error);
+}
+
+} // namespace

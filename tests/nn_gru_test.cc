@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the GRU extension (Section II-B) and its relevance-analysis
+ * adaptation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/relevance.hh"
+#include "nn/gru.hh"
+#include "tensor/activations.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::nn;
+
+GruLayerParams
+makeParams(std::size_t in, std::size_t hid, std::uint64_t seed)
+{
+    GruLayerParams p(in, hid);
+    tensor::Rng rng(seed);
+    p.init(rng);
+    return p;
+}
+
+TEST(GruParams, ShapesAndUnitedW)
+{
+    const GruLayerParams p = makeParams(3, 5, 1);
+    EXPECT_EQ(p.inputSize(), 3u);
+    EXPECT_EQ(p.hiddenSize(), 5u);
+    const tensor::Matrix w = p.unitedW();
+    EXPECT_EQ(w.rows(), 15u);
+    EXPECT_EQ(w.cols(), 3u);
+    EXPECT_FLOAT_EQ(w(0, 0), p.wz(0, 0));
+    EXPECT_FLOAT_EQ(w(5, 1), p.wr(0, 1));
+    EXPECT_FLOAT_EQ(w(10, 2), p.wh(0, 2));
+}
+
+TEST(GruCell, ScalarCaseMatchesHandComputation)
+{
+    GruLayerParams p(1, 1);
+    p.wz(0, 0) = 0.5f;
+    p.wr(0, 0) = 0.4f;
+    p.wh(0, 0) = 0.3f;
+    p.uz(0, 0) = 0.1f;
+    p.ur(0, 0) = -0.2f;
+    p.uh(0, 0) = 0.25f;
+    p.bz[0] = 0.05f;
+
+    const float x = 0.6f;
+    const float h_prev = -0.3f;
+    tensor::Vector x_proj{0.5f * x, 0.4f * x, 0.3f * x};
+    tensor::Vector hp{h_prev};
+
+    const auto h = gruCellForward(p, x_proj, hp);
+
+    const float z = tensor::sigmoid(0.5f * x + 0.1f * h_prev + 0.05f);
+    const float r = tensor::sigmoid(0.4f * x - 0.2f * h_prev);
+    const float g = std::tanh(0.3f * x + 0.25f * (r * h_prev));
+    EXPECT_NEAR(h[0], (1.0f - z) * h_prev + z * g, 1e-6f);
+}
+
+TEST(GruCell, OutputBounded)
+{
+    const GruLayerParams p = makeParams(4, 8, 2);
+    tensor::Rng rng(3);
+    tensor::Vector h(8);
+    for (int t = 0; t < 40; ++t) {
+        tensor::Vector proj(24);
+        for (std::size_t j = 0; j < 24; ++j)
+            proj[j] = rng.uniform(-3.0f, 3.0f);
+        h = gruCellForward(p, proj, h);
+        for (std::size_t j = 0; j < 8; ++j) {
+            EXPECT_GE(h[j], -1.0f);
+            EXPECT_LE(h[j], 1.0f);
+        }
+    }
+}
+
+TEST(GruCell, UpdateGatePinnedLowPreservesState)
+{
+    // b_z very negative: z ~ 0 so h_t ~ h_{t-1} (the GRU's "remember").
+    GruLayerParams p = makeParams(2, 4, 4);
+    for (std::size_t j = 0; j < 4; ++j)
+        p.bz[j] = -30.0f;
+
+    tensor::Vector h_prev{0.4f, -0.2f, 0.7f, 0.0f};
+    const auto h = gruCellForward(p, tensor::Vector(12, 0.3f), h_prev);
+    for (std::size_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(h[j], h_prev[j], 1e-4f);
+}
+
+TEST(GruLayer, ForwardShapesAndDeterminism)
+{
+    const GruLayerParams p = makeParams(3, 6, 5);
+    std::vector<tensor::Vector> xs(7, tensor::Vector(3, 0.2f));
+    const auto a = gruLayerForward(p, xs);
+    const auto b = gruLayerForward(p, xs);
+    ASSERT_EQ(a.size(), 7u);
+    for (std::size_t t = 0; t < 7; ++t)
+        EXPECT_EQ(a[t], b[t]);
+}
+
+TEST(GruRelevance, ZeroWhenUpdateGatePinned)
+{
+    // All-zero recurrent weights (D = 0) and saturated projections:
+    // the link carries nothing.
+    GruLayerParams p(1, 4);
+    const core::GruRelevanceContext ctx(p);
+    tensor::Vector proj(12, 10.0f);
+    EXPECT_DOUBLE_EQ(ctx.relevance(p, proj), 0.0);
+}
+
+TEST(GruRelevance, PositiveInSensitiveRegime)
+{
+    const GruLayerParams p = makeParams(2, 6, 7);
+    const core::GruRelevanceContext ctx(p);
+    EXPECT_GT(ctx.relevance(p, tensor::Vector(18, 0.1f)), 0.0);
+}
+
+TEST(GruRelevance, MonotoneInInputSaturation)
+{
+    const GruLayerParams p = makeParams(2, 6, 8);
+    const core::GruRelevanceContext ctx(p);
+    EXPECT_GE(ctx.relevance(p, tensor::Vector(18, 0.1f)),
+              ctx.relevance(p, tensor::Vector(18, 8.0f)));
+}
+
+TEST(GruRelevance, RejectsWrongSize)
+{
+    const GruLayerParams p = makeParams(2, 6, 9);
+    const core::GruRelevanceContext ctx(p);
+    EXPECT_THROW(ctx.relevance(p, tensor::Vector(12)),
+                 std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the binary model serialization used by the bench cache.
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nn/serialize.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::nn;
+
+class SerializeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 "mflstm_serialize_test.bin")
+                    .string();
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+ModelConfig
+someConfig()
+{
+    ModelConfig cfg;
+    cfg.task = TaskKind::Classification;
+    cfg.vocab = 18;
+    cfg.embedSize = 7;
+    cfg.hiddenSize = 9;
+    cfg.numLayers = 2;
+    cfg.numClasses = 3;
+    cfg.sigmoid = SigmoidKind::Hard;
+    return cfg;
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEverything)
+{
+    const LstmModel original(someConfig(), 99);
+    saveModel(original, path_);
+    const LstmModel loaded = loadModel(path_);
+
+    // Config round-trips.
+    EXPECT_EQ(loaded.config().task, original.config().task);
+    EXPECT_EQ(loaded.config().vocab, original.config().vocab);
+    EXPECT_EQ(loaded.config().hiddenSize, original.config().hiddenSize);
+    EXPECT_EQ(loaded.config().numLayers, original.config().numLayers);
+    EXPECT_EQ(loaded.config().numClasses, original.config().numClasses);
+    EXPECT_EQ(loaded.config().sigmoid, original.config().sigmoid);
+
+    // Weights round-trip bit-for-bit.
+    EXPECT_EQ(loaded.embedding().table, original.embedding().table);
+    for (std::size_t l = 0; l < 2; ++l) {
+        EXPECT_EQ(loaded.layers()[l].uf, original.layers()[l].uf);
+        EXPECT_EQ(loaded.layers()[l].wc, original.layers()[l].wc);
+        EXPECT_EQ(loaded.layers()[l].bo, original.layers()[l].bo);
+    }
+    EXPECT_EQ(loaded.head().w, original.head().w);
+
+    // And therefore outputs are identical.
+    const std::int32_t toks[] = {1, 4, 9, 2};
+    EXPECT_EQ(loaded.classify(toks), original.classify(toks));
+}
+
+TEST_F(SerializeTest, LanguageModelRoundTrip)
+{
+    ModelConfig cfg;
+    cfg.task = TaskKind::LanguageModel;
+    cfg.vocab = 12;
+    cfg.embedSize = 5;
+    cfg.hiddenSize = 6;
+    cfg.numLayers = 1;
+    const LstmModel original(cfg, 7);
+    saveModel(original, path_);
+    const LstmModel loaded = loadModel(path_);
+    EXPECT_EQ(loaded.config().task, TaskKind::LanguageModel);
+
+    const std::int32_t toks[] = {1, 2, 3};
+    const auto a = original.lmLogits(toks);
+    const auto b = loaded.lmLogits(toks);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t t = 0; t < a.size(); ++t)
+        EXPECT_EQ(a[t], b[t]);
+}
+
+TEST_F(SerializeTest, IsModelFileChecksMagic)
+{
+    EXPECT_FALSE(isModelFile(path_));  // missing
+
+    const LstmModel m(someConfig(), 1);
+    saveModel(m, path_);
+    EXPECT_TRUE(isModelFile(path_));
+
+    // Corrupt the magic.
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        const char junk[4] = {0, 0, 0, 0};
+        std::fwrite(junk, 1, 4, f);
+        std::fclose(f);
+    }
+    EXPECT_FALSE(isModelFile(path_));
+    EXPECT_THROW(loadModel(path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileRejected)
+{
+    const LstmModel m(someConfig(), 1);
+    saveModel(m, path_);
+    std::filesystem::resize_file(path_, 64);
+    EXPECT_THROW(loadModel(path_), std::runtime_error);
+}
+
+TEST_F(SerializeTest, MissingFileRejected)
+{
+    EXPECT_THROW(loadModel("/nonexistent/dir/model.bin"),
+                 std::runtime_error);
+    EXPECT_THROW(saveModel(LstmModel(someConfig(), 1),
+                           "/nonexistent/dir/model.bin"),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the LSTM-to-kernel lowering: kernel counts per flow
+ * (Algorithm 1, Section IV-D tissues, Algorithm 3 DRS), traffic
+ * accounting, and the plan containers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/simulator.hh"
+#include "runtime/executor.hh"
+#include "runtime/lowering.hh"
+#include "runtime/plan.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::runtime;
+
+const gpu::GpuConfig kCfg = gpu::GpuConfig::tegraX1();
+
+LstmLayerShape
+layer512()
+{
+    return {512, 512, 10};
+}
+
+ExecutionPlan
+uniformInterPlan(std::size_t layers, std::size_t length, std::size_t k)
+{
+    ExecutionPlan plan;
+    plan.kind = PlanKind::InterCell;
+    for (std::size_t l = 0; l < layers; ++l) {
+        LayerInterPlan ip;
+        std::size_t left = length;
+        while (left) {
+            const std::size_t t = std::min(k, left);
+            ip.tissueSizes.push_back(t);
+            left -= t;
+        }
+        plan.inter.push_back(ip);
+    }
+    return plan;
+}
+
+TEST(Plan, NetworkShapeStacked)
+{
+    const NetworkShape s = NetworkShape::stacked(256, 512, 3, 20);
+    ASSERT_EQ(s.layers.size(), 3u);
+    EXPECT_EQ(s.layers[0].inputSize, 256u);
+    EXPECT_EQ(s.layers[1].inputSize, 512u);
+    EXPECT_EQ(s.layers[2].hiddenSize, 512u);
+    EXPECT_EQ(s.layers[0].length, 20u);
+    EXPECT_THROW(NetworkShape::stacked(0, 1, 1, 1),
+                 std::invalid_argument);
+}
+
+TEST(Plan, InterPlanAccounting)
+{
+    LayerInterPlan ip;
+    ip.tissueSizes = {5, 5, 3, 1};
+    EXPECT_EQ(ip.totalCells(), 14u);
+    EXPECT_EQ(ip.maxTissue(), 5u);
+}
+
+TEST(Plan, KindPredicates)
+{
+    ExecutionPlan p;
+    p.kind = PlanKind::Combined;
+    EXPECT_TRUE(p.usesInter());
+    EXPECT_TRUE(p.usesIntra());
+    EXPECT_TRUE(p.usesCrmHardware());
+
+    p.kind = PlanKind::IntraCellSw;
+    EXPECT_FALSE(p.usesInter());
+    EXPECT_TRUE(p.usesIntra());
+    EXPECT_FALSE(p.usesCrmHardware());
+
+    p.kind = PlanKind::Baseline;
+    EXPECT_FALSE(p.usesInter());
+    EXPECT_FALSE(p.usesIntra());
+}
+
+TEST(Lowering, BaselineKernelCountsMatchAlgorithm1)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;  // baseline
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    // 1 input Sgemm + per cell (Sgemv + lstm_ew).
+    ASSERT_EQ(trace.size(), 1u + 2u * 10u);
+    EXPECT_EQ(trace[0].klass, gpu::KernelClass::Sgemm);
+    for (std::size_t t = 0; t < 10; ++t) {
+        EXPECT_EQ(trace[1 + 2 * t].klass, gpu::KernelClass::Sgemv);
+        EXPECT_EQ(trace[2 + 2 * t].klass, gpu::KernelClass::ElementWise);
+    }
+}
+
+TEST(Lowering, BaselineWeightTrafficThrashes)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    // The 4.19 MB united U exceeds the 256 KB L2: each of the 10 cells
+    // re-streams nearly the whole matrix (Section III-A).
+    const double u_bytes = 4.0 * 512 * 512 * 4;
+    double dram = 0.0;
+    for (const auto &k : trace) {
+        if (k.klass == gpu::KernelClass::Sgemv)
+            dram += k.dramReadBytes;
+    }
+    EXPECT_GT(dram, 0.9 * 10.0 * u_bytes);
+}
+
+TEST(Lowering, InterCellEmitsPerTissueKernels)
+{
+    Lowering low(kCfg);
+    const ExecutionPlan plan = uniformInterPlan(1, 10, 5);
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    // 1 input Sgemm + 1 relevance + 2 tissues x (gather + Sgemm + ew).
+    ASSERT_EQ(trace.size(), 2u + 2u * 3u);
+    EXPECT_EQ(trace[1].klass, gpu::KernelClass::Relevance);
+    EXPECT_EQ(trace[3].klass, gpu::KernelClass::Sgemm);
+}
+
+TEST(Lowering, InterCellReducesWeightTraffic)
+{
+    NetworkExecutor ex(kCfg);
+    const NetworkShape shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan base;
+    const RunReport rb = ex.run(shape, base);
+    const RunReport ri = ex.run(shape, uniformInterPlan(1, 20, 5));
+
+    // One weight load per tissue instead of per cell: ~5x less DRAM.
+    EXPECT_LT(ri.result.dramBytes, rb.result.dramBytes / 3.0);
+    EXPECT_GT(speedup(rb, ri), 2.0);
+}
+
+TEST(Lowering, InterPlanMustCoverLayer)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan = uniformInterPlan(1, 8, 4);  // covers 8, not 10
+    gpu::KernelTrace trace;
+    EXPECT_THROW(low.lowerLayer(layer512(), plan, 0, trace),
+                 std::invalid_argument);
+}
+
+TEST(Lowering, AllOnesTissuesFallBackToPerCellFlow)
+{
+    Lowering low(kCfg);
+    const ExecutionPlan plan = uniformInterPlan(1, 10, 1);
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+    // Indistinguishable from the baseline: no gather/relevance overhead.
+    ASSERT_EQ(trace.size(), 1u + 2u * 10u);
+    EXPECT_EQ(trace[1].klass, gpu::KernelClass::Sgemv);
+}
+
+TEST(Lowering, DrsFlowMatchesAlgorithm3)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;
+    plan.kind = PlanKind::IntraCellHw;
+    plan.intra = {{0.5}};
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    // 1 input Sgemm + per cell: Sgemv(U_o), ew, DRS, Sgemv(U_fic, R), ew.
+    ASSERT_EQ(trace.size(), 1u + 5u * 10u);
+    EXPECT_EQ(trace[1].klass, gpu::KernelClass::Sgemv);
+    EXPECT_EQ(trace[2].klass, gpu::KernelClass::ElementWise);
+    EXPECT_EQ(trace[3].klass, gpu::KernelClass::Drs);
+    EXPECT_EQ(trace[4].klass, gpu::KernelClass::Sgemv);
+    EXPECT_TRUE(trace[4].hasRowSkipArg);
+    EXPECT_EQ(trace[5].klass, gpu::KernelClass::ElementWise);
+}
+
+TEST(Lowering, CombinedFlowSplitsTheTissueGemm)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;
+    plan.kind = PlanKind::Combined;
+    LayerInterPlan ip;
+    ip.tissueSizes = {5, 5};
+    plan.inter = {ip};
+    plan.intra = {{0.5}};
+
+    gpu::KernelTrace trace;
+    low.lowerLayer({512, 512, 10}, plan, 0, trace);
+
+    // input Sgemm + relevance + 2 tissues x (gather, Sgemm(U_o), ew,
+    // DRS, Sgemm(U_fic,R), ew).
+    ASSERT_EQ(trace.size(), 2u + 2u * 6u);
+    const gpu::KernelDesc &uo = trace[3];
+    const gpu::KernelDesc &fic = trace[6];
+    EXPECT_EQ(uo.name, "Sgemm(U_o, H_t)");
+    EXPECT_EQ(fic.name, "Sgemm(U_fic, H_t, R)");
+    EXPECT_FALSE(uo.hasRowSkipArg);
+    EXPECT_TRUE(fic.hasRowSkipArg);
+    // U_o is a quarter of the united matrix's work.
+    EXPECT_NEAR(uo.flops / (uo.flops + fic.flops / 0.5 * 1.0), 0.25,
+                0.1);
+    EXPECT_EQ(trace[5].klass, gpu::KernelClass::Drs);
+}
+
+TEST(Lowering, CombinedWeightTrafficBelowInterAlone)
+{
+    // DRS inside the tissue saves compute/on-chip traffic, and a small
+    // amount of weight traffic (rows trivial in *every* cell).
+    NetworkExecutor ex(kCfg);
+    const auto shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan inter = uniformInterPlan(1, 20, 5);
+    ExecutionPlan comb = inter;
+    comb.kind = PlanKind::Combined;
+    comb.intra = {{0.6}};
+
+    const RunReport ri = ex.run(shape, inter);
+    const RunReport rc = ex.run(shape, comb);
+    EXPECT_LE(rc.result.dramBytes, ri.result.dramBytes * 1.02);
+    EXPECT_LT(rc.result.sharedBytes, ri.result.sharedBytes);
+    EXPECT_LT(rc.result.flops, ri.result.flops);
+}
+
+TEST(Lowering, HwSkipSavesBandwidthSwBarely)
+{
+    Lowering low(kCfg);
+    const LstmLayerShape shape = layer512();
+    const double fic = 3.0 * 512 * 512 * 4;
+
+    const auto hw = low.rowSkipSgemv(shape, fic, 0.6, true);
+    const auto sw = low.rowSkipSgemv(shape, fic, 0.6, false);
+
+    EXPECT_NEAR(hw.dramReadBytes, fic * 0.4 + 512 * 4, 1.0);
+    EXPECT_GT(sw.dramReadBytes, fic * 0.9);       // coalescing waste
+    EXPECT_GT(sw.divergenceFactor, 1.5);          // divergent warps
+    EXPECT_DOUBLE_EQ(hw.divergenceFactor, 1.0);   // compacted
+    EXPECT_EQ(hw.disabledThreads, sw.disabledThreads);
+    EXPECT_TRUE(hw.hasRowSkipArg);
+}
+
+TEST(Lowering, RowSkipRejectsBadFraction)
+{
+    Lowering low(kCfg);
+    EXPECT_THROW(low.rowSkipSgemv(layer512(), 1.0, 1.5, true),
+                 std::invalid_argument);
+}
+
+TEST(Lowering, ZeroPruningPaysDivergenceAndCoalescing)
+{
+    NetworkExecutor ex(kCfg);
+    const NetworkShape shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan base;
+    ExecutionPlan zp;
+    zp.kind = PlanKind::ZeroPruning;
+    zp.pruneFraction = 0.37;
+
+    const RunReport rb = ex.run(shape, base);
+    const RunReport rz = ex.run(shape, zp);
+    // Fig. 16: zero-pruning *degrades* performance on the GPU.
+    EXPECT_LT(speedup(rb, rz), 1.0);
+}
+
+TEST(Lowering, SharedBytesPerMacCalibration)
+{
+    // Narrow tissue GEMMs pay more on-chip traffic than wide GEMMs,
+    // and small hidden sizes less than large ones.
+    EXPECT_LT(sgemmSharedBytesPerMac(512, 80),
+              sgemmSharedBytesPerMac(512, 5));
+    EXPECT_LT(sgemmSharedBytesPerMac(256, 5),
+              sgemmSharedBytesPerMac(512, 5));
+}
+
+TEST(Executor, RunLayerMatchesManualLowering)
+{
+    NetworkExecutor ex(kCfg);
+    ExecutionPlan plan;
+    const RunReport r = ex.runLayer(layer512(), plan, 0);
+    EXPECT_EQ(r.result.kernelCount, 1u + 2u * 10u);
+    EXPECT_GT(r.result.timeUs, 0.0);
+}
+
+TEST(Executor, SpeedupAndSavingGuards)
+{
+    RunReport base;
+    base.result.timeUs = 0.0;
+    RunReport opt = base;
+    EXPECT_THROW(speedup(base, opt), std::invalid_argument);
+    EXPECT_THROW(energySavingPct(base, opt), std::invalid_argument);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for activation functions and the sensitive/insensitive-area
+ * analysis (Section IV-A, Fig. 7) that the relevance computation uses.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/activations.hh"
+#include "tensor/matrix.hh"
+
+namespace {
+
+using namespace mflstm::tensor;
+
+TEST(Sigmoid, KnownValues)
+{
+    EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+    EXPECT_NEAR(sigmoid(2.0f), 0.8808f, 1e-3f);
+    EXPECT_NEAR(sigmoid(-2.0f), 0.1192f, 1e-3f);
+}
+
+TEST(Sigmoid, SaturatesOutsideSensitiveArea)
+{
+    // The paper's premise: beyond +-2 the output is effectively constant.
+    EXPECT_GT(sigmoid(6.0f), 0.99f);
+    EXPECT_LT(sigmoid(-6.0f), 0.01f);
+}
+
+TEST(HardSigmoid, PiecewiseLinearShape)
+{
+    EXPECT_FLOAT_EQ(hardSigmoid(0.0f), 0.5f);
+    EXPECT_FLOAT_EQ(hardSigmoid(2.0f), 1.0f);
+    EXPECT_FLOAT_EQ(hardSigmoid(-2.0f), 0.0f);
+    EXPECT_FLOAT_EQ(hardSigmoid(10.0f), 1.0f);
+    EXPECT_FLOAT_EQ(hardSigmoid(1.0f), 0.75f);
+}
+
+TEST(HardSigmoid, SharesSensitiveBoundaryWithLogistic)
+{
+    // Fig. 7: the same [-2, 2] boundary fits both variants.
+    EXPECT_FLOAT_EQ(hardSigmoid(kSensitiveBound), 1.0f);
+    EXPECT_FLOAT_EQ(hardSigmoid(-kSensitiveBound), 0.0f);
+}
+
+TEST(TanhAct, OddAndBounded)
+{
+    EXPECT_FLOAT_EQ(tanhAct(0.0f), 0.0f);
+    EXPECT_FLOAT_EQ(tanhAct(1.0f), -tanhAct(-1.0f));
+    EXPECT_LT(std::fabs(tanhAct(20.0f)), 1.0f + 1e-6f);
+}
+
+TEST(Gradients, FromOutputMatchAnalytic)
+{
+    const float s = sigmoid(0.7f);
+    EXPECT_NEAR(sigmoidGradFromOutput(s), s * (1 - s), 1e-6f);
+
+    const float t = std::tanh(0.3f);
+    EXPECT_NEAR(tanhGradFromOutput(t), 1 - t * t, 1e-6f);
+}
+
+TEST(InplaceVariants, ApplyElementwise)
+{
+    Vector v{-100.0f, 0.0f, 100.0f};
+    sigmoidInplace(v.span());
+    EXPECT_NEAR(v[0], 0.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(v[1], 0.5f);
+    EXPECT_NEAR(v[2], 1.0f, 1e-6f);
+
+    Vector w{-100.0f, 0.0f, 100.0f};
+    tanhInplace(w.span());
+    EXPECT_NEAR(w[0], -1.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(w[1], 0.0f);
+
+    Vector u{-100.0f, 0.0f, 100.0f};
+    hardSigmoidInplace(u.span());
+    EXPECT_FLOAT_EQ(u[0], 0.0f);
+    EXPECT_FLOAT_EQ(u[1], 0.5f);
+    EXPECT_FLOAT_EQ(u[2], 1.0f);
+}
+
+TEST(SensitiveArea, IntervalClassification)
+{
+    EXPECT_TRUE(intervalInsensitive(2.0f, 5.0f));
+    EXPECT_TRUE(intervalInsensitive(-9.0f, -2.0f));
+    EXPECT_FALSE(intervalInsensitive(-1.0f, 1.0f));
+    EXPECT_FALSE(intervalInsensitive(1.5f, 2.5f));
+}
+
+TEST(SensitiveArea, OverlapLengths)
+{
+    // Entirely inside.
+    EXPECT_FLOAT_EQ(sensitiveOverlap(-1.0f, 1.0f), 2.0f);
+    // Entirely outside.
+    EXPECT_FLOAT_EQ(sensitiveOverlap(3.0f, 9.0f), 0.0f);
+    // Straddles the upper boundary.
+    EXPECT_FLOAT_EQ(sensitiveOverlap(1.0f, 5.0f), 1.0f);
+    // Covers the whole sensitive area: maximal overlap is 4.
+    EXPECT_FLOAT_EQ(sensitiveOverlap(-10.0f, 10.0f), 4.0f);
+}
+
+} // namespace

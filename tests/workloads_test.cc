@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the Table II registry and the synthetic task generators:
+ * shapes, label consistency, determinism, and the structural properties
+ * the paper's optimisations rely on (episodic boundaries, overwriting
+ * facts, mapped translation halves).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/benchmarks.hh"
+#include "workloads/datagen.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::workloads;
+
+TEST(TableII, SixBenchmarksWithPaperConfigs)
+{
+    const auto &specs = tableII();
+    ASSERT_EQ(specs.size(), 6u);
+
+    const BenchmarkSpec &imdb = benchmarkByName("IMDB");
+    EXPECT_EQ(imdb.hiddenSize, 512u);
+    EXPECT_EQ(imdb.numLayers, 3u);
+    EXPECT_EQ(imdb.length, 80u);
+    EXPECT_EQ(imdb.abbrev, "SC");
+
+    const BenchmarkSpec &ptb = benchmarkByName("PTB");
+    EXPECT_EQ(ptb.hiddenSize, 650u);
+    EXPECT_EQ(ptb.numLayers, 3u);
+    EXPECT_EQ(ptb.length, 200u);
+    EXPECT_TRUE(ptb.isLanguageModel());
+
+    const BenchmarkSpec &mt = benchmarkByName("MT");
+    EXPECT_EQ(mt.hiddenSize, 500u);
+    EXPECT_EQ(mt.numLayers, 4u);
+    EXPECT_EQ(mt.length, 50u);
+
+    EXPECT_EQ(benchmarkByName("MR").hiddenSize, 256u);
+    EXPECT_EQ(benchmarkByName("BABI").length, 86u);
+    EXPECT_EQ(benchmarkByName("SNLI").hiddenSize, 300u);
+
+    EXPECT_THROW(benchmarkByName("nope"), std::out_of_range);
+}
+
+TEST(TableII, TimingShapeMatchesSpec)
+{
+    const auto shape = benchmarkByName("SNLI").timingShape();
+    ASSERT_EQ(shape.layers.size(), 2u);
+    EXPECT_EQ(shape.layers[0].hiddenSize, 300u);
+    EXPECT_EQ(shape.layers[0].length, 100u);
+    EXPECT_EQ(shape.layers[1].inputSize, 300u);
+}
+
+TEST(TableII, AccuracyModelMirrorsLayerCount)
+{
+    for (const BenchmarkSpec &spec : tableII()) {
+        const nn::ModelConfig cfg = spec.accuracyModelConfig();
+        EXPECT_EQ(cfg.numLayers, spec.numLayers) << spec.name;
+        EXPECT_EQ(cfg.hiddenSize, spec.modelHidden) << spec.name;
+        EXPECT_EQ(cfg.task == nn::TaskKind::LanguageModel,
+                  spec.isLanguageModel())
+            << spec.name;
+    }
+}
+
+TEST(Datagen, SentimentLabelsMatchWeightedScore)
+{
+    const auto data = makeSentimentTask(48, 24, 50, 20, 1);
+    EXPECT_EQ(data.train.size(), 50u);
+    EXPECT_EQ(data.test.size(), 20u);
+
+    const std::int32_t reset = 47;
+    for (const nn::Sample &s : data.train) {
+        EXPECT_EQ(s.tokens.size(), 24u);
+        int seg = 0, global = 0;
+        for (std::int32_t t : s.tokens) {
+            if (t == reset) {
+                seg = 0;
+            } else if (t < 12) {
+                ++seg;
+                ++global;
+            } else if (t < 24) {
+                --seg;
+                --global;
+            }
+        }
+        const int score = 2 * seg + global;
+        EXPECT_NE(score, 0);
+        EXPECT_EQ(s.label, score > 0 ? 1 : 0);
+    }
+}
+
+TEST(Datagen, SentimentHasEpisodicBoundaries)
+{
+    const auto data = makeSentimentTask(48, 24, 100, 1, 2);
+    std::size_t resets = 0, tokens = 0;
+    for (const nn::Sample &s : data.train) {
+        tokens += s.tokens.size();
+        for (std::int32_t t : s.tokens)
+            resets += t == 47;
+    }
+    const double rate = static_cast<double>(resets) / tokens;
+    EXPECT_GT(rate, 0.05);
+    EXPECT_LT(rate, 0.25);
+}
+
+TEST(Datagen, QaAnswerIsLatestFact)
+{
+    const auto data = makeQaTask(56, 4, 26, 60, 10, 3);
+    for (const nn::Sample &s : data.train) {
+        ASSERT_EQ(s.tokens.size(), 26u);
+        EXPECT_EQ(s.tokens.back(), 5);  // query token = classes + 1
+        // Scan for the last [key, value] fact; it must equal the label.
+        std::int32_t last_value = -1;
+        for (std::size_t t = 0; t + 1 < s.tokens.size(); ++t) {
+            if (s.tokens[t] == 4)  // key token == classes
+                last_value = s.tokens[t + 1];
+        }
+        ASSERT_NE(last_value, -1);
+        EXPECT_EQ(last_value, s.label);
+        EXPECT_GE(s.label, 0);
+        EXPECT_LT(s.label, 4);
+    }
+}
+
+TEST(Datagen, EntailmentSegmentsEncodeLabel)
+{
+    const auto data = makeEntailmentTask(48, 24, 60, 10, 4);
+    auto group_of = [](std::int32_t tok) {
+        return (tok - 1) / ((48 - 1) / 4);
+    };
+    for (const nn::Sample &s : data.train) {
+        // Find the separator.
+        std::size_t sep = 0;
+        for (std::size_t t = 0; t < s.tokens.size(); ++t) {
+            if (s.tokens[t] == 0) {
+                sep = t;
+                break;
+            }
+        }
+        ASSERT_GT(sep, 0u);
+        const int ga = group_of(s.tokens[0]);
+        const int gb = group_of(s.tokens[sep + 1]);
+        if (s.label == 0)
+            EXPECT_EQ(gb, ga);
+        else if (s.label == 1)
+            EXPECT_EQ(gb, ga ^ 1);
+        else
+            EXPECT_NE(gb & ~1, ga & ~1);  // different pair
+    }
+}
+
+TEST(Datagen, LanguageModelHasSentenceBoundaries)
+{
+    const auto data = makeLanguageModelTask(40, 32, 40, 5, 5);
+    std::size_t boundaries = 0, tokens = 0;
+    for (const auto &seq : data.train) {
+        EXPECT_EQ(seq.size(), 32u);
+        for (std::int32_t t : seq) {
+            EXPECT_GE(t, 0);
+            EXPECT_LT(t, 40);
+            boundaries += t == 0;
+        }
+        tokens += seq.size();
+    }
+    const double rate = static_cast<double>(boundaries) / tokens;
+    EXPECT_GT(rate, 0.03);
+    EXPECT_LT(rate, 0.2);
+}
+
+TEST(Datagen, TranslationTargetIsMappedSource)
+{
+    const auto data = makeTranslationTask(36, 24, 30, 5, 6);
+    for (const auto &seq : data.train) {
+        ASSERT_EQ(seq.size(), 24u);
+        const std::size_t half = 11;  // (24 - 1) / 2
+        EXPECT_EQ(seq[half], 0);      // separator
+        for (std::size_t i = 0; i < half; ++i) {
+            const auto src = static_cast<std::size_t>(seq[i]);
+            const std::int32_t expect =
+                static_cast<std::int32_t>(1 + (src * 7 + 3) % 35);
+            EXPECT_EQ(seq[half + 1 + i], expect);
+        }
+        // Even lengths are padded with the separator token.
+        EXPECT_EQ(seq[23], 0);
+    }
+}
+
+TEST(Datagen, GeneratorsAreDeterministic)
+{
+    const auto a = makeQaTask(56, 4, 26, 10, 5, 42);
+    const auto b = makeQaTask(56, 4, 26, 10, 5, 42);
+    for (std::size_t i = 0; i < a.train.size(); ++i) {
+        EXPECT_EQ(a.train[i].tokens, b.train[i].tokens);
+        EXPECT_EQ(a.train[i].label, b.train[i].label);
+    }
+    const auto c = makeQaTask(56, 4, 26, 10, 5, 43);
+    EXPECT_NE(a.train[0].tokens, c.train[0].tokens);
+}
+
+TEST(Datagen, MakeTaskDispatchesFamilies)
+{
+    for (const BenchmarkSpec &spec : tableII()) {
+        const TaskData data = makeTask(spec, 8, 4);
+        EXPECT_EQ(data.isLm, spec.isLanguageModel()) << spec.name;
+        if (data.isLm) {
+            EXPECT_EQ(data.lm.train.size(), 8u);
+            EXPECT_TRUE(data.cls.train.empty());
+        } else {
+            EXPECT_EQ(data.cls.train.size(), 8u);
+            EXPECT_TRUE(data.lm.train.empty());
+        }
+        EXPECT_EQ(data.calibrationSequences(3).size(), 3u);
+        EXPECT_EQ(data.calibrationSequences(100).size(), 8u);
+    }
+}
+
+TEST(Datagen, TrainedModelBeatsChanceQuickly)
+{
+    // A cheap sanity check (the full training runs live in bench/): a
+    // few epochs on the QA task must clearly beat the 1/4 chance rate.
+    BenchmarkSpec spec = benchmarkByName("BABI");
+    spec.modelHidden = 32;
+    spec.modelLength = 16;
+    const TaskData data = makeTask(spec, 120, 40);
+    const nn::LstmModel model = trainAccuracyModel(spec, data, 6);
+    EXPECT_GT(exactAccuracy(model, data), 0.5);
+}
+
+TEST(Datagen, GeneratorsValidateConfigs)
+{
+    EXPECT_THROW(makeSentimentTask(4, 10, 1, 1, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(makeQaTask(6, 4, 26, 1, 1, 1), std::invalid_argument);
+    EXPECT_THROW(makeEntailmentTask(8, 24, 1, 1, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(makeLanguageModelTask(4, 10, 1, 1, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(makeTranslationTask(36, 4, 1, 1, 1),
+                 std::invalid_argument);
+}
+
+} // namespace

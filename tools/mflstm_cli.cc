@@ -1,0 +1,288 @@
+/**
+ * @file
+ * mflstm_cli — command-line experiment driver.
+ *
+ * Subcommands:
+ *   list                         the Table II applications
+ *   run   --app NAME [options]   run one plan at one threshold set
+ *   sweep --app NAME [options]   sweep the full threshold ladder
+ *   mts   --app NAME             the Fig. 9 tissue-size sweep
+ *
+ * Common options:
+ *   --plan baseline|inter|intra-sw|intra-hw|combined|zero-pruning
+ *   --set N            threshold ladder rung (0..10, default AO)
+ *   --gpu tx1|tx2      target GPU model (default tx1)
+ *   --csv              emit one CSV row instead of the table
+ *   --trace-csv FILE   dump the lowered kernel trace as CSV
+ *
+ * Trained accuracy models are cached in ./mflstm_model_cache.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "harness.hh"
+#include "runtime/report.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::bench;
+
+struct Options
+{
+    std::string command;
+    std::string app = "IMDB";
+    runtime::PlanKind plan = runtime::PlanKind::Combined;
+    std::optional<std::size_t> set;
+    std::string gpuName = "tx1";
+    bool csv = false;
+    std::string traceCsv;
+};
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: mflstm_cli <list|run|sweep|mts> [--app NAME] "
+        "[--plan KIND]\n                  [--set N] [--gpu tx1|tx2] "
+        "[--csv] [--trace-csv FILE]\n");
+    return 2;
+}
+
+std::optional<runtime::PlanKind>
+parsePlan(const std::string &s)
+{
+    static const std::map<std::string, runtime::PlanKind> kinds = {
+        {"baseline", runtime::PlanKind::Baseline},
+        {"inter", runtime::PlanKind::InterCell},
+        {"intra-sw", runtime::PlanKind::IntraCellSw},
+        {"intra-hw", runtime::PlanKind::IntraCellHw},
+        {"combined", runtime::PlanKind::Combined},
+        {"zero-pruning", runtime::PlanKind::ZeroPruning},
+    };
+    const auto it = kinds.find(s);
+    if (it == kinds.end())
+        return std::nullopt;
+    return it->second;
+}
+
+gpu::GpuConfig
+gpuFor(const std::string &name)
+{
+    return name == "tx2" ? gpu::GpuConfig::tegraX2Like()
+                         : gpu::GpuConfig::tegraX1();
+}
+
+int
+cmdList()
+{
+    std::printf("%-6s %-4s %8s %7s %7s  %s\n", "name", "abbr", "hidden",
+                "layers", "length", "task");
+    for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
+        std::printf("%-6s %-4s %8zu %7zu %7zu  %s\n", spec.name.c_str(),
+                    spec.abbrev.c_str(), spec.hiddenSize, spec.numLayers,
+                    spec.length,
+                    spec.isLanguageModel() ? "language-model"
+                                           : "classification");
+    }
+    return 0;
+}
+
+int
+cmdRun(const Options &opt)
+{
+    const AppContext app =
+        makeApp(workloads::benchmarkByName(opt.app));
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model, core::MemoryFriendlyLstm::Config{
+                        gpuFor(opt.gpuName), app.spec.timingShape()});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    const auto ladder = mf->calibration().ladder();
+
+    // Pick the rung: explicit --set, otherwise this plan's AO.
+    std::size_t rung;
+    if (opt.set) {
+        if (*opt.set >= ladder.size()) {
+            std::fprintf(stderr, "error: --set must be 0..%zu\n",
+                         ladder.size() - 1);
+            return 2;
+        }
+        rung = *opt.set;
+    } else {
+        const SchemeCurve curve =
+            evaluateScheme(*mf, app, opt.plan, ladder);
+        rung = core::selectAo(curve.points, app.baselineAccuracy, 2.0);
+    }
+
+    runtime::ExecutionPlan probe;
+    probe.kind = opt.plan;
+    mf->runner().resetStats();
+    mf->runner().setThresholds(
+        probe.usesInter() ? ladder[rung].alphaInter : 0.0,
+        probe.usesIntra() ? ladder[rung].alphaIntra : 0.0);
+    const double acc = evalAccuracy(*mf, app);
+    const core::TimingOutcome out = mf->evaluateTiming(opt.plan);
+
+    if (!opt.traceCsv.empty()) {
+        std::ofstream os(opt.traceCsv);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.traceCsv.c_str());
+            return 2;
+        }
+        runtime::writeTraceCsv(
+            os, mf->executor().lowering().lower(
+                    mf->config().timingShape, out.plan));
+        std::fprintf(stderr, "kernel trace written to %s\n",
+                     opt.traceCsv.c_str());
+    }
+
+    if (opt.csv) {
+        std::printf("%s\n", runtime::runCsvHeader().c_str());
+        std::printf("%s\n",
+                    runtime::runCsvRow(opt.app, out.report).c_str());
+        return 0;
+    }
+
+    std::printf("%s (threshold set %zu, GPU %s)\n", opt.app.c_str(),
+                rung, mf->executor().config().name.c_str());
+    std::printf("accuracy %.1f%% (baseline %.1f%%)\n\n", 100.0 * acc,
+                100.0 * app.baselineAccuracy);
+    std::printf("%s\n",
+                runtime::formatComparison(mf->baseline(), out.report)
+                    .c_str());
+    std::printf("%s", runtime::formatRunReport(out.report).c_str());
+    return 0;
+}
+
+int
+cmdSweep(const Options &opt)
+{
+    const AppContext app =
+        makeApp(workloads::benchmarkByName(opt.app));
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model, core::MemoryFriendlyLstm::Config{
+                        gpuFor(opt.gpuName), app.spec.timingShape()});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    const auto ladder = mf->calibration().ladder();
+    const SchemeCurve curve =
+        evaluateScheme(*mf, app, opt.plan, ladder);
+
+    if (opt.csv) {
+        std::printf("set,alpha_inter,alpha_intra,speedup,accuracy\n");
+        for (const auto &pt : curve.points) {
+            std::printf("%zu,%g,%g,%g,%g\n", pt.index,
+                        pt.set.alphaInter, pt.set.alphaIntra,
+                        pt.speedup, pt.accuracy);
+        }
+        return 0;
+    }
+
+    std::printf("%s / %s (baseline accuracy %.1f%%)\n", opt.app.c_str(),
+                runtime::toString(opt.plan), 100.0 * app.baselineAccuracy);
+    std::printf("%4s %12s %12s %9s %9s\n", "set", "alpha_inter",
+                "alpha_intra", "speedup", "accuracy");
+    for (const auto &pt : curve.points) {
+        std::printf("%4zu %12.2f %12.4f %8.2fx %8.1f%%\n", pt.index,
+                    pt.set.alphaInter, pt.set.alphaIntra, pt.speedup,
+                    100.0 * pt.accuracy);
+    }
+    const std::size_t ao =
+        core::selectAo(curve.points, app.baselineAccuracy, 2.0);
+    std::printf("AO = set %zu, BPA = set %zu\n", ao,
+                core::selectBpa(curve.points));
+    return 0;
+}
+
+int
+cmdMts(const Options &opt)
+{
+    const workloads::BenchmarkSpec &spec =
+        workloads::benchmarkByName(opt.app);
+    runtime::NetworkExecutor ex(gpuFor(opt.gpuName));
+    const core::MtsResult res = core::findMts(
+        ex, {spec.hiddenSize, spec.hiddenSize, spec.length}, 10);
+
+    std::printf("%s on %s\n", opt.app.c_str(),
+                ex.config().name.c_str());
+    std::printf("%4s %12s %10s\n", "k", "layer time", "shared bw");
+    for (std::size_t k = 1; k <= res.timesUs.size(); ++k) {
+        std::printf("%4zu %10.2fms %9.0f%% %s\n", k,
+                    res.timesUs[k - 1] / 1e3,
+                    100.0 * res.sharedUtilization[k - 1],
+                    k == res.mts ? "<- MTS" : "");
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+
+    Options opt;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--app") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.app = v;
+        } else if (arg == "--plan") {
+            const char *v = next();
+            const auto kind = v ? parsePlan(v) : std::nullopt;
+            if (!kind)
+                return usage();
+            opt.plan = *kind;
+        } else if (arg == "--set") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.set = static_cast<std::size_t>(std::strtoul(v, nullptr,
+                                                            10));
+        } else if (arg == "--gpu") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.gpuName = v;
+        } else if (arg == "--csv") {
+            opt.csv = true;
+        } else if (arg == "--trace-csv") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.traceCsv = v;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    try {
+        if (opt.command == "list")
+            return cmdList();
+        if (opt.command == "run")
+            return cmdRun(opt);
+        if (opt.command == "sweep")
+            return cmdSweep(opt);
+        if (opt.command == "mts")
+            return cmdMts(opt);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}
