@@ -1,7 +1,11 @@
 #include "harness.hh"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include <filesystem>
 
 #include "nn/serialize.hh"
@@ -13,6 +17,28 @@ namespace {
 
 const char *kCacheDir = "mflstm_model_cache";
 
+void
+dumpBenchMetrics()
+{
+    const obs::Observer &obs = benchObserver();
+    if (obs.metrics().empty())
+        return;
+    // glibc keeps the invoking basename around for us; fall back to a
+    // generic stem if the platform doesn't provide it.
+#ifdef __GLIBC__
+    const std::string stem = program_invocation_short_name;
+#else
+    const std::string stem = "bench";
+#endif
+    const std::string path = stem + "_metrics.json";
+    std::ofstream os(path);
+    if (!os)
+        return;
+    obs.metrics().writeJson(os);
+    std::fprintf(stderr, "[harness] metrics written to %s\n",
+                 path.c_str());
+}
+
 std::string
 cachePath(const workloads::BenchmarkSpec &spec)
 {
@@ -22,6 +48,16 @@ cachePath(const workloads::BenchmarkSpec &spec)
 }
 
 } // anonymous namespace
+
+obs::Observer &
+benchObserver()
+{
+    static obs::Observer *instance = [] {
+        std::atexit(dumpBenchMetrics);
+        return new obs::Observer();
+    }();
+    return *instance;
+}
 
 AppContext
 makeApp(const workloads::BenchmarkSpec &spec)
@@ -63,7 +99,7 @@ makeCalibrated(const AppContext &app)
     auto mf = std::make_unique<core::MemoryFriendlyLstm>(
         *app.model, core::MemoryFriendlyLstm::Config{
                         gpu::GpuConfig::tegraX1(),
-                        app.spec.timingShape()});
+                        app.spec.timingShape(), &benchObserver()});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
     return mf;
 }

@@ -15,11 +15,21 @@
 #include <vector>
 
 #include "core/api.hh"
+#include "obs/observer.hh"
 #include "workloads/benchmarks.hh"
 #include "workloads/datagen.hh"
 
 namespace mflstm {
 namespace bench {
+
+/**
+ * Process-wide observability sink shared by every facade the harness
+ * builds (makeCalibrated wires it in). At process exit the accumulated
+ * metrics registry is written to `<program>_metrics.json` in the
+ * working directory, next to the bench's printed tables; nothing is
+ * written when no metrics were recorded.
+ */
+obs::Observer &benchObserver();
 
 /** Everything one Table II application needs for an experiment. */
 struct AppContext

@@ -8,7 +8,8 @@ namespace core {
 
 MemoryFriendlyLstm::MemoryFriendlyLstm(const nn::LstmModel &accuracy_model,
                                        const Config &cfg)
-    : cfg_(cfg), executor_(cfg_.gpu), runner_(accuracy_model)
+    : cfg_(cfg), executor_(cfg_.gpu, cfg_.observer),
+      runner_(accuracy_model)
 {
     if (cfg_.timingShape.layers.empty())
         throw std::invalid_argument(
@@ -29,19 +30,32 @@ const MemoryFriendlyLstm::Calibration &
 MemoryFriendlyLstm::calibrate(
     const std::vector<std::vector<std::int32_t>> &train_seqs)
 {
+    obs::Observer *obs = cfg_.observer;
+    auto ph = obs::Observer::phase(obs, "calibrate");
     Calibration cal;
 
-    // Fig. 10 op 1: tissue-size sweep on the target GPU.
-    cal.mtsSweep = findMts(executor_, cfg_.timingShape.layers.front());
-    cal.mts = cal.mtsSweep.mts;
+    {
+        // Fig. 10 op 1: tissue-size sweep on the target GPU.
+        auto sub = obs::Observer::phase(obs, "mts-sweep");
+        cal.mtsSweep =
+            findMts(executor_, cfg_.timingShape.layers.front());
+        cal.mts = cal.mtsSweep.mts;
+    }
 
-    // Fig. 10 op 4: link predictors from the training distribution.
-    runner_.calibrate(train_seqs);
+    {
+        // Fig. 10 op 4: link predictors from the training distribution.
+        auto sub = obs::Observer::phase(obs, "predictor-calibration");
+        runner_.calibrate(train_seqs);
+    }
 
-    // Fig. 10 op 2: threshold upper limits from the exact profile.
-    cal.profile = runner_.profile(train_seqs);
-    cal.limits = findThresholdLimits(
-        cal.profile, cal.mts, cfg_.timingShape.layers.front().length);
+    {
+        // Fig. 10 op 2: threshold upper limits from the exact profile
+        // (runs the relevance scan over the calibration sequences).
+        auto sub = obs::Observer::phase(obs, "relevance-profile");
+        cal.profile = runner_.profile(train_seqs);
+        cal.limits = findThresholdLimits(
+            cal.profile, cal.mts, cfg_.timingShape.layers.front().length);
+    }
 
     calibration_ = std::move(cal);
     return *calibration_;
@@ -100,8 +114,11 @@ MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
         }
     }
 
-    out.plan = buildPlan(kind, runner_.stats(), cfg_.timingShape, mts,
-                         model_hidden);
+    {
+        auto ph = obs::Observer::phase(cfg_.observer, "planning");
+        out.plan = buildPlan(kind, runner_.stats(), cfg_.timingShape,
+                             mts, model_hidden);
+    }
     out.report = executor_.run(cfg_.timingShape, out.plan);
     out.speedup = runtime::speedup(baseline_, out.report);
     out.energySavingPct = runtime::energySavingPct(baseline_, out.report);

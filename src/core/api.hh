@@ -56,6 +56,14 @@ class MemoryFriendlyLstm
     {
         gpu::GpuConfig gpu = gpu::GpuConfig::tegraX1();
         runtime::NetworkShape timingShape;
+        /**
+         * Optional observability sink: host phases (calibration,
+         * planning, lowering, simulation), the simulated-kernel
+         * timeline and the metrics registry all record into it. The
+         * facade never owns it; nullptr (the default) disables all
+         * recording.
+         */
+        obs::Observer *observer = nullptr;
     };
 
     /** Offline calibration results (Fig. 10 left half). */

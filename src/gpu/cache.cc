@@ -115,5 +115,19 @@ streamingReuseDramBytes(double footprint_bytes, double sweeps,
            (sweeps - 1.0) * footprint_bytes * (1.0 - resident);
 }
 
+void
+SetAssocCache::publishMetrics(obs::MetricsRegistry &metrics,
+                              const std::string &prefix) const
+{
+    metrics.gauge(prefix + ".hits")
+        .set(static_cast<double>(hits_));
+    metrics.gauge(prefix + ".misses")
+        .set(static_cast<double>(misses_));
+    metrics.gauge(prefix + ".dram_bytes")
+        .set(static_cast<double>(dramBytes()));
+    metrics.gauge(prefix + ".hit_rate")
+        .set(accesses() ? 1.0 - missRate() : 0.0);
+}
+
 } // namespace gpu
 } // namespace mflstm

@@ -20,7 +20,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hh"
 
 namespace mflstm {
 namespace gpu {
@@ -50,6 +53,15 @@ class SetAssocCache
 
     std::size_t capacity() const { return sets_ * assoc_ * lineBytes_; }
     unsigned lineBytes() const { return lineBytes_; }
+
+    /**
+     * Publish the current hit/miss statistics into @p metrics as
+     * `<prefix>.hits`, `<prefix>.misses`, `<prefix>.dram_bytes` and
+     * `<prefix>.hit_rate` gauges (snapshot semantics: repeated calls
+     * overwrite, they do not accumulate).
+     */
+    void publishMetrics(obs::MetricsRegistry &metrics,
+                        const std::string &prefix = "cache") const;
 
   private:
     struct Way

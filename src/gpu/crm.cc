@@ -54,6 +54,7 @@ CtaReorgModule::reorganize(const std::vector<std::uint32_t> &trivial_rows,
     res.cycles = pipelineCycles(total_threads);
     res.energyJ = static_cast<double>(total_threads) *
                   cfg_.crmPjPerThread * 1e-12;
+    recordPass(res, total_threads);
     return res;
 }
 
@@ -68,7 +69,29 @@ CtaReorgModule::reorganizeSummary(std::uint32_t disabled_threads,
     res.cycles = pipelineCycles(total_threads);
     res.energyJ = static_cast<double>(total_threads) *
                   cfg_.crmPjPerThread * 1e-12;
+    recordPass(res, total_threads);
     return res;
+}
+
+void
+CtaReorgModule::recordPass(const CrmResult &res,
+                           std::uint32_t total) const
+{
+    if (!metrics_)
+        return;
+    metrics_->counter("crm.passes").add(1.0);
+    metrics_->counter("crm.cycles").add(res.cycles);
+    obs::Counter &in = metrics_->counter("crm.threads_in");
+    obs::Counter &dis = metrics_->counter("crm.threads_disabled");
+    in.add(static_cast<double>(total));
+    dis.add(static_cast<double>(res.disabledThreads));
+    metrics_->gauge("crm.compaction_ratio")
+        .set(in.value() > 0.0 ? (in.value() - dis.value()) / in.value()
+                              : 1.0);
+    metrics_
+        ->histogram("crm.pipeline_cycles",
+                    obs::Histogram::exponentialEdges(1.0, 1e6, 13))
+        .observe(res.cycles);
 }
 
 double

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "gpu/config.hh"
+#include "obs/metrics.hh"
 
 namespace mflstm {
 namespace gpu {
@@ -48,6 +49,13 @@ class CtaReorgModule
 {
   public:
     explicit CtaReorgModule(const GpuConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Attach a metrics registry; every subsequent pass records pass
+     * counts, thread totals and the cumulative compaction ratio
+     * (surviving / inspected thread slots). nullptr detaches.
+     */
+    void setMetrics(obs::MetricsRegistry *metrics) { metrics_ = metrics; }
 
     /**
      * Decode disabled STIDs from the trivial-row list. Thread t of the
@@ -79,7 +87,10 @@ class CtaReorgModule
     double pipelineCycles(std::uint32_t total_threads) const;
 
   private:
+    void recordPass(const CrmResult &res, std::uint32_t total) const;
+
     const GpuConfig &cfg_;
+    obs::MetricsRegistry *metrics_ = nullptr;
 };
 
 } // namespace gpu

@@ -62,6 +62,22 @@ BankedDram::accessStrided(std::uint64_t addr, std::uint64_t stride,
 }
 
 void
+BankedDram::publishMetrics(obs::MetricsRegistry &metrics,
+                           const std::string &prefix) const
+{
+    metrics.gauge(prefix + ".accesses")
+        .set(static_cast<double>(stats_.accesses));
+    metrics.gauge(prefix + ".row_hits")
+        .set(static_cast<double>(stats_.rowHits));
+    metrics.gauge(prefix + ".row_misses")
+        .set(static_cast<double>(stats_.rowMisses));
+    metrics.gauge(prefix + ".bytes").set(stats_.bytes);
+    metrics.gauge(prefix + ".row_hit_rate").set(stats_.hitRate());
+    metrics.gauge(prefix + ".efficiency_vs_peak")
+        .set(stats_.efficiencyVsPeak(cfg_));
+}
+
+void
 BankedDram::resetStats()
 {
     stats_ = DramStats{};

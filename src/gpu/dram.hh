@@ -13,7 +13,10 @@
 #define MFLSTM_GPU_DRAM_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "obs/metrics.hh"
 
 namespace mflstm {
 namespace gpu {
@@ -90,6 +93,16 @@ class BankedDram
 
     const DramStats &stats() const { return stats_; }
     void resetStats();
+
+    /**
+     * Publish the stream statistics into @p metrics as
+     * `<prefix>.accesses` / `<prefix>.row_hits` / `<prefix>.row_misses`
+     * / `<prefix>.bytes` / `<prefix>.row_hit_rate` /
+     * `<prefix>.efficiency_vs_peak` gauges (snapshot semantics:
+     * repeated calls overwrite, they do not accumulate).
+     */
+    void publishMetrics(obs::MetricsRegistry &metrics,
+                        const std::string &prefix = "dram") const;
 
   private:
     struct Bank

@@ -7,6 +7,8 @@ DispatchInfo
 GridManagementUnit::dispatch(const KernelDesc &desc)
 {
     ++dispatched_;
+    if (metrics_)
+        metrics_->counter("gmu.kernels_dispatched").add(1.0);
 
     DispatchInfo info;
     info.activeThreads = desc.totalThreads();
@@ -19,6 +21,8 @@ GridManagementUnit::dispatch(const KernelDesc &desc)
         info.activeThreads = res.activeThreads;
         info.crmCycles = res.cycles;
         info.crmEnergyJ = res.energyJ;
+        if (metrics_)
+            metrics_->counter("gmu.kernels_through_crm").add(1.0);
     }
     return info;
 }

@@ -43,6 +43,16 @@ class GridManagementUnit
     bool crmPresent() const { return crmPresent_; }
 
     /**
+     * Attach a metrics registry to the GMU and its CRM: dispatch and
+     * routing counters plus the CRM's compaction instruments.
+     */
+    void setMetrics(obs::MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+        crm_.setMetrics(metrics);
+    }
+
+    /**
      * Inspect one kernel launch. Row-skip kernels (extra argument R) are
      * handed to the CRM which compacts their grids; everything else
      * passes straight to the work queue.
@@ -57,6 +67,7 @@ class GridManagementUnit
     const GpuConfig &cfg_;
     CtaReorgModule crm_;
     bool crmPresent_;
+    obs::MetricsRegistry *metrics_ = nullptr;
     std::size_t dispatched_ = 0;
     std::size_t throughCrm_ = 0;
 };

@@ -60,6 +60,14 @@ struct KernelDesc
      */
     double coalescingFactor = 1.0;
 
+    // --- Provenance (observability; -1 = not applicable) ------------------
+    /// network layer this kernel belongs to
+    int layer = -1;
+    /// timestep / first cell covered within the layer
+    int timestep = -1;
+    /// tissue index within the layer (inter-cell flow only)
+    int tissue = -1;
+
     // --- Row-skip plumbing (Section V-B hardware design) -----------------
     /// Kernel carries the trivial-row list R as an extra argument; the
     /// GMU routes such kernels through the CTA-reorganization module.

@@ -1,7 +1,20 @@
 #include "gpu/simulator.hh"
 
+#include <algorithm>
+
 namespace mflstm {
 namespace gpu {
+
+namespace {
+
+/// bucket edges for cycle-valued histograms (1 cycle .. 1e9 cycles)
+std::vector<double>
+cycleEdges()
+{
+    return obs::Histogram::exponentialEdges(1.0, 1e9, 19);
+}
+
+} // anonymous namespace
 
 double
 TraceResult::classShare(KernelClass k) const
@@ -12,9 +25,19 @@ TraceResult::classShare(KernelClass k) const
     return it == timePerClassUs.end() ? 0.0 : it->second / timeUs;
 }
 
-Simulator::Simulator(const GpuConfig &cfg, bool crm_present)
-    : cfg_(cfg), gmu_(cfg_, crm_present)
-{}
+Simulator::Simulator(const GpuConfig &cfg, bool crm_present,
+                     obs::Observer *obs)
+    : cfg_(cfg), gmu_(cfg_, crm_present), obs_(obs)
+{
+    if (obs_) {
+        gmu_.setMetrics(&obs_->metrics());
+        for (unsigned sm = 0; sm < cfg_.numSms; ++sm) {
+            obs_->tracer().setTrackName(
+                obs::SpanTracer::kGpuPid, static_cast<int>(sm),
+                "SM " + std::to_string(sm));
+        }
+    }
+}
 
 KernelTiming
 Simulator::runKernel(const KernelDesc &desc)
@@ -29,6 +52,74 @@ Simulator::runKernel(const KernelDesc &desc)
         t.activeThreads = dispatch.activeThreads;
     }
     return t;
+}
+
+void
+Simulator::recordKernel(const KernelDesc &desc, const KernelTiming &t,
+                        bool routed_through_crm)
+{
+    obs::MetricsRegistry &m = obs_->metrics();
+    const char *klass = toString(desc.klass);
+
+    m.counter("sim.kernels").add(1.0);
+    m.counter("sim.time_us").add(t.timeUs);
+    m.counter("sim.flops").add(t.flops);
+    m.counter("sim.dram_bytes").add(t.dramBytes);
+    m.counter(std::string("sim.stall_cycles.") + klass)
+        .add(t.stalls.total());
+    m.histogram(std::string("sim.stall_cycles_hist.") + klass,
+                cycleEdges())
+        .observe(t.stalls.total());
+    if (t.reconfigured)
+        m.counter("sim.kernels_reconfigured").add(1.0);
+
+    if (desc.klass == KernelClass::Drs)
+        m.counter("drs.scan_kernels").add(1.0);
+    if (desc.hasRowSkipArg) {
+        // One thread per output row in the lowered Sgemv/Sgemm grids, so
+        // disabled thread slots count skipped rows.
+        m.counter("drs.kernels_with_skip").add(1.0);
+        m.counter("drs.rows_skipped")
+            .add(static_cast<double>(desc.disabledThreads));
+        m.histogram("drs.rows_skipped_per_kernel",
+                    obs::Histogram::exponentialEdges(1.0, 1e6, 13))
+            .observe(static_cast<double>(desc.disabledThreads));
+    }
+
+    // --- Timeline span, one per occupied SM -----------------------------
+    obs::SpanTracer &tracer = obs_->tracer();
+    const double start = tracer.simCursorUs();
+    const unsigned sms = std::max(1u, std::min(t.smsUsed, cfg_.numSms));
+    for (unsigned sm = 0; sm < sms; ++sm) {
+        obs::TraceSpan span;
+        span.name = desc.name;
+        span.category = klass;
+        span.pid = obs::SpanTracer::kGpuPid;
+        span.tid = static_cast<int>(sm);
+        span.startUs = start;
+        span.durUs = t.timeUs;
+        span.numArgs = {
+            {"flops", t.flops},
+            {"dram_bytes", t.dramBytes},
+            {"l2_bytes", t.l2Bytes},
+            {"shared_bytes", t.sharedBytes},
+            {"stall_offchip_cycles", t.stalls.offChipMemory},
+            {"stall_onchip_cycles", t.stalls.onChipBandwidth},
+            {"stall_sync_cycles", t.stalls.synchronization},
+            {"stall_dep_cycles", t.stalls.executionDependency},
+            {"stall_other_cycles", t.stalls.other},
+            {"ctas", static_cast<double>(desc.ctas)},
+            {"layer", static_cast<double>(desc.layer)},
+            {"timestep", static_cast<double>(desc.timestep)},
+            {"tissue", static_cast<double>(desc.tissue)},
+        };
+        span.strArgs = {{"class", klass}};
+        if (routed_through_crm)
+            span.numArgs.emplace_back(
+                "crm_cycles", t.crmCycles);
+        tracer.record(std::move(span));
+    }
+    tracer.advanceSimCursor(t.timeUs);
 }
 
 TraceResult
@@ -52,6 +143,9 @@ Simulator::runTrace(const KernelTrace &trace)
                 cfg_.kernelLaunchUs - cfg_.streamedLaunchUs();
         }
         first = false;
+
+        if (obs_)
+            recordKernel(desc, t, t.crmCycles > 0.0);
 
         res.timeUs += t.timeUs;
         res.cycles += t.cycles;
@@ -89,6 +183,15 @@ Simulator::runTrace(const KernelTrace &trace)
     activity.crmDynamicJ = crm_energy;
     activity.crmPresent = gmu_.crmPresent();
     res.energy = computeEnergy(cfg_, activity);
+
+    if (obs_ && res.l2Bytes > 0.0) {
+        // Effective L2 hit rate implied by the analytic traffic model:
+        // the fraction of L2-level accesses that did not go off-chip.
+        obs_->metrics()
+            .gauge("cache.l2_hit_rate")
+            .set(std::clamp(1.0 - res.dramBytes / res.l2Bytes, 0.0,
+                            1.0));
+    }
 
     return res;
 }

@@ -5,6 +5,13 @@
  * where one LSTM stream saturates the part) and aggregates time, stall,
  * bandwidth and energy statistics. This is the stand-in for the paper's
  * Jetson board + DeepBench measurement loop.
+ *
+ * When an obs::Observer is injected the simulator additionally emits a
+ * per-kernel timeline (one span per occupied SM, in simulated µs) and
+ * registers counters/histograms (per-class stall cycles, DRS skip
+ * counts, CRM compaction, effective L2 hit rate). With the default null
+ * observer the timing results are bit-identical to the uninstrumented
+ * simulator.
  */
 
 #ifndef MFLSTM_GPU_SIMULATOR_HH
@@ -17,6 +24,7 @@
 #include "gpu/gmu.hh"
 #include "gpu/kernel.hh"
 #include "gpu/sm.hh"
+#include "obs/observer.hh"
 
 namespace mflstm {
 namespace gpu {
@@ -61,11 +69,15 @@ class Simulator
     /**
      * @param crm_present  build the GPU with the paper's CTA-
      *                     reorganization hardware (Section V-B).
+     * @param obs          optional observability sink; nullptr (the
+     *                     default) disables all recording.
      */
-    explicit Simulator(const GpuConfig &cfg, bool crm_present = true);
+    explicit Simulator(const GpuConfig &cfg, bool crm_present = true,
+                       obs::Observer *obs = nullptr);
 
     const GpuConfig &config() const { return cfg_; }
     bool crmPresent() const { return gmu_.crmPresent(); }
+    obs::Observer *observer() const { return obs_; }
 
     /** Time one kernel, including GMU/CRM routing. */
     KernelTiming runKernel(const KernelDesc &desc);
@@ -74,8 +86,12 @@ class Simulator
     TraceResult runTrace(const KernelTrace &trace);
 
   private:
+    void recordKernel(const KernelDesc &desc, const KernelTiming &t,
+                      bool routed_through_crm);
+
     GpuConfig cfg_;
     GridManagementUnit gmu_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace gpu

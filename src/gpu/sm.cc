@@ -46,6 +46,10 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
         static_cast<double>(ctas_per_sm) * cfg.numSms;
     const double waves =
         std::max(1.0, std::ceil(desc.ctas / concurrent_ctas));
+    t.smsUsed = static_cast<unsigned>(std::min(
+        static_cast<double>(cfg.numSms),
+        std::ceil(static_cast<double>(desc.ctas) / ctas_per_sm)));
+    t.smsUsed = std::max(1u, t.smsUsed);
 
     const double sync_cycles =
         static_cast<double>(desc.syncsPerCta) * cfg.barrierCostCycles *

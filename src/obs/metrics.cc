@@ -1,0 +1,181 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace mflstm {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1, 0)
+{
+    if (edges_.empty())
+        throw std::invalid_argument("Histogram: no bucket edges");
+    if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+        std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end())
+        throw std::invalid_argument(
+            "Histogram: edges must be strictly ascending");
+}
+
+std::vector<double>
+Histogram::exponentialEdges(double lo, double hi, std::size_t count)
+{
+    if (lo <= 0.0 || hi <= lo || count < 2)
+        throw std::invalid_argument("exponentialEdges: bad range");
+    std::vector<double> edges(count);
+    const double step =
+        std::log(hi / lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i)
+        edges[i] = lo * std::exp(step * static_cast<double>(i));
+    edges.back() = hi;  // exact despite rounding
+    return edges;
+}
+
+void
+Histogram::observe(double v)
+{
+    // First bucket whose upper edge is >= v; past-the-end = overflow.
+    const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
+    ++buckets_[static_cast<std::size_t>(it - edges_.begin())];
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    return gauges_[name];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> edges)
+{
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end())
+        return it->second;
+    return histograms_.emplace(name, Histogram(std::move(edges)))
+        .first->second;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        w.key(name).value(c.value());
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_)
+        w.key(name).value(g.value());
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms_) {
+        w.key(name).beginObject();
+        w.key("count").value(static_cast<std::uint64_t>(h.count()));
+        w.key("sum").value(h.sum());
+        w.key("min").value(h.min());
+        w.key("max").value(h.max());
+        w.key("edges").beginArray();
+        for (double e : h.edges())
+            w.value(e);
+        w.endArray();
+        w.key("buckets").beginArray();
+        for (std::uint64_t b : h.buckets())
+            w.value(b);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+MetricsRegistry::formatTable() const
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+
+    std::size_t width = 0;
+    for (const auto &[name, c] : counters_)
+        width = std::max(width, name.size());
+    for (const auto &[name, g] : gauges_)
+        width = std::max(width, name.size());
+    for (const auto &[name, h] : histograms_)
+        width = std::max(width, name.size());
+
+    const auto pad = [&](const std::string &name) {
+        os << "  " << name
+           << std::string(width - name.size() + 2, ' ');
+    };
+
+    for (const auto &[name, c] : counters_) {
+        pad(name);
+        os << "counter  " << c.value() << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        pad(name);
+        os << "gauge    " << g.value() << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        pad(name);
+        os << "hist     count=" << h.count() << " sum=" << h.sum()
+           << " min=" << h.min() << " max=" << h.max() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace obs
+} // namespace mflstm

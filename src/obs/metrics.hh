@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket histograms
+ * registered by the simulator and runtime (DRS rows skipped, CRM
+ * compaction ratio, cache hit rate, per-class stall cycles, ...).
+ * Instruments are created on first use and owned by the registry;
+ * returned references stay valid for the registry's lifetime. Dumps as
+ * JSON (machine) or an aligned table (human).
+ */
+
+#ifndef MFLSTM_OBS_METRICS_HH
+#define MFLSTM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mflstm {
+namespace obs {
+
+/** Monotonically increasing sum (counts, bytes, cycles). */
+class Counter
+{
+  public:
+    void add(double delta = 1.0) { value_ += delta; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Last-written value (ratios, rates, configuration). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations v with
+ * edge[i-1] < v <= edge[i] (upper-inclusive, like Prometheus "le");
+ * values above the last edge land in the overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param edges strictly ascending upper bounds; must be non-empty. */
+    explicit Histogram(std::vector<double> edges);
+
+    /** @return @p count edges spanning [lo, hi] on a log scale. */
+    static std::vector<double> exponentialEdges(double lo, double hi,
+                                                std::size_t count);
+
+    void observe(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<double> &edges() const { return edges_; }
+    /** Per-bucket counts; size = edges().size() + 1 (last = overflow). */
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<double> edges_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Owns every named instrument of one observer. */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** @p edges is only consulted when the histogram does not exist yet. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> edges);
+
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    bool empty() const;
+
+    /** Machine dump: {"counters":{...},"gauges":{...},"histograms":{...}} */
+    void writeJson(std::ostream &os) const;
+
+    /** Human dump: one aligned line per instrument, sorted by name. */
+    std::string formatTable() const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace obs
+} // namespace mflstm
+
+#endif // MFLSTM_OBS_METRICS_HH

@@ -1,0 +1,26 @@
+#include "obs/observer.hh"
+
+namespace mflstm {
+namespace obs {
+
+void
+Observer::Phase::close()
+{
+    if (!obs_)
+        return;
+    Observer *obs = obs_;
+    obs_ = nullptr;
+
+    TraceSpan span;
+    span.name = std::move(name_);
+    span.category = "host";
+    span.pid = SpanTracer::kHostPid;
+    span.tid = 0;
+    span.startUs = startUs_;
+    span.durUs = obs->wallNowUs() - startUs_;
+    obs->tracer().setTrackName(SpanTracer::kHostPid, 0, "phases");
+    obs->tracer().record(std::move(span));
+}
+
+} // namespace obs
+} // namespace mflstm

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Observer: the sink handle threaded through the simulator and runtime.
+ * Bundles a SpanTracer and a MetricsRegistry plus an RAII helper for
+ * host-side phases (relevance scan, planning, lowering, simulation).
+ *
+ * Instrumented components accept an `Observer *` that defaults to
+ * nullptr, so every existing call site keeps its behaviour and pays a
+ * single pointer test per event. Helper guards (`if (!obs) return;`)
+ * keep the instrumentation sites one-liners.
+ */
+
+#ifndef MFLSTM_OBS_OBSERVER_HH
+#define MFLSTM_OBS_OBSERVER_HH
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mflstm {
+namespace obs {
+
+class Observer
+{
+  public:
+    Observer() : epoch_(Clock::now()) {}
+
+    Observer(const Observer &) = delete;
+    Observer &operator=(const Observer &) = delete;
+
+    SpanTracer &tracer() { return tracer_; }
+    const SpanTracer &tracer() const { return tracer_; }
+    MetricsRegistry &metrics() { return metrics_; }
+    const MetricsRegistry &metrics() const { return metrics_; }
+
+    /** Wall-clock microseconds since this observer was created. */
+    double wallNowUs() const
+    {
+        return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                         epoch_)
+            .count();
+    }
+
+    /**
+     * RAII host phase: records a wall-clock span on the host track when
+     * it goes out of scope. Nest freely; inner phases close first.
+     */
+    class Phase
+    {
+      public:
+        Phase(Observer *obs, std::string name)
+            : obs_(obs), name_(std::move(name)),
+              startUs_(obs ? obs->wallNowUs() : 0.0)
+        {}
+
+        Phase(Phase &&rhs) noexcept
+            : obs_(rhs.obs_), name_(std::move(rhs.name_)),
+              startUs_(rhs.startUs_)
+        {
+            rhs.obs_ = nullptr;
+        }
+        Phase &operator=(Phase &&) = delete;
+        Phase(const Phase &) = delete;
+        Phase &operator=(const Phase &) = delete;
+
+        ~Phase() { close(); }
+
+        /** End the phase early (idempotent). */
+        void close();
+
+      private:
+        Observer *obs_;
+        std::string name_;
+        double startUs_;
+    };
+
+    /**
+     * Start a host phase on @p obs; safe on nullptr (the returned Phase
+     * is inert). Usage: `auto ph = obs::Observer::phase(obs, "lower");`
+     */
+    static Phase phase(Observer *obs, std::string name)
+    {
+        return Phase(obs, std::move(name));
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    SpanTracer tracer_;
+    MetricsRegistry metrics_;
+    Clock::time_point epoch_;
+};
+
+} // namespace obs
+} // namespace mflstm
+
+#endif // MFLSTM_OBS_OBSERVER_HH

@@ -26,10 +26,42 @@ RunReport
 NetworkExecutor::run(const NetworkShape &shape,
                      const ExecutionPlan &plan) const
 {
-    gpu::Simulator sim(cfg_, plan.usesCrmHardware());
+    const char *kind = toString(plan.kind);
+    gpu::Simulator sim(cfg_, plan.usesCrmHardware(), obs_);
     RunReport report;
     report.kind = plan.kind;
-    report.result = sim.runTrace(lowering_.lower(shape, plan));
+
+    gpu::KernelTrace trace;
+    {
+        auto ph = obs::Observer::phase(
+            obs_, std::string("lower:") + kind);
+        trace = lowering_.lower(shape, plan);
+    }
+
+    const double gpu_start =
+        obs_ ? obs_->tracer().simCursorUs() : 0.0;
+    {
+        auto ph = obs::Observer::phase(
+            obs_, std::string("simulate:") + kind);
+        report.result = sim.runTrace(trace);
+    }
+
+    if (obs_) {
+        obs_->metrics().counter("executor.runs").add(1.0);
+        // Enclosing run span on its own GPU track, so the timeline shows
+        // where each plan's kernels start and end.
+        const int run_track = static_cast<int>(cfg_.numSms);
+        obs_->tracer().setTrackName(obs::SpanTracer::kGpuPid, run_track,
+                                    "runs");
+        obs::TraceSpan span;
+        span.name = kind;
+        span.category = "run";
+        span.pid = obs::SpanTracer::kGpuPid;
+        span.tid = run_track;
+        span.startUs = gpu_start;
+        span.durUs = obs_->tracer().simCursorUs() - gpu_start;
+        obs_->tracer().record(std::move(span));
+    }
     return report;
 }
 
@@ -38,7 +70,7 @@ NetworkExecutor::runLayer(const LstmLayerShape &layer,
                           const ExecutionPlan &plan,
                           std::size_t layer_index) const
 {
-    gpu::Simulator sim(cfg_, plan.usesCrmHardware());
+    gpu::Simulator sim(cfg_, plan.usesCrmHardware(), obs_);
     gpu::KernelTrace trace;
     lowering_.lowerLayer(layer, plan, layer_index, trace);
 

@@ -33,12 +33,19 @@ double energySavingPct(const RunReport &base, const RunReport &opt);
 class NetworkExecutor
 {
   public:
-    explicit NetworkExecutor(const gpu::GpuConfig &cfg)
-        : cfg_(cfg), lowering_(cfg_)
+    /**
+     * @param obs optional observability sink shared by every run this
+     *            executor performs (host phases + GPU timeline +
+     *            metrics); nullptr disables all recording.
+     */
+    explicit NetworkExecutor(const gpu::GpuConfig &cfg,
+                             obs::Observer *obs = nullptr)
+        : cfg_(cfg), lowering_(cfg_), obs_(obs)
     {}
 
     const gpu::GpuConfig &config() const { return cfg_; }
     const Lowering &lowering() const { return lowering_; }
+    obs::Observer *observer() const { return obs_; }
 
     /** Lower + simulate the whole network. */
     RunReport run(const NetworkShape &shape,
@@ -52,6 +59,7 @@ class NetworkExecutor
   private:
     gpu::GpuConfig cfg_;
     Lowering lowering_;
+    obs::Observer *obs_ = nullptr;
 };
 
 } // namespace runtime

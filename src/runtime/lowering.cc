@@ -332,7 +332,17 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     const double n = static_cast<double>(shape.length);
     const double u_bytes = 4.0 * h * h * kFloat;
 
-    out.push_back(inputSgemm(shape));
+    // Provenance tags consumed by the observability timeline.
+    const int li = static_cast<int>(layer_index);
+    const auto push = [&](gpu::KernelDesc k, int timestep = -1,
+                          int tissue = -1) {
+        k.layer = li;
+        k.timestep = timestep;
+        k.tissue = tissue;
+        out.push_back(std::move(k));
+    };
+
+    push(inputSgemm(shape));
 
     // A layer the breakpoint search could not divide (all tissues of
     // size 1) gains nothing from the tissue flow but would pay its
@@ -353,9 +363,10 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
             u_bytes * (1.0 - plan.pruneFraction) * 1.5;
         const double traffic = layerWeightTraffic(pruned_footprint, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
-            out.push_back(
-                prunedSgemv(shape, traffic / n, plan.pruneFraction));
-            out.push_back(elementWise(shape, 1));
+            const int ts = static_cast<int>(t);
+            push(prunedSgemv(shape, traffic / n, plan.pruneFraction),
+                 ts);
+            push(elementWise(shape, 1), ts);
         }
         return;
     }
@@ -366,12 +377,14 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
             throw std::invalid_argument(
                 "lowerLayer: tissue sizes do not cover the layer");
 
-        out.push_back(relevanceKernel(shape));
+        push(relevanceKernel(shape));
 
         const double tissues = static_cast<double>(ip.tissueSizes.size());
         const double traffic = layerWeightTraffic(u_bytes, tissues);
+        int cell = 0;
+        int ti = 0;
         for (std::size_t tissue : ip.tissueSizes) {
-            out.push_back(tissueGather(shape, tissue));
+            push(tissueGather(shape, tissue), cell, ti);
             if (intra && skip > 0.0) {
                 // Combined flow: per-tissue U_o Sgemm, element-wise,
                 // DRS scan, then the row-skipped U_fic tissue Sgemm.
@@ -382,9 +395,9 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                 uo.sharedBytes *= 0.25;
                 uo.l2AccessBytes *= 0.25;
                 uo.ctas = std::max(1u, uo.ctas / 4);
-                out.push_back(uo);
-                out.push_back(elementWise(shape, tissue));
-                out.push_back(drsScan(shape));
+                push(std::move(uo), cell, ti);
+                push(elementWise(shape, tissue), cell, ti);
+                push(drsScan(shape), cell, ti);
 
                 gpu::KernelDesc fic =
                     tissueSgemm(shape, tissue, traffic / tissues * 0.75,
@@ -393,12 +406,14 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                 fic.flops *= 0.75;
                 fic.sharedBytes *= 0.75;
                 fic.l2AccessBytes *= 0.75;
-                out.push_back(fic);
+                push(std::move(fic), cell, ti);
             } else {
-                out.push_back(
-                    tissueSgemm(shape, tissue, traffic / tissues, 0.0));
+                push(tissueSgemm(shape, tissue, traffic / tissues, 0.0),
+                     cell, ti);
             }
-            out.push_back(elementWise(shape, tissue));
+            push(elementWise(shape, tissue), cell, ti);
+            cell += static_cast<int>(tissue);
+            ++ti;
         }
         return;
     }
@@ -409,11 +424,12 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         const double uo_traffic = layerWeightTraffic(u_bytes * 0.25, n);
         const double fic_traffic = layerWeightTraffic(u_bytes * 0.75, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
-            out.push_back(outputGateSgemv(shape, uo_traffic / n));
-            out.push_back(elementWise(shape, 1));
-            out.push_back(drsScan(shape));
-            out.push_back(rowSkipSgemv(shape, fic_traffic / n, skip, hw));
-            out.push_back(elementWise(shape, 1));
+            const int ts = static_cast<int>(t);
+            push(outputGateSgemv(shape, uo_traffic / n), ts);
+            push(elementWise(shape, 1), ts);
+            push(drsScan(shape), ts);
+            push(rowSkipSgemv(shape, fic_traffic / n, skip, hw), ts);
+            push(elementWise(shape, 1), ts);
         }
         return;
     }
@@ -421,8 +437,9 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     // Baseline: Algorithm 1.
     const double traffic = layerWeightTraffic(u_bytes, n);
     for (std::size_t t = 0; t < shape.length; ++t) {
-        out.push_back(cellSgemv(shape, traffic / n));
-        out.push_back(elementWise(shape, 1));
+        const int ts = static_cast<int>(t);
+        push(cellSgemv(shape, traffic / n), ts);
+        push(elementWise(shape, 1), ts);
     }
 }
 

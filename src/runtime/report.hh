@@ -26,6 +26,14 @@ std::string formatRunReport(const RunReport &report);
  */
 std::string formatComparison(const RunReport &base, const RunReport &opt);
 
+/**
+ * Escape one CSV field (RFC 4180): fields containing commas, quotes or
+ * newlines are quoted with internal quotes doubled. Labels and kernel
+ * names are user-supplied (`--app`), so every text field goes through
+ * this before joining a row.
+ */
+std::string csvEscape(const std::string &field);
+
 /** CSV header matching writeRunCsvRow. */
 std::string runCsvHeader();
 
@@ -38,6 +46,14 @@ std::string runCsvRow(const std::string &label, const RunReport &report);
 
 /** Dump a kernel trace as CSV (one row per kernel launch). */
 void writeTraceCsv(std::ostream &os, const gpu::KernelTrace &trace);
+
+/**
+ * Machine-consumable JSON object for one run: the same quantities as
+ * runCsvRow plus the per-class time/kernel breakdown and the stall
+ * decomposition.
+ */
+std::string runReportJson(const std::string &label,
+                          const RunReport &report);
 
 } // namespace runtime
 } // namespace mflstm

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the metrics registry: instrument semantics, histogram
+ * bucket-edge behaviour, and the JSON dump (parsed back with the obs
+ * JSON parser, not string-matched).
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+
+namespace {
+
+using namespace mflstm::obs;
+
+TEST(Metrics, CounterAccumulates)
+{
+    MetricsRegistry reg;
+    reg.counter("sim.kernels").add();
+    reg.counter("sim.kernels").add(4.0);
+    EXPECT_DOUBLE_EQ(reg.counter("sim.kernels").value(), 5.0);
+    EXPECT_NE(reg.findCounter("sim.kernels"), nullptr);
+    EXPECT_EQ(reg.findCounter("missing"), nullptr);
+}
+
+TEST(Metrics, GaugeOverwrites)
+{
+    MetricsRegistry reg;
+    reg.gauge("crm.compaction_ratio").set(0.25);
+    reg.gauge("crm.compaction_ratio").set(0.75);
+    EXPECT_DOUBLE_EQ(reg.gauge("crm.compaction_ratio").value(), 0.75);
+}
+
+TEST(Metrics, EmptyTracksInstrumentCreation)
+{
+    MetricsRegistry reg;
+    EXPECT_TRUE(reg.empty());
+    reg.counter("a");
+    EXPECT_FALSE(reg.empty());
+}
+
+TEST(Metrics, HistogramBucketEdgesAreUpperInclusive)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    // Bucket layout: (-inf,1] (1,10] (10,100] (100,inf).
+    h.observe(0.5);    // first bucket
+    h.observe(1.0);    // exactly on edge 0 -> still first bucket
+    h.observe(1.0001); // second bucket
+    h.observe(10.0);   // second bucket (upper-inclusive)
+    h.observe(100.0);  // third bucket
+    h.observe(101.0);  // overflow
+
+    ASSERT_EQ(h.buckets().size(), 4u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 2u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.5);
+    EXPECT_DOUBLE_EQ(h.max(), 101.0);
+    EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.0001 + 10.0 + 100.0 + 101.0,
+                1e-9);
+}
+
+TEST(Metrics, HistogramRejectsBadEdges)
+{
+    EXPECT_THROW(Histogram({}), std::invalid_argument);
+    EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, ExponentialEdgesSpanRangeAscending)
+{
+    const auto edges = Histogram::exponentialEdges(1.0, 1e6, 13);
+    ASSERT_EQ(edges.size(), 13u);
+    EXPECT_DOUBLE_EQ(edges.front(), 1.0);
+    EXPECT_NEAR(edges.back(), 1e6, 1e-3);
+    for (std::size_t i = 1; i < edges.size(); ++i)
+        EXPECT_LT(edges[i - 1], edges[i]);
+}
+
+TEST(Metrics, RegistryReusesHistogramIgnoringNewEdges)
+{
+    MetricsRegistry reg;
+    Histogram &h1 = reg.histogram("h", {1.0, 2.0});
+    Histogram &h2 = reg.histogram("h", {5.0});  // ignored: exists
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.edges().size(), 2u);
+}
+
+TEST(Metrics, JsonDumpParsesAndRoundTrips)
+{
+    MetricsRegistry reg;
+    reg.counter("drs.rows_skipped").add(1234.0);
+    reg.gauge("cache.l2_hit_rate").set(0.875);
+    Histogram &h =
+        reg.histogram("sim.stall_cycles_hist.Sgemv", {10.0, 100.0});
+    h.observe(5.0);
+    h.observe(50.0);
+    h.observe(500.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    const auto doc = parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->kind, JsonValue::Kind::Object);
+
+    const JsonValue *counters = doc->find("counters");
+    ASSERT_NE(counters, nullptr);
+    const JsonValue *rows = counters->find("drs.rows_skipped");
+    ASSERT_NE(rows, nullptr);
+    EXPECT_DOUBLE_EQ(rows->number, 1234.0);
+
+    const JsonValue *gauges = doc->find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    const JsonValue *hit = gauges->find("cache.l2_hit_rate");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_DOUBLE_EQ(hit->number, 0.875);
+
+    const JsonValue *hists = doc->find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const JsonValue *hist =
+        hists->find("sim.stall_cycles_hist.Sgemv");
+    ASSERT_NE(hist, nullptr);
+    const JsonValue *count = hist->find("count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->number, 3.0);
+    const JsonValue *buckets = hist->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_EQ(buckets->items.size(), 3u);  // 2 edges + overflow
+    EXPECT_DOUBLE_EQ(buckets->items[0].number, 1.0);
+    EXPECT_DOUBLE_EQ(buckets->items[1].number, 1.0);
+    EXPECT_DOUBLE_EQ(buckets->items[2].number, 1.0);
+    const JsonValue *edges = hist->find("edges");
+    ASSERT_NE(edges, nullptr);
+    ASSERT_EQ(edges->items.size(), 2u);
+
+    // The dump is deterministic: a second dump is byte-identical.
+    std::ostringstream os2;
+    reg.writeJson(os2);
+    EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(Metrics, FormatTableMentionsEveryInstrument)
+{
+    MetricsRegistry reg;
+    reg.counter("gmu.kernels_dispatched").add(7.0);
+    reg.gauge("dram.row_hit_rate").set(0.5);
+    reg.histogram("crm.pipeline_cycles", {1.0, 2.0}).observe(1.5);
+
+    const std::string t = reg.formatTable();
+    EXPECT_NE(t.find("gmu.kernels_dispatched"), std::string::npos);
+    EXPECT_NE(t.find("dram.row_hit_rate"), std::string::npos);
+    EXPECT_NE(t.find("crm.pipeline_cycles"), std::string::npos);
+}
+
+} // namespace

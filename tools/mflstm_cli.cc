@@ -7,6 +7,7 @@
  *   run   --app NAME [options]   run one plan at one threshold set
  *   sweep --app NAME [options]   sweep the full threshold ladder
  *   mts   --app NAME             the Fig. 9 tissue-size sweep
+ *   help                         print usage
  *
  * Common options:
  *   --plan baseline|inter|intra-sw|intra-hw|combined|zero-pruning
@@ -14,7 +15,12 @@
  *   --gpu tx1|tx2      target GPU model (default tx1)
  *   --csv              emit one CSV row instead of the table
  *   --trace-csv FILE   dump the lowered kernel trace as CSV
+ *   --trace-out FILE   write a Chrome trace-event JSON timeline
+ *                      (open in Perfetto / chrome://tracing)
+ *   --metrics-out FILE write the metrics registry as JSON
+ *   --help             print usage and exit
  *
+ * Any unrecognised argument prints usage and exits with status 2.
  * Trained accuracy models are cached in ./mflstm_model_cache.
  */
 
@@ -26,6 +32,7 @@
 #include <string>
 
 #include "harness.hh"
+#include "obs/observer.hh"
 #include "runtime/report.hh"
 
 namespace {
@@ -42,16 +49,40 @@ struct Options
     std::string gpuName = "tx1";
     bool csv = false;
     std::string traceCsv;
+    std::string traceOut;
+    std::string metricsOut;
+
+    /** The observability sinks were requested on the command line. */
+    bool wantsObserver() const
+    {
+        return !traceOut.empty() || !metricsOut.empty();
+    }
 };
+
+void
+printUsage(std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: mflstm_cli <list|run|sweep|mts|help> [options]\n"
+        "\n"
+        "options:\n"
+        "  --app NAME         Table II application (default IMDB)\n"
+        "  --plan KIND        baseline|inter|intra-sw|intra-hw|"
+        "combined|zero-pruning\n"
+        "  --set N            threshold ladder rung (default: AO)\n"
+        "  --gpu tx1|tx2      target GPU model (default tx1)\n"
+        "  --csv              emit one CSV row instead of the table\n"
+        "  --trace-csv FILE   dump the lowered kernel trace as CSV\n"
+        "  --trace-out FILE   write a Chrome trace-event JSON timeline\n"
+        "  --metrics-out FILE write the metrics registry as JSON\n"
+        "  --help             print this message and exit\n");
+}
 
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage: mflstm_cli <list|run|sweep|mts> [--app NAME] "
-        "[--plan KIND]\n                  [--set N] [--gpu tx1|tx2] "
-        "[--csv] [--trace-csv FILE]\n");
+    printUsage(stderr);
     return 2;
 }
 
@@ -79,6 +110,37 @@ gpuFor(const std::string &name)
                          : gpu::GpuConfig::tegraX1();
 }
 
+/** Write the observer's sinks to the files requested in @p opt. */
+int
+writeObserverOutputs(const Options &opt, const obs::Observer &observer)
+{
+    if (!opt.traceOut.empty()) {
+        std::ofstream os(opt.traceOut);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.traceOut.c_str());
+            return 2;
+        }
+        observer.tracer().writeChromeTrace(os);
+        std::fprintf(stderr,
+                     "trace written to %s (open in "
+                     "https://ui.perfetto.dev)\n",
+                     opt.traceOut.c_str());
+    }
+    if (!opt.metricsOut.empty()) {
+        std::ofstream os(opt.metricsOut);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.metricsOut.c_str());
+            return 2;
+        }
+        observer.metrics().writeJson(os);
+        std::fprintf(stderr, "metrics written to %s\n",
+                     opt.metricsOut.c_str());
+    }
+    return 0;
+}
+
 int
 cmdList()
 {
@@ -97,11 +159,18 @@ cmdList()
 int
 cmdRun(const Options &opt)
 {
-    const AppContext app =
-        makeApp(workloads::benchmarkByName(opt.app));
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
     auto mf = std::make_unique<core::MemoryFriendlyLstm>(
-        *app.model, core::MemoryFriendlyLstm::Config{
-                        gpuFor(opt.gpuName), app.spec.timingShape()});
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
     const auto ladder = mf->calibration().ladder();
 
@@ -126,7 +195,11 @@ cmdRun(const Options &opt)
     mf->runner().setThresholds(
         probe.usesInter() ? ladder[rung].alphaInter : 0.0,
         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0);
-    const double acc = evalAccuracy(*mf, app);
+    double acc = 0.0;
+    {
+        auto ph = obs::Observer::phase(obs, "accuracy-eval");
+        acc = evalAccuracy(*mf, app);
+    }
     const core::TimingOutcome out = mf->evaluateTiming(opt.plan);
 
     if (!opt.traceCsv.empty()) {
@@ -142,6 +215,9 @@ cmdRun(const Options &opt)
         std::fprintf(stderr, "kernel trace written to %s\n",
                      opt.traceCsv.c_str());
     }
+
+    if (const int rc = writeObserverOutputs(opt, observer))
+        return rc;
 
     if (opt.csv) {
         std::printf("%s\n", runtime::runCsvHeader().c_str());
@@ -164,15 +240,25 @@ cmdRun(const Options &opt)
 int
 cmdSweep(const Options &opt)
 {
-    const AppContext app =
-        makeApp(workloads::benchmarkByName(opt.app));
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
     auto mf = std::make_unique<core::MemoryFriendlyLstm>(
-        *app.model, core::MemoryFriendlyLstm::Config{
-                        gpuFor(opt.gpuName), app.spec.timingShape()});
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
     const auto ladder = mf->calibration().ladder();
     const SchemeCurve curve =
         evaluateScheme(*mf, app, opt.plan, ladder);
+
+    if (const int rc = writeObserverOutputs(opt, observer))
+        return rc;
 
     if (opt.csv) {
         std::printf("set,alpha_inter,alpha_intra,speedup,accuracy\n");
@@ -203,11 +289,17 @@ cmdSweep(const Options &opt)
 int
 cmdMts(const Options &opt)
 {
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
     const workloads::BenchmarkSpec &spec =
         workloads::benchmarkByName(opt.app);
-    runtime::NetworkExecutor ex(gpuFor(opt.gpuName));
+    runtime::NetworkExecutor ex(gpuFor(opt.gpuName), obs);
     const core::MtsResult res = core::findMts(
         ex, {spec.hiddenSize, spec.hiddenSize, spec.length}, 10);
+
+    if (const int rc = writeObserverOutputs(opt, observer))
+        return rc;
 
     std::printf("%s on %s\n", opt.app.c_str(),
                 ex.config().name.c_str());
@@ -231,12 +323,27 @@ main(int argc, char **argv)
 
     Options opt;
     opt.command = argv[1];
+    if (opt.command == "--help" || opt.command == "-h" ||
+        opt.command == "help") {
+        printUsage(stdout);
+        return 0;
+    }
+    if (opt.command != "list" && opt.command != "run" &&
+        opt.command != "sweep" && opt.command != "mts") {
+        std::fprintf(stderr, "unknown command: %s\n",
+                     opt.command.c_str());
+        return usage();
+    }
+
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : nullptr;
         };
-        if (arg == "--app") {
+        if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (arg == "--app") {
             const char *v = next();
             if (!v)
                 return usage();
@@ -244,19 +351,31 @@ main(int argc, char **argv)
         } else if (arg == "--plan") {
             const char *v = next();
             const auto kind = v ? parsePlan(v) : std::nullopt;
-            if (!kind)
+            if (!kind) {
+                std::fprintf(stderr, "bad --plan value: %s\n",
+                             v ? v : "(missing)");
                 return usage();
+            }
             opt.plan = *kind;
         } else if (arg == "--set") {
             const char *v = next();
-            if (!v)
+            char *end = nullptr;
+            const unsigned long n =
+                v ? std::strtoul(v, &end, 10) : 0;
+            if (!v || end == v || *end != '\0') {
+                std::fprintf(stderr, "bad --set value: %s\n",
+                             v ? v : "(missing)");
                 return usage();
-            opt.set = static_cast<std::size_t>(std::strtoul(v, nullptr,
-                                                            10));
+            }
+            opt.set = static_cast<std::size_t>(n);
         } else if (arg == "--gpu") {
             const char *v = next();
-            if (!v)
+            if (!v || (std::strcmp(v, "tx1") != 0 &&
+                       std::strcmp(v, "tx2") != 0)) {
+                std::fprintf(stderr, "bad --gpu value: %s\n",
+                             v ? v : "(missing)");
                 return usage();
+            }
             opt.gpuName = v;
         } else if (arg == "--csv") {
             opt.csv = true;
@@ -265,6 +384,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             opt.traceCsv = v;
+        } else if (arg == "--trace-out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.traceOut = v;
+        } else if (arg == "--metrics-out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.metricsOut = v;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return usage();
@@ -278,11 +407,9 @@ main(int argc, char **argv)
             return cmdRun(opt);
         if (opt.command == "sweep")
             return cmdSweep(opt);
-        if (opt.command == "mts")
-            return cmdMts(opt);
+        return cmdMts(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return usage();
 }
