@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Serving-layer study (DESIGN.md §9): cross-sequence batching as the
+ * serving-time extension of the paper's weight-reuse principle. Sweeps
+ * the batch dimension 1..8 on one app and reports how the simulated
+ * weight-matrix DRAM traffic per sequence is amortised (must fall
+ * monotonically), then drives the InferenceEngine under a burst load
+ * and reports the realised batch sizes and latency percentiles.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hh"
+#include "serve/engine.hh"
+
+int
+main()
+{
+    using namespace mflstm;
+    using namespace mflstm::bench;
+
+    constexpr std::size_t kMaxBatch = 8;
+
+    const AppContext app = makeApp(workloads::benchmarkByName("IMDB"));
+    auto mf = makeCalibrated(app);
+    const auto ladder = mf->calibration().ladder();
+    mf->setThresholds(ladder[ladder.size() / 2]);
+    evalAccuracy(*mf, app);  // populate stats for plan projection
+
+    const core::TimingOutcome combined =
+        mf->evaluateTiming({runtime::PlanKind::Combined});
+
+    std::printf("Cross-sequence batching on %s (combined scheme, %s)\n",
+                app.spec.name.c_str(),
+                mf->executor().config().name.c_str());
+    rule('=');
+    std::printf("%6s %16s %14s %14s %12s\n", "batch", "weight MB/seq",
+                "DRAM MB total", "batch time ms", "ms/sequence");
+    rule();
+
+    double prev = 0.0;
+    bool monotone = true;
+    for (std::size_t b = 1; b <= kMaxBatch; ++b) {
+        const runtime::RunReport rep =
+            mf->executor().run(runtime::RunRequest::network(
+                mf->config().timingShape, combined.plan, b));
+        const double per_seq = rep.weightDramBytesPerSequence();
+        if (b > 1 && per_seq >= prev)
+            monotone = false;
+        prev = per_seq;
+        std::printf("%6zu %16.3f %14.3f %14.2f %12.2f\n", b,
+                    per_seq / 1e6, rep.result.dramBytes / 1e6,
+                    rep.result.timeUs / 1e3,
+                    rep.result.timeUs / 1e3 / static_cast<double>(b));
+    }
+    rule();
+    std::printf("weight DRAM/sequence monotonically decreasing 1..%zu: "
+                "%s\n\n",
+                kMaxBatch, monotone ? "yes" : "NO (regression!)");
+
+    // Burst load through the engine: everything queued at once, so the
+    // batcher fills batches to the bound after the first drain.
+    serve::InferenceEngine::Options eopts;
+    eopts.maxBatch = kMaxBatch;
+    eopts.workers = 2;
+    eopts.plan = runtime::PlanKind::Combined;
+    serve::InferenceEngine engine(*mf, eopts);
+    serve::Session session = engine.session();
+
+    const auto seqs = app.data.calibrationSequences(kCalibrationSeqs);
+    std::vector<std::future<serve::Response>> futures;
+    const std::size_t kRequests = 64;
+    for (std::size_t i = 0; i < kRequests; ++i)
+        futures.push_back(session.infer(seqs[i % seqs.size()]));
+    for (auto &f : futures)
+        f.get();
+    engine.shutdown();
+
+    const serve::InferenceEngine::Stats st = engine.stats();
+    std::printf("engine burst: %zu requests, %llu batches, mean batch "
+                "%.2f, max %zu\n",
+                kRequests, static_cast<unsigned long long>(st.batches),
+                st.meanBatchSize, st.maxBatchObserved);
+    std::printf("wall latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n",
+                engine.latencyQuantileMs(0.50),
+                engine.latencyQuantileMs(0.90),
+                engine.latencyQuantileMs(0.99));
+    return monotone ? 0 : 1;
+}

@@ -128,10 +128,8 @@ evaluateScheme(core::MemoryFriendlyLstm &mf, const AppContext &app,
     const bool uses_intra = probe.usesIntra();
 
     for (std::size_t i = 0; i < ladder.size(); ++i) {
-        mf.runner().resetStats();
-        mf.runner().setThresholds(
-            uses_inter ? ladder[i].alphaInter : 0.0,
-            uses_intra ? ladder[i].alphaIntra : 0.0);
+        mf.setThresholds({uses_inter ? ladder[i].alphaInter : 0.0,
+                          uses_intra ? ladder[i].alphaIntra : 0.0});
 
         core::OperatingPoint pt;
         pt.index = i;

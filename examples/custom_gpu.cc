@@ -30,9 +30,7 @@ runOn(const gpu::GpuConfig &cfg, const workloads::BenchmarkSpec &spec,
     const auto ladder = cal.ladder();
     std::vector<core::OperatingPoint> points;
     for (std::size_t i = 0; i < ladder.size(); ++i) {
-        mf.runner().resetStats();
-        mf.runner().setThresholds(ladder[i].alphaInter,
-                                  ladder[i].alphaIntra);
+        mf.setThresholds(ladder[i]);
         core::OperatingPoint pt;
         pt.index = i;
         pt.accuracy = core::approxLmNextTokenAccuracy(mf.runner(),
@@ -76,11 +74,9 @@ main()
             model, {gpu::GpuConfig::tegraX1(), scaled.timingShape()});
         const auto &cal = mf.calibrate(data.calibrationSequences(30));
         const auto ladder = cal.ladder();
-        mf.runner().resetStats();
         // A conservative rung: short layers cannot yet divide up to
         // the MTS there, which is exactly the scaling effect at issue.
-        mf.runner().setThresholds(ladder[3].alphaInter,
-                                  ladder[3].alphaIntra);
+        mf.setThresholds(ladder[3]);
         core::approxLmNextTokenAccuracy(mf.runner(), data.lm.test);
         const auto out = mf.evaluateTiming(runtime::PlanKind::Combined);
         std::printf("  length %4zu: baseline %8.2f ms -> %8.2f ms "

@@ -41,9 +41,7 @@ main()
     std::vector<core::OperatingPoint> points;
     const auto ladder = cal.ladder();
     for (std::size_t i = 0; i < ladder.size(); ++i) {
-        mf.runner().resetStats();
-        mf.runner().setThresholds(ladder[i].alphaInter,
-                                  ladder[i].alphaIntra);
+        mf.setThresholds(ladder[i]);
         core::OperatingPoint pt;
         pt.index = i;
         pt.set = ladder[i];

@@ -50,9 +50,7 @@ main()
     std::vector<core::OperatingPoint> points;
     const auto ladder = cal.ladder();
     for (std::size_t i = 0; i < ladder.size(); ++i) {
-        mf.runner().resetStats();
-        mf.runner().setThresholds(ladder[i].alphaInter,
-                                  ladder[i].alphaIntra);
+        mf.setThresholds(ladder[i]);
         core::OperatingPoint pt;
         pt.index = i;
         pt.accuracy = core::approxClassificationAccuracy(
@@ -64,9 +62,7 @@ main()
     const std::size_t ao = core::selectAo(points, base_acc, 2.0);
 
     // 5. Report the chosen operating point.
-    mf.runner().resetStats();
-    mf.runner().setThresholds(ladder[ao].alphaInter,
-                              ladder[ao].alphaIntra);
+    mf.setThresholds(ladder[ao]);
     const double acc = core::approxClassificationAccuracy(
         mf.runner(), data.cls.test);
     const core::TimingOutcome out =

@@ -48,10 +48,9 @@ main()
         std::printf("%-14s", runtime::toString(kind));
         std::vector<core::OperatingPoint> points;
         for (std::size_t i = 0; i < ladder.size(); ++i) {
-            mf.runner().resetStats();
-            mf.runner().setThresholds(
-                probe.usesInter() ? ladder[i].alphaInter : 0.0,
-                probe.usesIntra() ? ladder[i].alphaIntra : 0.0);
+            mf.setThresholds(
+                {probe.usesInter() ? ladder[i].alphaInter : 0.0,
+                 probe.usesIntra() ? ladder[i].alphaIntra : 0.0});
             core::OperatingPoint pt;
             pt.index = i;
             pt.accuracy = core::approxLmNextTokenAccuracy(

@@ -70,24 +70,41 @@ MemoryFriendlyLstm::calibration() const
     return *calibration_;
 }
 
-TimingOutcome
-MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
-                                   double prune_fraction) const
+void
+MemoryFriendlyLstm::setThresholds(const ThresholdSet &set)
 {
+    // May throw (alphaInter before calibrate()); only commit after.
+    runner_.setThresholds(set.alphaInter, set.alphaIntra);
+    runner_.resetStats();
+    thresholds_ = set;
+}
+
+TimingOutcome
+MemoryFriendlyLstm::evaluateTiming(const TimingOptions &opts) const
+{
+    // An observer override gets its own executor so the configured
+    // sink sees nothing from this evaluation.
+    std::optional<runtime::NetworkExecutor> local;
+    if (opts.observer)
+        local.emplace(cfg_.gpu, opts.observer);
+    const runtime::NetworkExecutor &exec = local ? *local : executor_;
+    obs::Observer *observer =
+        opts.observer ? opts.observer : cfg_.observer;
+
     TimingOutcome out;
 
-    if (kind == runtime::PlanKind::Baseline) {
+    if (opts.kind == runtime::PlanKind::Baseline) {
         out.report = baseline_;
-        out.plan.kind = kind;
+        out.plan.kind = opts.kind;
         out.speedup = 1.0;
         out.energySavingPct = 0.0;
         return out;
     }
 
-    if (kind == runtime::PlanKind::ZeroPruning) {
-        out.plan.kind = kind;
-        out.plan.pruneFraction = prune_fraction;
-        out.report = executor_.run(cfg_.timingShape, out.plan);
+    if (opts.kind == runtime::PlanKind::ZeroPruning) {
+        out.plan.kind = opts.kind;
+        out.plan.pruneFraction = opts.pruneFraction;
+        out.report = exec.run(cfg_.timingShape, out.plan);
         out.speedup = runtime::speedup(baseline_, out.report);
         out.energySavingPct =
             runtime::energySavingPct(baseline_, out.report);
@@ -99,7 +116,7 @@ MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
         runner_.model().config().hiddenSize;
 
     std::size_t mts = cal.mts;
-    if (kind == runtime::PlanKind::Combined) {
+    if (opts.kind == runtime::PlanKind::Combined) {
         // DRS relieves on-chip traffic inside the tissue GEMM, which
         // raises the bandwidth-limited MTS; re-run the sweep with the
         // measured mean skip fraction.
@@ -108,21 +125,31 @@ MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
             skip += st.skipFraction(model_hidden);
         skip /= static_cast<double>(runner_.stats().size());
         if (skip > 0.0) {
-            mts = findMts(executor_, cfg_.timingShape.layers.front(), 12,
+            mts = findMts(exec, cfg_.timingShape.layers.front(), 12,
                           skip)
                       .mts;
         }
     }
 
     {
-        auto ph = obs::Observer::phase(cfg_.observer, "planning");
-        out.plan = buildPlan(kind, runner_.stats(), cfg_.timingShape,
+        auto ph = obs::Observer::phase(observer, "planning");
+        out.plan = buildPlan(opts.kind, runner_.stats(), cfg_.timingShape,
                              mts, model_hidden);
     }
-    out.report = executor_.run(cfg_.timingShape, out.plan);
+    out.report = exec.run(cfg_.timingShape, out.plan);
     out.speedup = runtime::speedup(baseline_, out.report);
     out.energySavingPct = runtime::energySavingPct(baseline_, out.report);
     return out;
+}
+
+TimingOutcome
+MemoryFriendlyLstm::evaluateTiming(runtime::PlanKind kind,
+                                   double prune_fraction) const
+{
+    TimingOptions opts;
+    opts.kind = kind;
+    opts.pruneFraction = prune_fraction;
+    return evaluateTiming(opts);
 }
 
 } // namespace core

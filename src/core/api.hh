@@ -19,9 +19,9 @@
  *                                       runtime::NetworkShape::stacked(
  *                                           512, 512, 3, 80)});
  *   mf.calibrate(train_seqs);
- *   mf.runner().setThresholds(a_inter, a_intra);
+ *   mf.setThresholds({a_inter, a_intra});
  *   double acc = core::approxClassificationAccuracy(mf.runner(), test);
- *   auto timing = mf.evaluateTiming(runtime::PlanKind::Combined);
+ *   auto timing = mf.evaluateTiming({runtime::PlanKind::Combined});
  */
 
 #ifndef MFLSTM_CORE_API_HH
@@ -47,6 +47,21 @@ struct TimingOutcome
     runtime::ExecutionPlan plan;
     double speedup = 1.0;
     double energySavingPct = 0.0;
+};
+
+/** Everything one evaluateTiming call needs, in one descriptor. */
+struct TimingOptions
+{
+    runtime::PlanKind kind = runtime::PlanKind::Combined;
+    /// element fraction pruned by the ZeroPruning comparator ([31]'s
+    /// reported LSTM sparsity); ignored by every other kind
+    double pruneFraction = 0.37;
+    /**
+     * Observability sink for this evaluation only, overriding (not
+     * merging with) Config::observer. nullptr keeps the configured
+     * sink.
+     */
+    obs::Observer *observer = nullptr;
 };
 
 class MemoryFriendlyLstm
@@ -94,7 +109,21 @@ class MemoryFriendlyLstm
     bool calibrated() const { return calibration_.has_value(); }
     const Calibration &calibration() const;
 
-    /** The approximate dataflow runner (set thresholds, evaluate). */
+    /**
+     * Set the two approximation thresholds and reset the accumulated
+     * division/skip statistics (every threshold change starts a fresh
+     * measurement window). This is the supported mutation path; use
+     * runner() for inspection and accuracy evaluation.
+     *
+     * @throws std::logic_error when set.alphaInter > 0 before
+     *         calibrate() has run (layer division needs predictors).
+     */
+    void setThresholds(const ThresholdSet &set);
+
+    /** The thresholds most recently applied via setThresholds(). */
+    const ThresholdSet &thresholds() const { return thresholds_; }
+
+    /** The approximate dataflow runner (inspection / accuracy eval). */
     ApproxRunner &runner() { return runner_; }
     const ApproxRunner &runner() const { return runner_; }
 
@@ -106,10 +135,14 @@ class MemoryFriendlyLstm
 
     /**
      * Project the runner's current statistics onto the timing shape and
-     * simulate @p kind. Run an accuracy evaluation through runner()
-     * first so the statistics reflect the active thresholds.
-     *
-     * @param prune_fraction only used by PlanKind::ZeroPruning.
+     * simulate @p opts.kind. Run an accuracy evaluation through
+     * runner() first so the statistics reflect the active thresholds.
+     */
+    TimingOutcome evaluateTiming(const TimingOptions &opts) const;
+
+    /**
+     * @deprecated Positional form kept for source compatibility;
+     * delegates to evaluateTiming(const TimingOptions&).
      */
     TimingOutcome evaluateTiming(runtime::PlanKind kind,
                                  double prune_fraction = 0.37) const;
@@ -120,6 +153,7 @@ class MemoryFriendlyLstm
     ApproxRunner runner_;
     runtime::RunReport baseline_;
     std::optional<Calibration> calibration_;
+    ThresholdSet thresholds_;
 };
 
 } // namespace core

@@ -45,6 +45,13 @@ struct KernelDesc
     double dramWriteBytes = 0.0;
     double l2AccessBytes = 0.0;   ///< total L2-level traffic (hits+misses)
     double sharedBytes = 0.0;     ///< shared-memory traffic
+    /**
+     * Weight-matrix share of dramReadBytes (the U/W streaming traffic
+     * after the cache model). Batched lowering charges it once per
+     * kernel regardless of the batch dimension, so the serving layer
+     * can report weight bytes amortised per sequence.
+     */
+    double dramWeightBytes = 0.0;
 
     // --- Behaviour --------------------------------------------------------
     unsigned syncsPerCta = 0;

@@ -65,6 +65,7 @@ Simulator::recordKernel(const KernelDesc &desc, const KernelTiming &t,
     m.counter("sim.time_us").add(t.timeUs);
     m.counter("sim.flops").add(t.flops);
     m.counter("sim.dram_bytes").add(t.dramBytes);
+    m.counter("sim.weight_dram_bytes").add(desc.dramWeightBytes);
     m.counter(std::string("sim.stall_cycles.") + klass)
         .add(t.stalls.total());
     m.histogram(std::string("sim.stall_cycles_hist.") + klass,
@@ -155,6 +156,7 @@ Simulator::runTrace(const KernelTrace &trace)
         res.dramBytes += t.dramBytes;
         res.l2Bytes += t.l2Bytes;
         res.sharedBytes += t.sharedBytes;
+        res.weightDramBytes += desc.dramWeightBytes;
         res.crmCycles += t.crmCycles;
         crm_energy += t.crmEnergyJ;
 

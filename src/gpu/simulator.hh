@@ -43,6 +43,9 @@ struct TraceResult
     double dramBytes = 0.0;
     double l2Bytes = 0.0;
     double sharedBytes = 0.0;
+    /// weight-matrix DRAM bytes (sum of KernelDesc::dramWeightBytes);
+    /// divide by the batch size for the per-sequence amortised figure
+    double weightDramBytes = 0.0;
 
     /// time-weighted mean utilisations over the whole trace
     double dramUtilization = 0.0;

@@ -39,6 +39,7 @@ Histogram::exponentialEdges(double lo, double hi, std::size_t count)
 void
 Histogram::observe(double v)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     // First bucket whose upper edge is >= v; past-the-end = overflow.
     const auto it = std::lower_bound(edges_.begin(), edges_.end(), v);
     ++buckets_[static_cast<std::size_t>(it - edges_.begin())];
@@ -52,15 +53,87 @@ Histogram::observe(double v)
     sum_ += v;
 }
 
+std::uint64_t
+Histogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+}
+
+double
+Histogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+}
+
+double
+Histogram::min() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return min_;
+}
+
+double
+Histogram::max() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Snapshot s;
+    s.count = count_;
+    s.sum = sum_;
+    s.min = min_;
+    s.max = max_;
+    s.buckets = buckets_;
+    return s;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("Histogram::quantile: q outside 0..1");
+    const Snapshot s = snapshot();
+    if (s.count == 0)
+        return 0.0;
+
+    const double rank = q * static_cast<double>(s.count);
+    double seen = 0.0;
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+        const double in_bucket = static_cast<double>(s.buckets[i]);
+        if (seen + in_bucket < rank || in_bucket == 0.0) {
+            seen += in_bucket;
+            continue;
+        }
+        if (i >= edges_.size())
+            return edges_.back();  // overflow bucket clamps
+        // Linear interpolation inside [lower, edges_[i]].
+        const double hi = edges_[i];
+        const double lo = i == 0 ? std::min(s.min, hi) : edges_[i - 1];
+        const double frac =
+            in_bucket > 0.0 ? (rank - seen) / in_bucket : 1.0;
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    return edges_.back();
+}
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_[name];
 }
 
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return gauges_[name];
 }
 
@@ -68,16 +141,18 @@ Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> edges)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = histograms_.find(name);
     if (it != histograms_.end())
         return it->second;
-    return histograms_.emplace(name, Histogram(std::move(edges)))
+    return histograms_.try_emplace(name, std::move(edges))
         .first->second;
 }
 
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : &it->second;
 }
@@ -85,6 +160,7 @@ MetricsRegistry::findCounter(const std::string &name) const
 const Gauge *
 MetricsRegistry::findGauge(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = gauges_.find(name);
     return it == gauges_.end() ? nullptr : &it->second;
 }
@@ -92,6 +168,7 @@ MetricsRegistry::findGauge(const std::string &name) const
 const Histogram *
 MetricsRegistry::findHistogram(const std::string &name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -99,12 +176,14 @@ MetricsRegistry::findHistogram(const std::string &name) const
 bool
 MetricsRegistry::empty() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     JsonWriter w(os);
     w.beginObject();
 
@@ -120,17 +199,18 @@ MetricsRegistry::writeJson(std::ostream &os) const
 
     w.key("histograms").beginObject();
     for (const auto &[name, h] : histograms_) {
+        const Histogram::Snapshot s = h.snapshot();
         w.key(name).beginObject();
-        w.key("count").value(static_cast<std::uint64_t>(h.count()));
-        w.key("sum").value(h.sum());
-        w.key("min").value(h.min());
-        w.key("max").value(h.max());
+        w.key("count").value(static_cast<std::uint64_t>(s.count));
+        w.key("sum").value(s.sum);
+        w.key("min").value(s.min);
+        w.key("max").value(s.max);
         w.key("edges").beginArray();
         for (double e : h.edges())
             w.value(e);
         w.endArray();
         w.key("buckets").beginArray();
-        for (std::uint64_t b : h.buckets())
+        for (std::uint64_t b : s.buckets)
             w.value(b);
         w.endArray();
         w.endObject();
@@ -144,6 +224,7 @@ MetricsRegistry::writeJson(std::ostream &os) const
 std::string
 MetricsRegistry::formatTable() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::ostringstream os;
     os.setf(std::ios::fixed);
     os.precision(3);
@@ -170,9 +251,10 @@ MetricsRegistry::formatTable() const
         os << "gauge    " << g.value() << "\n";
     }
     for (const auto &[name, h] : histograms_) {
+        const Histogram::Snapshot s = h.snapshot();
         pad(name);
-        os << "hist     count=" << h.count() << " sum=" << h.sum()
-           << " min=" << h.min() << " max=" << h.max() << "\n";
+        os << "hist     count=" << s.count << " sum=" << s.sum
+           << " min=" << s.min << " max=" << s.max << "\n";
     }
     return os.str();
 }

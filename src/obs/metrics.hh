@@ -6,14 +6,26 @@
  * Instruments are created on first use and owned by the registry;
  * returned references stay valid for the registry's lifetime. Dumps as
  * JSON (machine) or an aligned table (human).
+ *
+ * Thread safety (serving layer, DESIGN.md §9): every recording path is
+ * safe under concurrency — Counter::add / Gauge::set are lock-free
+ * atomics, Histogram::observe takes a per-instrument mutex, and
+ * instrument creation/lookup takes the registry mutex. References
+ * returned by counter()/gauge()/histogram() stay valid and safe to
+ * record through from any thread (std::map nodes never move). The
+ * dump methods (writeJson / formatTable) snapshot under the registry
+ * mutex; concurrent recording during a dump yields a consistent-enough
+ * point-in-time view, not a torn data structure.
  */
 
 #ifndef MFLSTM_OBS_METRICS_HH
 #define MFLSTM_OBS_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,28 +36,45 @@ namespace obs {
 class Counter
 {
   public:
-    void add(double delta = 1.0) { value_ += delta; }
-    double value() const { return value_; }
+    void add(double delta = 1.0)
+    {
+        // CAS loop: atomic<double>::fetch_add is C++20 but not yet
+        // reliably lock-free across the toolchains CI builds with.
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed))
+            ;
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /** Last-written value (ratios, rates, configuration). */
 class Gauge
 {
   public:
-    void set(double v) { value_ = v; }
-    double value() const { return value_; }
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /**
  * Fixed-bucket histogram. Bucket i counts observations v with
  * edge[i-1] < v <= edge[i] (upper-inclusive, like Prometheus "le");
  * values above the last edge land in the overflow bucket.
+ * observe() and the scalar accessors are thread-safe; buckets()
+ * returns a reference and should only be read once writers quiesced
+ * (use snapshot() for a concurrent-safe copy).
  */
 class Histogram
 {
@@ -59,13 +88,33 @@ class Histogram
 
     void observe(double v);
 
-    std::uint64_t count() const { return count_; }
-    double sum() const { return sum_; }
-    double min() const { return min_; }
-    double max() const { return max_; }
+    std::uint64_t count() const;
+    double sum() const;
+    double min() const;
+    double max() const;
     const std::vector<double> &edges() const { return edges_; }
-    /** Per-bucket counts; size = edges().size() + 1 (last = overflow). */
+    /** Per-bucket counts; size = edges().size() + 1 (last = overflow).
+     *  Quiescent readers only — use snapshot() under concurrency. */
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Point-in-time copy of the mutable state. */
+    struct Snapshot
+    {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        std::vector<std::uint64_t> buckets;
+    };
+    Snapshot snapshot() const;
+
+    /**
+     * Approximate @p q quantile (0..1) by linear interpolation inside
+     * the covering bucket (Prometheus histogram_quantile semantics).
+     * Returns 0 for an empty histogram; observations in the overflow
+     * bucket clamp to the last edge.
+     */
+    double quantile(double q) const;
 
   private:
     std::vector<double> edges_;
@@ -74,6 +123,7 @@ class Histogram
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    mutable std::mutex mu_;
 };
 
 /** Owns every named instrument of one observer. */
@@ -102,6 +152,7 @@ class MetricsRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;
+    mutable std::mutex mu_;
 };
 
 } // namespace obs

@@ -10,12 +10,14 @@ namespace obs {
 void
 SpanTracer::setTrackName(int pid, int tid, const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     trackNames_[{pid, tid}] = name;
 }
 
 void
 SpanTracer::record(TraceSpan span)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (spans_.size() >= kMaxSpans) {
         ++dropped_;
         return;
@@ -23,9 +25,38 @@ SpanTracer::record(TraceSpan span)
     spans_.push_back(std::move(span));
 }
 
+double
+SpanTracer::simCursorUs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return simCursorUs_;
+}
+
+void
+SpanTracer::advanceSimCursor(double us)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    simCursorUs_ += us;
+}
+
+std::size_t
+SpanTracer::droppedSpans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+}
+
+bool
+SpanTracer::empty() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.empty();
+}
+
 void
 SpanTracer::writeChromeTrace(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     JsonWriter w(os);
     w.beginObject();
     w.key("displayTimeUnit").value("ms");

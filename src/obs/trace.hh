@@ -6,6 +6,12 @@
  * chrome://tracing. The two time domains never share a track: GPU
  * tracks live under the "GPU (simulated time)" process, host phases
  * under "host".
+ *
+ * Thread safety: record / setTrackName / cursor ops / writeChromeTrace
+ * are serialised on an internal mutex, so several engine workers can
+ * trace into one sink. Concurrent batches interleave on the simulated
+ * cursor (each claims its slice when it finishes). spans() hands out a
+ * reference and is for quiesced readers — join the workers first.
  */
 
 #ifndef MFLSTM_OBS_TRACE_HH
@@ -14,6 +20,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,12 +61,13 @@ class SpanTracer
      * Cursor of the simulated-time domain: traces run back-to-back on
      * the GPU tracks so successive Simulator instances don't overlap.
      */
-    double simCursorUs() const { return simCursorUs_; }
-    void advanceSimCursor(double us) { simCursorUs_ += us; }
+    double simCursorUs() const;
+    void advanceSimCursor(double us);
 
+    /** Quiescent readers only — join recording threads first. */
     const std::vector<TraceSpan> &spans() const { return spans_; }
-    std::size_t droppedSpans() const { return dropped_; }
-    bool empty() const { return spans_.empty(); }
+    std::size_t droppedSpans() const;
+    bool empty() const;
 
     /** Full trace-event JSON document ({"traceEvents":[...]}). */
     void writeChromeTrace(std::ostream &os) const;
@@ -69,6 +77,7 @@ class SpanTracer
     std::map<std::pair<int, int>, std::string> trackNames_;
     double simCursorUs_ = 0.0;
     std::size_t dropped_ = 0;
+    mutable std::mutex mu_;
 };
 
 } // namespace obs

@@ -1,6 +1,7 @@
 #include "runtime/executor.hh"
 
 #include <stdexcept>
+#include <string>
 
 namespace mflstm {
 namespace runtime {
@@ -23,19 +24,25 @@ energySavingPct(const RunReport &base, const RunReport &opt)
 }
 
 RunReport
-NetworkExecutor::run(const NetworkShape &shape,
-                     const ExecutionPlan &plan) const
+NetworkExecutor::run(const RunRequest &req) const
 {
-    const char *kind = toString(plan.kind);
-    gpu::Simulator sim(cfg_, plan.usesCrmHardware(), obs_);
+    if (req.batch == 0)
+        throw std::invalid_argument("NetworkExecutor: batch must be >= 1");
+    if (req.shape.layers.empty())
+        throw std::invalid_argument("NetworkExecutor: empty shape");
+
+    const char *kind = toString(req.plan.kind);
+    gpu::Simulator sim(cfg_, req.plan.usesCrmHardware(), obs_);
     RunReport report;
-    report.kind = plan.kind;
+    report.kind = req.plan.kind;
+    report.batch = req.batch;
 
     gpu::KernelTrace trace;
     {
         auto ph = obs::Observer::phase(
             obs_, std::string("lower:") + kind);
-        trace = lowering_.lower(shape, plan);
+        trace = lowering_.lower(req.shape, req.plan, req.batch,
+                                req.firstLayerIndex);
     }
 
     const double gpu_start =
@@ -54,7 +61,9 @@ NetworkExecutor::run(const NetworkShape &shape,
         obs_->tracer().setTrackName(obs::SpanTracer::kGpuPid, run_track,
                                     "runs");
         obs::TraceSpan span;
-        span.name = kind;
+        span.name = req.batch > 1 ? std::string(kind) + " x" +
+                                        std::to_string(req.batch)
+                                  : std::string(kind);
         span.category = "run";
         span.pid = obs::SpanTracer::kGpuPid;
         span.tid = run_track;
@@ -66,18 +75,18 @@ NetworkExecutor::run(const NetworkShape &shape,
 }
 
 RunReport
+NetworkExecutor::run(const NetworkShape &shape,
+                     const ExecutionPlan &plan) const
+{
+    return run(RunRequest::network(shape, plan));
+}
+
+RunReport
 NetworkExecutor::runLayer(const LstmLayerShape &layer,
                           const ExecutionPlan &plan,
                           std::size_t layer_index) const
 {
-    gpu::Simulator sim(cfg_, plan.usesCrmHardware(), obs_);
-    gpu::KernelTrace trace;
-    lowering_.lowerLayer(layer, plan, layer_index, trace);
-
-    RunReport report;
-    report.kind = plan.kind;
-    report.result = sim.runTrace(trace);
-    return report;
+    return run(RunRequest::layer(layer, plan, layer_index));
 }
 
 } // namespace runtime

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "gpu/cache.hh"
 
@@ -21,6 +22,22 @@ ctasFor(double threads)
 {
     return static_cast<unsigned>(
         std::max(1.0, std::ceil(threads / kCta)));
+}
+
+/** Batched kernels carry the batch in their trace name. */
+void
+tagBatch(gpu::KernelDesc &k, std::size_t batch)
+{
+    if (batch > 1)
+        k.name += " x" + std::to_string(batch);
+}
+
+double
+checkedBatch(std::size_t batch)
+{
+    if (batch == 0)
+        throw std::invalid_argument("Lowering: batch must be >= 1");
+    return static_cast<double>(batch);
 }
 
 } // anonymous namespace
@@ -65,95 +82,116 @@ Lowering::layerWeightTraffic(double footprint_bytes, double sweeps) const
 }
 
 gpu::KernelDesc
-Lowering::inputSgemm(const LstmLayerShape &shape) const
+Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double e = static_cast<double>(shape.inputSize);
     const double n = static_cast<double>(shape.length);
 
-    const double macs = 4.0 * h * e * n;
+    const double macs = 4.0 * h * e * n * b;
     const double w_bytes = 4.0 * h * e * kFloat;
-    const double in_bytes = n * e * kFloat;
-    const double out_bytes = n * 4.0 * h * kFloat;
+    const double in_bytes = n * e * kFloat * b;
+    const double out_bytes = n * 4.0 * h * kFloat * b;
 
     gpu::KernelDesc k;
     k.name = "Sgemm(W_fico, x)";
     k.klass = gpu::KernelClass::Sgemm;
     k.flops = 2.0 * macs;
     k.dramReadBytes = w_bytes + in_bytes;
+    k.dramWeightBytes = w_bytes;
     k.dramWriteBytes = out_bytes;
     k.l2AccessBytes = w_bytes + in_bytes + out_bytes;
     k.sharedBytes =
-        macs * sgemmSharedBytesPerMac(shape.hiddenSize, shape.length);
+        macs * sgemmSharedBytesPerMac(shape.hiddenSize,
+                                      shape.length * batch);
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(4.0 * h * n);
+    k.ctas = ctasFor(4.0 * h * n * b);
     k.syncsPerCta = 4;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::cellSgemv(const LstmLayerShape &shape,
-                    double dram_bytes_weights) const
+                    double dram_bytes_weights, std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
-    const double macs = 4.0 * h * h;
-    const double vec_bytes = 5.0 * h * kFloat;  // h in, 4H out
+    const double macs = 4.0 * h * h * b;
+    const double vec_bytes = 5.0 * h * kFloat * b;  // h in, 4H out
 
     gpu::KernelDesc k;
     k.name = "Sgemv(U_fico, h)";
     k.klass = gpu::KernelClass::Sgemv;
     k.flops = 2.0 * macs;
-    k.dramReadBytes = dram_bytes_weights + h * kFloat;
-    k.dramWriteBytes = 4.0 * h * kFloat;
+    // The weight stream is fetched once and feeds every batch column.
+    k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
+    k.dramWeightBytes = dram_bytes_weights;
+    k.dramWriteBytes = 4.0 * h * kFloat * b;
     k.l2AccessBytes = 4.0 * h * h * kFloat + vec_bytes;
-    k.sharedBytes = macs * sgemvSharedBytesPerMac();
+    // With B > 1 the kernel widens into a narrow Sgemm over the B
+    // h-columns and inherits its shared-memory behaviour.
+    k.sharedBytes =
+        batch > 1
+            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, batch)
+            : macs * sgemvSharedBytesPerMac();
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(4.0 * h);
+    k.ctas = ctasFor(4.0 * h * b);
     k.syncsPerCta = 2;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
-                      double dram_bytes_weights,
-                      double skip_fraction) const
+                      double dram_bytes_weights, double skip_fraction,
+                      std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double tk = static_cast<double>(tissue_size);
     const double keep = 1.0 - skip_fraction;
-    const double macs = 4.0 * h * h * tk;
+    const double macs = 4.0 * h * h * tk * b;
 
     gpu::KernelDesc k;
     k.name = "Sgemm(U_fico, H_t)";
     k.klass = gpu::KernelClass::Sgemm;
     // With DRS inside the tissue, skipped rows drop their compute and
-    // on-chip traffic; the weight load is shared across cells and only
-    // disappears for rows trivial in *every* cell — the paper's
-    // "overlap" between the two optimisations (Section VI-B3).
-    const double all_skip = std::pow(skip_fraction, tk);
+    // on-chip traffic; the weight load is shared across cells (and
+    // batch columns) and only disappears for rows trivial in *every*
+    // cell of every sequence — the paper's "overlap" between the two
+    // optimisations (Section VI-B3).
+    const double all_skip = std::pow(skip_fraction, tk * b);
+    const double weight_bytes =
+        dram_bytes_weights * (1.0 - 0.75 * all_skip);
     k.flops = 2.0 * macs * keep;
-    k.dramReadBytes = dram_bytes_weights * (1.0 - 0.75 * all_skip) +
-                      tk * h * kFloat;
-    k.dramWriteBytes = tk * 4.0 * h * kFloat;
-    k.l2AccessBytes = 4.0 * h * h * kFloat + tk * 5.0 * h * kFloat;
+    k.dramReadBytes = weight_bytes + tk * h * kFloat * b;
+    k.dramWeightBytes = weight_bytes;
+    k.dramWriteBytes = tk * 4.0 * h * kFloat * b;
+    k.l2AccessBytes = 4.0 * h * h * kFloat + tk * 5.0 * h * kFloat * b;
     k.sharedBytes = macs * keep *
-                    sgemmSharedBytesPerMac(shape.hiddenSize, tissue_size);
+                    sgemmSharedBytesPerMac(shape.hiddenSize,
+                                           tissue_size * batch);
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(4.0 * h * tk);
+    k.ctas = ctasFor(4.0 * h * tk * b);
     k.syncsPerCta = 4;
     if (skip_fraction > 0.0) {
         k.hasRowSkipArg = true;
         k.disabledThreads = static_cast<unsigned>(
-            skip_fraction * 3.0 * h * tk);
+            skip_fraction * 3.0 * h * tk * b);
     }
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
-Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells) const
+Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells,
+                      std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
-    const double elems = h * static_cast<double>(cells);
+    const double elems = h * static_cast<double>(cells) * b;
     const double bytes = 7.0 * elems * kFloat;  // gates + c in/out + h
 
     gpu::KernelDesc k;
@@ -169,59 +207,74 @@ Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells) const
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(elems);
     k.syncsPerCta = 0;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::outputGateSgemv(const LstmLayerShape &shape,
-                          double dram_bytes_weights) const
+                          double dram_bytes_weights,
+                          std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
-    const double macs = h * h;
+    const double macs = h * h * b;
 
     gpu::KernelDesc k;
     k.name = "Sgemv(U_o, h)";
     k.klass = gpu::KernelClass::Sgemv;
     k.flops = 2.0 * macs;
-    k.dramReadBytes = dram_bytes_weights + h * kFloat;
-    k.dramWriteBytes = h * kFloat;
-    k.l2AccessBytes = h * h * kFloat + 2.0 * h * kFloat;
-    k.sharedBytes = macs * sgemvSharedBytesPerMac();
+    k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
+    k.dramWeightBytes = dram_bytes_weights;
+    k.dramWriteBytes = h * kFloat * b;
+    k.l2AccessBytes = h * h * kFloat + 2.0 * h * kFloat * b;
+    k.sharedBytes =
+        batch > 1
+            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, batch)
+            : macs * sgemvSharedBytesPerMac();
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(h);
+    k.ctas = ctasFor(h * b);
     k.syncsPerCta = 2;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
-Lowering::drsScan(const LstmLayerShape &shape) const
+Lowering::drsScan(const LstmLayerShape &shape, std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
 
     gpu::KernelDesc k;
     k.name = "DRS(o_t, alpha, R)";
     k.klass = gpu::KernelClass::Drs;
-    k.flops = 3.0 * h;  // compare + flag + compacting scan
+    k.flops = 3.0 * h * b;  // compare + flag + compacting scan
     k.dramReadBytes = 0.0;
     k.dramWriteBytes = 0.0;
-    k.l2AccessBytes = 2.0 * h * kFloat;
+    k.l2AccessBytes = 2.0 * h * kFloat * b;
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(h);
+    k.ctas = ctasFor(h * b);
     k.syncsPerCta = 1;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::rowSkipSgemv(const LstmLayerShape &shape,
                        double dram_bytes_weights, double skip_fraction,
-                       bool hw_compacted) const
+                       bool hw_compacted, std::size_t batch) const
 {
     if (skip_fraction < 0.0 || skip_fraction > 1.0)
         throw std::invalid_argument("rowSkipSgemv: bad skip fraction");
 
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double keep = 1.0 - skip_fraction;
-    const double macs = 3.0 * h * h;
+    const double macs = 3.0 * h * h * b;
+    // A weight row stays on the bus unless every sequence in the batch
+    // skips it (each sequence computes its own R from its own o_t).
+    const double all_skip =
+        batch > 1 ? std::pow(skip_fraction, b) : skip_fraction;
 
     gpu::KernelDesc k;
     k.name = "Sgemv(U_fic, h, R)";
@@ -229,35 +282,40 @@ Lowering::rowSkipSgemv(const LstmLayerShape &shape,
     k.flops = 2.0 * macs * keep;  // skipped rows are never computed
     k.hasRowSkipArg = true;
     k.disabledThreads =
-        static_cast<unsigned>(std::round(skip_fraction * 3.0 * h));
+        static_cast<unsigned>(std::round(skip_fraction * 3.0 * h * b));
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(3.0 * h);
+    k.ctas = ctasFor(3.0 * h * b);
     k.syncsPerCta = 2;
 
     if (hw_compacted) {
         // CRM-compacted grid: skipped rows vanish from both the issue
         // stage and the memory stream.
-        k.dramReadBytes = dram_bytes_weights * keep + h * kFloat;
+        k.dramWeightBytes = dram_bytes_weights * (1.0 - all_skip);
+        k.dramReadBytes = k.dramWeightBytes + h * kFloat * b;
         k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
         k.divergenceFactor = 1.0;
     } else {
         // Software path: divergent warps, and skipped rows' bytes mostly
         // still cross the bus (transaction granularity).
-        const double saving = swSkipCoalescedSaving() * skip_fraction;
-        k.dramReadBytes =
-            dram_bytes_weights * (1.0 - saving) + h * kFloat;
+        const double saving = swSkipCoalescedSaving() * all_skip;
+        k.dramWeightBytes = dram_bytes_weights * (1.0 - saving);
+        k.dramReadBytes = k.dramWeightBytes + h * kFloat * b;
         k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
         k.divergenceFactor = 1.0 + 1.2 * skip_fraction;
     }
-    k.dramWriteBytes = 3.0 * h * kFloat;
-    k.l2AccessBytes = 3.0 * h * h * kFloat * (hw_compacted ? keep : 1.0) +
-                      4.0 * h * kFloat;
+    k.dramWriteBytes = 3.0 * h * kFloat * b;
+    k.l2AccessBytes =
+        3.0 * h * h * kFloat * (hw_compacted ? keep : 1.0) +
+        4.0 * h * kFloat * b;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
-Lowering::relevanceKernel(const LstmLayerShape &shape) const
+Lowering::relevanceKernel(const LstmLayerShape &shape,
+                          std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double n = static_cast<double>(shape.length);
 
@@ -265,21 +323,24 @@ Lowering::relevanceKernel(const LstmLayerShape &shape) const
     k.name = "relevance+predict";
     k.klass = gpu::KernelClass::Relevance;
     // Algorithm 2 per cell: a handful of ops per hidden element using
-    // the precomputed row sums D and the Sgemm outputs X'.
-    k.flops = 30.0 * h * n;
-    k.dramReadBytes = 0.5 * n * 4.0 * h * kFloat;
-    k.dramWriteBytes = n * kFloat;
-    k.l2AccessBytes = n * 4.0 * h * kFloat + 4.0 * h * kFloat;
+    // the precomputed row sums D and the Sgemm outputs X'. Pure
+    // per-sequence runtime work — it scales with the batch.
+    k.flops = 30.0 * h * n * b;
+    k.dramReadBytes = 0.5 * n * 4.0 * h * kFloat * b;
+    k.dramWriteBytes = n * kFloat * b;
+    k.l2AccessBytes = (n * 4.0 * h * kFloat + 4.0 * h * kFloat) * b;
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(n * h / 32.0);
+    k.ctas = ctasFor(n * h * b / 32.0);
     k.syncsPerCta = 1;
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::tissueGather(const LstmLayerShape &shape,
-                       std::size_t tissue_size) const
+                       std::size_t tissue_size, std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double tk = static_cast<double>(tissue_size);
 
@@ -287,22 +348,24 @@ Lowering::tissueGather(const LstmLayerShape &shape,
     k.name = "gather(H_t, C_t)";
     k.klass = gpu::KernelClass::Other;
     k.flops = 0.0;
-    k.l2AccessBytes = 4.0 * tk * h * kFloat;  // h and c, read + write
+    k.l2AccessBytes = 4.0 * tk * h * kFloat * b;  // h and c, read + write
     k.dramReadBytes = 0.0;
     k.dramWriteBytes = 0.0;
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(tk * h);
+    k.ctas = ctasFor(tk * h * b);
+    tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::prunedSgemv(const LstmLayerShape &shape,
-                      double dram_bytes_weights,
-                      double prune_fraction) const
+                      double dram_bytes_weights, double prune_fraction,
+                      std::size_t batch) const
 {
+    const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double keep = 1.0 - prune_fraction;
-    const double macs = 4.0 * h * h;
+    const double macs = 4.0 * h * h * b;
 
     gpu::KernelDesc k;
     k.name = "SpMV(U_pruned, h)";
@@ -310,24 +373,27 @@ Lowering::prunedSgemv(const LstmLayerShape &shape,
     k.flops = 2.0 * macs * keep;
     // @p dram_bytes_weights is the per-cell share of the *pruned,
     // CSR-encoded* footprint's streaming traffic; the caller sizes it.
-    k.dramReadBytes = dram_bytes_weights + h * kFloat;
-    k.dramWriteBytes = 4.0 * h * kFloat;
+    k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
+    k.dramWeightBytes = dram_bytes_weights;
+    k.dramWriteBytes = 4.0 * h * kFloat * b;
     k.l2AccessBytes = 4.0 * h * h * kFloat * keep * 1.5 +
-                      5.0 * h * kFloat;
+                      5.0 * h * kFloat * b;
     k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
     k.coalescingFactor = 1.55;
     k.divergenceFactor = 1.6;
     k.threadsPerCta = kCta;
-    k.ctas = ctasFor(4.0 * h);
+    k.ctas = ctasFor(4.0 * h * b);
     k.syncsPerCta = 2;
+    tagBatch(k, batch);
     return k;
 }
 
 void
 Lowering::lowerLayer(const LstmLayerShape &shape,
                      const ExecutionPlan &plan, std::size_t layer_index,
-                     gpu::KernelTrace &out) const
+                     gpu::KernelTrace &out, std::size_t batch) const
 {
+    checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double n = static_cast<double>(shape.length);
     const double u_bytes = 4.0 * h * h * kFloat;
@@ -342,7 +408,7 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         out.push_back(std::move(k));
     };
 
-    push(inputSgemm(shape));
+    push(inputSgemm(shape, batch));
 
     // A layer the breakpoint search could not divide (all tissues of
     // size 1) gains nothing from the tissue flow but would pay its
@@ -364,9 +430,10 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         const double traffic = layerWeightTraffic(pruned_footprint, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
             const int ts = static_cast<int>(t);
-            push(prunedSgemv(shape, traffic / n, plan.pruneFraction),
+            push(prunedSgemv(shape, traffic / n, plan.pruneFraction,
+                             batch),
                  ts);
-            push(elementWise(shape, 1), ts);
+            push(elementWise(shape, 1, batch), ts);
         }
         return;
     }
@@ -377,41 +444,46 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
             throw std::invalid_argument(
                 "lowerLayer: tissue sizes do not cover the layer");
 
-        push(relevanceKernel(shape));
+        push(relevanceKernel(shape, batch));
 
         const double tissues = static_cast<double>(ip.tissueSizes.size());
         const double traffic = layerWeightTraffic(u_bytes, tissues);
         int cell = 0;
         int ti = 0;
         for (std::size_t tissue : ip.tissueSizes) {
-            push(tissueGather(shape, tissue), cell, ti);
+            push(tissueGather(shape, tissue, batch), cell, ti);
             if (intra && skip > 0.0) {
                 // Combined flow: per-tissue U_o Sgemm, element-wise,
                 // DRS scan, then the row-skipped U_fic tissue Sgemm.
-                gpu::KernelDesc uo = tissueSgemm(shape, tissue, 0.0, 0.0);
+                gpu::KernelDesc uo =
+                    tissueSgemm(shape, tissue, 0.0, 0.0, batch);
                 uo.name = "Sgemm(U_o, H_t)";
+                tagBatch(uo, batch);
                 uo.flops *= 0.25;
                 uo.dramReadBytes = traffic / tissues * 0.25;
+                uo.dramWeightBytes = uo.dramReadBytes;
                 uo.sharedBytes *= 0.25;
                 uo.l2AccessBytes *= 0.25;
                 uo.ctas = std::max(1u, uo.ctas / 4);
                 push(std::move(uo), cell, ti);
-                push(elementWise(shape, tissue), cell, ti);
-                push(drsScan(shape), cell, ti);
+                push(elementWise(shape, tissue, batch), cell, ti);
+                push(drsScan(shape, batch), cell, ti);
 
                 gpu::KernelDesc fic =
                     tissueSgemm(shape, tissue, traffic / tissues * 0.75,
-                                skip);
+                                skip, batch);
                 fic.name = "Sgemm(U_fic, H_t, R)";
+                tagBatch(fic, batch);
                 fic.flops *= 0.75;
                 fic.sharedBytes *= 0.75;
                 fic.l2AccessBytes *= 0.75;
                 push(std::move(fic), cell, ti);
             } else {
-                push(tissueSgemm(shape, tissue, traffic / tissues, 0.0),
+                push(tissueSgemm(shape, tissue, traffic / tissues, 0.0,
+                                 batch),
                      cell, ti);
             }
-            push(elementWise(shape, tissue), cell, ti);
+            push(elementWise(shape, tissue, batch), cell, ti);
             cell += static_cast<int>(tissue);
             ++ti;
         }
@@ -425,11 +497,12 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         const double fic_traffic = layerWeightTraffic(u_bytes * 0.75, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
             const int ts = static_cast<int>(t);
-            push(outputGateSgemv(shape, uo_traffic / n), ts);
-            push(elementWise(shape, 1), ts);
-            push(drsScan(shape), ts);
-            push(rowSkipSgemv(shape, fic_traffic / n, skip, hw), ts);
-            push(elementWise(shape, 1), ts);
+            push(outputGateSgemv(shape, uo_traffic / n, batch), ts);
+            push(elementWise(shape, 1, batch), ts);
+            push(drsScan(shape, batch), ts);
+            push(rowSkipSgemv(shape, fic_traffic / n, skip, hw, batch),
+                 ts);
+            push(elementWise(shape, 1, batch), ts);
         }
         return;
     }
@@ -438,17 +511,19 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     const double traffic = layerWeightTraffic(u_bytes, n);
     for (std::size_t t = 0; t < shape.length; ++t) {
         const int ts = static_cast<int>(t);
-        push(cellSgemv(shape, traffic / n), ts);
-        push(elementWise(shape, 1), ts);
+        push(cellSgemv(shape, traffic / n, batch), ts);
+        push(elementWise(shape, 1, batch), ts);
     }
 }
 
 gpu::KernelTrace
-Lowering::lower(const NetworkShape &shape, const ExecutionPlan &plan) const
+Lowering::lower(const NetworkShape &shape, const ExecutionPlan &plan,
+                std::size_t batch, std::size_t first_layer_index) const
 {
     gpu::KernelTrace trace;
     for (std::size_t l = 0; l < shape.layers.size(); ++l)
-        lowerLayer(shape.layers[l], plan, l, trace);
+        lowerLayer(shape.layers[l], plan, first_layer_index + l, trace,
+                   batch);
     return trace;
 }
 

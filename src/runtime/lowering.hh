@@ -23,6 +23,14 @@
  * which is what makes the BABI/MR maximum tissue size land at 6 instead
  * of 5). Cross-kernel weight reuse follows the streaming L2 model in
  * gpu/cache.hh.
+ *
+ * Cross-sequence batching (DESIGN.md §9): every builder accepts a batch
+ * dimension B (default 1, bit-identical to the unbatched lowering). A
+ * batched kernel multiplies per-sequence work — flops, activation
+ * traffic, grid size — by B while charging the weight-matrix DRAM
+ * stream once per kernel, so one weight fetch serves B concurrent
+ * sequences. The weight share is reported in KernelDesc::dramWeightBytes
+ * so the serving layer can observe the per-sequence amortisation.
  */
 
 #ifndef MFLSTM_RUNTIME_LOWERING_HH
@@ -61,67 +69,91 @@ class Lowering
   public:
     explicit Lowering(const gpu::GpuConfig &cfg) : cfg_(cfg) {}
 
-    /** Lower one layer; appends kernels to @p out. */
+    /**
+     * Lower one layer; appends kernels to @p out. @p batch sequences
+     * share every weight fetch (1 = the single-sequence flow).
+     */
     void lowerLayer(const LstmLayerShape &shape,
                     const ExecutionPlan &plan, std::size_t layer_index,
-                    gpu::KernelTrace &out) const;
-
-    /** Lower the whole network. */
-    gpu::KernelTrace lower(const NetworkShape &shape,
-                           const ExecutionPlan &plan) const;
-
-    // --- Individual kernel builders (exposed for tests/benches) --------
-
-    /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
-    gpu::KernelDesc inputSgemm(const LstmLayerShape &shape) const;
+                    gpu::KernelTrace &out, std::size_t batch = 1) const;
 
     /**
-     * Baseline per-cell Sgemv(U_{f,i,c,o}, h_{t-1}).
+     * Lower the whole network. @p first_layer_index offsets the plan /
+     * provenance layer index (used by single-layer runs).
+     */
+    gpu::KernelTrace lower(const NetworkShape &shape,
+                           const ExecutionPlan &plan,
+                           std::size_t batch = 1,
+                           std::size_t first_layer_index = 0) const;
+
+    // --- Individual kernel builders (exposed for tests/benches) --------
+    // Every builder takes the batch dimension last; omitting it yields
+    // the unbatched kernel.
+
+    /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
+    gpu::KernelDesc inputSgemm(const LstmLayerShape &shape,
+                               std::size_t batch = 1) const;
+
+    /**
+     * Baseline per-cell Sgemv(U_{f,i,c,o}, h_{t-1}); with a batch it
+     * widens into a narrow Sgemm over the B h-columns.
      * @param dram_bytes_weights  this cell's share of the layer's
      *        weight-streaming DRAM traffic (cache model applied at layer
      *        granularity).
      */
     gpu::KernelDesc cellSgemv(const LstmLayerShape &shape,
-                              double dram_bytes_weights) const;
+                              double dram_bytes_weights,
+                              std::size_t batch = 1) const;
 
     /** Per-tissue Sgemm(U_{f,i,c,o}, H_t) over @p tissue_size cells. */
     gpu::KernelDesc tissueSgemm(const LstmLayerShape &shape,
                                 std::size_t tissue_size,
                                 double dram_bytes_weights,
-                                double skip_fraction) const;
+                                double skip_fraction,
+                                std::size_t batch = 1) const;
 
     /** Element-wise kernel over @p cells cells' gate vectors. */
     gpu::KernelDesc elementWise(const LstmLayerShape &shape,
-                                std::size_t cells) const;
+                                std::size_t cells,
+                                std::size_t batch = 1) const;
 
     /** DRS split kernel 1: Sgemv(U_o, h_{t-1}). */
     gpu::KernelDesc outputGateSgemv(const LstmLayerShape &shape,
-                                    double dram_bytes_weights) const;
+                                    double dram_bytes_weights,
+                                    std::size_t batch = 1) const;
 
     /** DRS threshold/scan kernel (Algorithm 3 line 6). */
-    gpu::KernelDesc drsScan(const LstmLayerShape &shape) const;
+    gpu::KernelDesc drsScan(const LstmLayerShape &shape,
+                            std::size_t batch = 1) const;
 
     /**
      * DRS split kernel 2: Sgemv(U_{f,i,c}, h, R) with @p skip_fraction of
      * rows disabled. @p hw_compacted selects the CRM dataflow (full
-     * bandwidth saving) vs the divergent software path.
+     * bandwidth saving) vs the divergent software path. Across a batch a
+     * weight row is fetched unless every sequence skips it, so the
+     * saved weight traffic shrinks as skip^batch (the cross-sequence
+     * analogue of the Section VI-B3 overlap).
      */
     gpu::KernelDesc rowSkipSgemv(const LstmLayerShape &shape,
                                  double dram_bytes_weights,
                                  double skip_fraction,
-                                 bool hw_compacted) const;
+                                 bool hw_compacted,
+                                 std::size_t batch = 1) const;
 
     /** Inter-cell breakpoint search + link prediction (runtime ops). */
-    gpu::KernelDesc relevanceKernel(const LstmLayerShape &shape) const;
+    gpu::KernelDesc relevanceKernel(const LstmLayerShape &shape,
+                                    std::size_t batch = 1) const;
 
     /** Gathers h/c vectors of a tissue into the batched H_t/C_t. */
     gpu::KernelDesc tissueGather(const LstmLayerShape &shape,
-                                 std::size_t tissue_size) const;
+                                 std::size_t tissue_size,
+                                 std::size_t batch = 1) const;
 
     /** Sparse (zero-pruned) per-cell Sgemv of the comparator scheme. */
     gpu::KernelDesc prunedSgemv(const LstmLayerShape &shape,
                                 double dram_bytes_weights,
-                                double prune_fraction) const;
+                                double prune_fraction,
+                                std::size_t batch = 1) const;
 
     /** Per-layer weight-streaming DRAM traffic (cache model). */
     double layerWeightTraffic(double footprint_bytes,

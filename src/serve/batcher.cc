@@ -1,0 +1,30 @@
+#include "serve/batcher.hh"
+
+#include <stdexcept>
+
+namespace mflstm {
+namespace serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue &queue,
+                               std::size_t max_batch)
+    : queue_(queue), maxBatch_(max_batch)
+{
+    if (max_batch == 0)
+        throw std::invalid_argument("DynamicBatcher: max_batch == 0");
+}
+
+std::vector<QueuedRequest>
+DynamicBatcher::nextBatch()
+{
+    std::vector<QueuedRequest> batch;
+    QueuedRequest first;
+    if (!queue_.popWait(first))
+        return batch;
+    batch.reserve(maxBatch_);
+    batch.push_back(std::move(first));
+    queue_.drain(batch, maxBatch_ - 1);
+    return batch;
+}
+
+} // namespace serve
+} // namespace mflstm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dynamic batcher: blocks for the first request, then greedily drains
+ * whatever else is already queued, up to the batch bound. Under light
+ * load a request never waits for company (batch of 1 leaves
+ * immediately); under heavy load batches fill to maxBatch and every
+ * weight fetch is amortised over that many sequences — the serving-time
+ * extension of the paper's weight-reuse principle.
+ */
+
+#ifndef MFLSTM_SERVE_BATCHER_HH
+#define MFLSTM_SERVE_BATCHER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/queue.hh"
+
+namespace mflstm {
+namespace serve {
+
+class DynamicBatcher
+{
+  public:
+    /** @param max_batch sequence bound per batch; must be >= 1. */
+    DynamicBatcher(RequestQueue &queue, std::size_t max_batch);
+
+    /**
+     * Block for the next batch. The result is ordered
+     * priority-descending (FIFO ties) and has 1..maxBatch() items;
+     * empty means the queue closed and drained — stop consuming.
+     */
+    std::vector<QueuedRequest> nextBatch();
+
+    std::size_t maxBatch() const { return maxBatch_; }
+
+  private:
+    RequestQueue &queue_;
+    std::size_t maxBatch_;
+};
+
+} // namespace serve
+} // namespace mflstm
+
+#endif // MFLSTM_SERVE_BATCHER_HH

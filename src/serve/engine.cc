@@ -1,0 +1,234 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mflstm {
+namespace serve {
+
+namespace {
+
+std::vector<double>
+batchSizeEdges(std::size_t max_batch)
+{
+    std::vector<double> edges;
+    edges.reserve(max_batch);
+    for (std::size_t b = 1; b <= max_batch; ++b)
+        edges.push_back(static_cast<double>(b));
+    return edges;
+}
+
+double
+wallMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // anonymous namespace
+
+InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
+                                 const Options &opts)
+    : opts_(opts), shape_(mf.config().timingShape),
+      task_(mf.runner().model().config().task),
+      batcher_(queue_, opts.maxBatch)
+{
+    if (opts_.workers == 0)
+        throw std::invalid_argument("InferenceEngine: workers == 0");
+
+    if (opts_.observer) {
+        obs_ = opts_.observer;
+    } else {
+        ownedObs_ = std::make_unique<obs::Observer>();
+        obs_ = ownedObs_.get();
+    }
+
+    // Plan exactly as the facade would, recording planning phases into
+    // this engine's sink.
+    core::TimingOptions topt;
+    topt.kind = opts_.plan;
+    topt.pruneFraction = opts_.pruneFraction;
+    topt.observer = obs_;
+    plan_ = mf.evaluateTiming(topt).plan;
+
+    executor_ = std::make_unique<runtime::NetworkExecutor>(
+        mf.config().gpu, obs_);
+
+    // Touch the instruments once so quantile queries work even before
+    // the first request completes.
+    obs_->metrics().histogram(
+        "serve.latency_ms",
+        obs::Histogram::exponentialEdges(1e-3, 1e5, 33));
+    obs_->metrics().histogram("serve.batch_size",
+                              batchSizeEdges(opts_.maxBatch));
+
+    runners_.reserve(opts_.workers);
+    for (std::size_t w = 0; w < opts_.workers; ++w)
+        runners_.push_back(mf.runner());  // private calibrated copy
+
+    workers_.reserve(opts_.workers);
+    for (std::size_t w = 0; w < opts_.workers; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    shutdown();
+}
+
+std::future<Response>
+InferenceEngine::submit(Request req)
+{
+    if (req.tokens.empty())
+        throw std::invalid_argument(
+            "InferenceEngine::submit: empty token sequence");
+
+    QueuedRequest item;
+    item.request = std::move(req);
+    item.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    item.seq = nextSeq_.fetch_add(1, std::memory_order_relaxed);
+    item.enqueued = std::chrono::steady_clock::now();
+    std::future<Response> fut = item.promise.get_future();
+
+    if (!queue_.push(std::move(item)))
+        throw std::runtime_error(
+            "InferenceEngine::submit: engine is shut down");
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    obs_->metrics().counter("serve.requests").add();
+    return fut;
+}
+
+Session
+InferenceEngine::session(int priority)
+{
+    return Session(*this, priority);
+}
+
+void
+InferenceEngine::shutdown()
+{
+    queue_.close();
+    std::lock_guard<std::mutex> lock(shutdownMu_);
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+}
+
+InferenceEngine::Stats
+InferenceEngine::stats() const
+{
+    Stats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.deadlineMisses = deadlineMisses_.load(std::memory_order_relaxed);
+    s.maxBatchObserved =
+        maxBatchObserved_.load(std::memory_order_relaxed);
+    const std::uint64_t seqs =
+        batchSeqSum_.load(std::memory_order_relaxed);
+    s.meanBatchSize = s.batches ? static_cast<double>(seqs) /
+                                      static_cast<double>(s.batches)
+                                : 0.0;
+    return s;
+}
+
+double
+InferenceEngine::latencyQuantileMs(double q) const
+{
+    const obs::Histogram *h =
+        obs_->metrics().findHistogram("serve.latency_ms");
+    return h ? h->quantile(q) : 0.0;
+}
+
+void
+InferenceEngine::workerLoop(std::size_t worker_index)
+{
+    core::ApproxRunner &runner = runners_[worker_index];
+    for (;;) {
+        std::vector<QueuedRequest> batch = batcher_.nextBatch();
+        if (batch.empty())
+            return;  // closed and drained
+        serveBatch(std::move(batch), runner);
+    }
+}
+
+void
+InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
+                            core::ApproxRunner &runner)
+{
+    const std::size_t b = batch.size();
+    const auto batch_start = std::chrono::steady_clock::now();
+    auto ph = obs::Observer::phase(obs_, "serve.batch");
+
+    // Timing side: one batched lowering, weights charged once.
+    const runtime::RunReport report =
+        executor_->run(runtime::RunRequest::network(shape_, plan_, b));
+    const double sim_ms = report.result.timeUs / 1e3;
+    const double weight_per_seq = report.weightDramBytesPerSequence();
+
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batchSeqSum_.fetch_add(b, std::memory_order_relaxed);
+    std::size_t seen = maxBatchObserved_.load(std::memory_order_relaxed);
+    while (b > seen &&
+           !maxBatchObserved_.compare_exchange_weak(
+               seen, b, std::memory_order_relaxed))
+        ;
+    obs::MetricsRegistry &m = obs_->metrics();
+    m.counter("serve.batches").add();
+    m.histogram("serve.batch_size", batchSizeEdges(opts_.maxBatch))
+        .observe(static_cast<double>(b));
+    m.gauge("serve.weight_dram_bytes_per_seq").set(weight_per_seq);
+
+    // Functional side: per sequence, bit-identical to a solo run.
+    for (QueuedRequest &item : batch) {
+        try {
+            Response r;
+            r.id = item.id;
+            r.batch = b;
+            r.simBatchMs = sim_ms;
+            r.weightDramBytesPerSeq = weight_per_seq;
+            r.queueMs =
+                std::chrono::duration<double, std::milli>(batch_start -
+                                                          item.enqueued)
+                    .count();
+
+            if (task_ == nn::TaskKind::LanguageModel)
+                r.stepLogits = runner.lmLogits(item.request.tokens);
+            else
+                r.logits = runner.classify(item.request.tokens);
+
+            r.latencyMs = wallMsSince(item.enqueued);
+            r.deadlineMet = item.request.deadlineMs <= 0.0 ||
+                            r.latencyMs <= item.request.deadlineMs;
+            if (!r.deadlineMet) {
+                deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
+                m.counter("serve.deadline_misses").add();
+            }
+
+            m.histogram(
+                 "serve.latency_ms",
+                 obs::Histogram::exponentialEdges(1e-3, 1e5, 33))
+                .observe(r.latencyMs);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            m.counter("serve.responses").add();
+            item.promise.set_value(std::move(r));
+        } catch (...) {
+            item.promise.set_exception(std::current_exception());
+        }
+    }
+}
+
+std::future<Response>
+Session::infer(std::vector<std::int32_t> tokens, double deadline_ms)
+{
+    Request req;
+    req.tokens = std::move(tokens);
+    req.priority = priority_;
+    req.deadlineMs = deadline_ms;
+    return engine_->submit(std::move(req));
+}
+
+} // namespace serve
+} // namespace mflstm

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Batched inference engine (DESIGN.md §9). Owns a calibrated model +
+ * executor pair and serves concurrent requests:
+ *
+ *   submit() / Session::infer()  ->  RequestQueue  ->  DynamicBatcher
+ *       ->  worker threads  ->  per-request Response futures
+ *
+ * Each worker packs up to Options::maxBatch queued sequences into one
+ * *batched tissue* run: the functional outputs are computed per
+ * sequence (bit-identical to serving each request alone), while the
+ * timing side lowers the network once with the batch dimension, so the
+ * simulator charges every recurrent weight matrix's DRAM traffic once
+ * per batched kernel instead of once per sequence. Weight-matrix DRAM
+ * bytes per sequence therefore fall as 1/B — the serving-time extension
+ * of the paper's weight-reuse principle.
+ *
+ * Thread safety: submit() is safe from any thread; workers record
+ * through the (thread-safe) obs sinks; each worker owns a private copy
+ * of the calibrated ApproxRunner, so functional runs never share
+ * mutable state. The model and (if supplied) observer must outlive the
+ * engine.
+ */
+
+#ifndef MFLSTM_SERVE_ENGINE_HH
+#define MFLSTM_SERVE_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/api.hh"
+#include "serve/batcher.hh"
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace mflstm {
+namespace serve {
+
+class Session;
+
+class InferenceEngine
+{
+  public:
+    struct Options
+    {
+        /// sequences packed per batched tissue run (>= 1)
+        std::size_t maxBatch = 8;
+        /// worker threads driving batches concurrently (>= 1)
+        std::size_t workers = 2;
+        /// scheme simulated for the timing side of every batch
+        runtime::PlanKind plan = runtime::PlanKind::Combined;
+        /// forwarded to plan building (ZeroPruning only)
+        double pruneFraction = 0.37;
+        /**
+         * Observability sink (latency histograms, batch spans, sim
+         * counters). nullptr: the engine owns a private Observer so
+         * latency percentiles still work.
+         */
+        obs::Observer *observer = nullptr;
+    };
+
+    /** Aggregate serving statistics (monotonic, thread-safe reads). */
+    struct Stats
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t batches = 0;
+        std::uint64_t deadlineMisses = 0;
+        std::size_t maxBatchObserved = 0;
+        double meanBatchSize = 0.0;
+    };
+
+    /**
+     * Snapshot @p mf (plan, thresholds, calibration) into a serving
+     * engine and start the workers. Builds the execution plan exactly
+     * as MemoryFriendlyLstm::evaluateTiming would for Options::plan, so
+     * run an accuracy evaluation through mf.runner() first when serving
+     * a statistics-driven scheme (Combined / layer division / DRS).
+     *
+     * @throws std::logic_error via evaluateTiming when Options::plan
+     *         needs calibration that has not run.
+     */
+    InferenceEngine(const core::MemoryFriendlyLstm &mf,
+                    const Options &opts);
+
+    /** Drains submitted work, then joins the workers. */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Enqueue one request; the future completes when a worker finishes
+     * its batch. Safe from any thread.
+     *
+     * @throws std::invalid_argument on an empty token sequence.
+     * @throws std::runtime_error after shutdown().
+     */
+    std::future<Response> submit(Request req);
+
+    /** A lightweight submit handle with a fixed priority. */
+    Session session(int priority = 0);
+
+    /**
+     * Stop accepting requests, finish everything already queued, join
+     * the workers. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    Stats stats() const;
+
+    /**
+     * Wall-latency quantile (ms) over every completed request, from
+     * the observer's "serve.latency_ms" histogram. 0 when none.
+     */
+    double latencyQuantileMs(double q) const;
+
+    /** The execution plan every batch simulates. */
+    const runtime::ExecutionPlan &plan() const { return plan_; }
+    const Options &options() const { return opts_; }
+    obs::Observer &observer() { return *obs_; }
+
+  private:
+    void workerLoop(std::size_t worker_index);
+    void serveBatch(std::vector<QueuedRequest> batch,
+                    core::ApproxRunner &runner);
+
+    Options opts_;
+    runtime::NetworkShape shape_;
+    runtime::ExecutionPlan plan_;
+    nn::TaskKind task_;
+
+    std::unique_ptr<obs::Observer> ownedObs_;
+    obs::Observer *obs_ = nullptr;
+
+    std::unique_ptr<runtime::NetworkExecutor> executor_;
+    /// one private calibrated runner per worker (index-aligned)
+    std::vector<core::ApproxRunner> runners_;
+
+    RequestQueue queue_;
+    DynamicBatcher batcher_;
+    std::vector<std::thread> workers_;
+    std::mutex shutdownMu_;
+
+    std::atomic<std::uint64_t> nextId_{1};
+    std::atomic<std::uint64_t> nextSeq_{0};
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batchSeqSum_{0};
+    std::atomic<std::uint64_t> deadlineMisses_{0};
+    std::atomic<std::size_t> maxBatchObserved_{0};
+};
+
+/**
+ * Client handle bound to one engine: carries a default priority so a
+ * latency-sensitive caller tags every request once. Copyable; the
+ * engine must outlive every session.
+ */
+class Session
+{
+  public:
+    /** Submit tokens with this session's priority. */
+    std::future<Response> infer(std::vector<std::int32_t> tokens,
+                                double deadline_ms = 0.0);
+
+    int priority() const { return priority_; }
+
+  private:
+    friend class InferenceEngine;
+    Session(InferenceEngine &engine, int priority)
+        : engine_(&engine), priority_(priority)
+    {}
+
+    InferenceEngine *engine_;
+    int priority_;
+};
+
+} // namespace serve
+} // namespace mflstm
+
+#endif // MFLSTM_SERVE_ENGINE_HH

@@ -1,0 +1,91 @@
+#include "serve/queue.hh"
+
+#include <algorithm>
+
+namespace mflstm {
+namespace serve {
+
+namespace {
+
+/**
+ * Max-heap "less": a sorts after b when a has lower priority, or equal
+ * priority but a later admission (higher seq). The heap top is then the
+ * highest-priority, oldest item.
+ */
+bool
+heapLess(const QueuedRequest &a, const QueuedRequest &b)
+{
+    if (a.request.priority != b.request.priority)
+        return a.request.priority < b.request.priority;
+    return a.seq > b.seq;
+}
+
+} // anonymous namespace
+
+bool
+RequestQueue::push(QueuedRequest item)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (closed_)
+            return false;
+        heap_.push_back(std::move(item));
+        std::push_heap(heap_.begin(), heap_.end(), heapLess);
+    }
+    cv_.notify_one();
+    return true;
+}
+
+bool
+RequestQueue::popWait(QueuedRequest &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !heap_.empty(); });
+    if (heap_.empty())
+        return false;
+    std::pop_heap(heap_.begin(), heap_.end(), heapLess);
+    out = std::move(heap_.back());
+    heap_.pop_back();
+    return true;
+}
+
+std::size_t
+RequestQueue::drain(std::vector<QueuedRequest> &out, std::size_t max)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    while (n < max && !heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(), heapLess);
+        out.push_back(std::move(heap_.back()));
+        heap_.pop_back();
+        ++n;
+    }
+    return n;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return heap_.size();
+}
+
+} // namespace serve
+} // namespace mflstm

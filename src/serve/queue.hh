@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thread-safe request queue: producers (client threads calling
+ * InferenceEngine::submit) push, consumers (the batcher on behalf of
+ * worker threads) pop. Ordering is priority-descending with FIFO ties,
+ * implemented as a binary heap under one mutex.
+ *
+ * close() wakes every blocked consumer; items still queued at close
+ * keep draining, so shutdown completes submitted work instead of
+ * dropping it.
+ */
+
+#ifndef MFLSTM_SERVE_QUEUE_HH
+#define MFLSTM_SERVE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace mflstm {
+namespace serve {
+
+class RequestQueue
+{
+  public:
+    /**
+     * Enqueue one item and wake a consumer.
+     * @return false (item untouched) when the queue is closed.
+     */
+    bool push(QueuedRequest item);
+
+    /**
+     * Block until an item is available or the queue is closed and
+     * drained. Pops the highest-priority (then oldest) item.
+     * @return false only on closed-and-empty.
+     */
+    bool popWait(QueuedRequest &out);
+
+    /**
+     * Non-blocking: pop up to @p max items in queue order into @p out
+     * (appended). @return the number popped.
+     */
+    std::size_t drain(std::vector<QueuedRequest> &out, std::size_t max);
+
+    /** Stop accepting pushes and wake all blocked consumers. */
+    void close();
+
+    bool closed() const;
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<QueuedRequest> heap_;
+    bool closed_ = false;
+};
+
+} // namespace serve
+} // namespace mflstm
+
+#endif // MFLSTM_SERVE_QUEUE_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Value types of the serving layer (DESIGN.md §9): what a client
+ * submits (Request), what the engine returns (Response), and the
+ * queue-internal envelope that carries a request from submit() to the
+ * worker that completes it (QueuedRequest).
+ */
+
+#ifndef MFLSTM_SERVE_REQUEST_HH
+#define MFLSTM_SERVE_REQUEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace mflstm {
+namespace serve {
+
+using RequestId = std::uint64_t;
+
+/** One inference job: a token sequence plus scheduling hints. */
+struct Request
+{
+    std::vector<std::int32_t> tokens;
+    /// higher priority drains first; ties are FIFO
+    int priority = 0;
+    /// wall-clock deadline in ms from submit; 0 disables the check
+    double deadlineMs = 0.0;
+};
+
+/** What the engine hands back for one Request. */
+struct Response
+{
+    RequestId id = 0;
+
+    /// classification logits (TaskKind::Classification models)
+    tensor::Vector logits;
+    /// per-step next-token logits (TaskKind::LanguageModel models)
+    std::vector<tensor::Vector> stepLogits;
+
+    /// sequences packed into the batch this request rode in
+    std::size_t batch = 0;
+    /// wall ms spent queued before the batch started
+    double queueMs = 0.0;
+    /// wall ms from submit to completion
+    double latencyMs = 0.0;
+    /// latencyMs <= Request::deadlineMs (true when no deadline was set)
+    bool deadlineMet = true;
+
+    /// simulated GPU time of the whole batched run, ms
+    double simBatchMs = 0.0;
+    /// simulated weight-matrix DRAM bytes amortised over the batch
+    double weightDramBytesPerSeq = 0.0;
+};
+
+/** Queue envelope: a Request plus everything the worker needs. */
+struct QueuedRequest
+{
+    Request request;
+    RequestId id = 0;
+    /// admission order, the FIFO tiebreak within a priority level
+    std::uint64_t seq = 0;
+    std::chrono::steady_clock::time_point enqueued{};
+    std::promise<Response> promise;
+};
+
+} // namespace serve
+} // namespace mflstm
+
+#endif // MFLSTM_SERVE_REQUEST_HH

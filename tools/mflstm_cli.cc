@@ -7,6 +7,7 @@
  *   run   --app NAME [options]   run one plan at one threshold set
  *   sweep --app NAME [options]   sweep the full threshold ladder
  *   mts   --app NAME             the Fig. 9 tissue-size sweep
+ *   serve --app NAME [options]   batched serving demo (DESIGN.md §9)
  *   help                         print usage
  *
  * Common options:
@@ -20,20 +21,31 @@
  *   --metrics-out FILE write the metrics registry as JSON
  *   --help             print usage and exit
  *
+ * serve options (synthetic open-loop workload):
+ *   --requests N       requests to submit (default 64)
+ *   --batch N          max sequences per batched run (default 8)
+ *   --workers N        engine worker threads (default 2)
+ *   --arrival-us N     mean inter-arrival gap in microseconds
+ *                      (default 200; 0 = submit everything at once)
+ *   --deadline-ms X    per-request wall deadline (default 0 = none)
+ *
  * Any unrecognised argument prints usage and exits with status 2.
  * Trained accuracy models are cached in ./mflstm_model_cache.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "harness.hh"
 #include "obs/observer.hh"
 #include "runtime/report.hh"
+#include "serve/engine.hh"
 
 namespace {
 
@@ -52,6 +64,13 @@ struct Options
     std::string traceOut;
     std::string metricsOut;
 
+    // serve
+    std::size_t requests = 64;
+    std::size_t batch = 8;
+    std::size_t workers = 2;
+    std::size_t arrivalUs = 200;
+    double deadlineMs = 0.0;
+
     /** The observability sinks were requested on the command line. */
     bool wantsObserver() const
     {
@@ -64,7 +83,7 @@ printUsage(std::FILE *to)
 {
     std::fprintf(
         to,
-        "usage: mflstm_cli <list|run|sweep|mts|help> [options]\n"
+        "usage: mflstm_cli <list|run|sweep|mts|serve|help> [options]\n"
         "\n"
         "options:\n"
         "  --app NAME         Table II application (default IMDB)\n"
@@ -76,7 +95,15 @@ printUsage(std::FILE *to)
         "  --trace-csv FILE   dump the lowered kernel trace as CSV\n"
         "  --trace-out FILE   write a Chrome trace-event JSON timeline\n"
         "  --metrics-out FILE write the metrics registry as JSON\n"
-        "  --help             print this message and exit\n");
+        "  --help             print this message and exit\n"
+        "\n"
+        "serve options (synthetic open-loop workload):\n"
+        "  --requests N       requests to submit (default 64)\n"
+        "  --batch N          max sequences per batched run (default 8)\n"
+        "  --workers N        engine worker threads (default 2)\n"
+        "  --arrival-us N     mean inter-arrival gap, microseconds\n"
+        "                     (default 200; 0 = all at once)\n"
+        "  --deadline-ms X    per-request wall deadline (default none)\n");
 }
 
 int
@@ -191,10 +218,9 @@ cmdRun(const Options &opt)
 
     runtime::ExecutionPlan probe;
     probe.kind = opt.plan;
-    mf->runner().resetStats();
-    mf->runner().setThresholds(
-        probe.usesInter() ? ladder[rung].alphaInter : 0.0,
-        probe.usesIntra() ? ladder[rung].alphaIntra : 0.0);
+    mf->setThresholds(
+        {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0});
     double acc = 0.0;
     {
         auto ph = obs::Observer::phase(obs, "accuracy-eval");
@@ -313,6 +339,97 @@ cmdMts(const Options &opt)
     return 0;
 }
 
+int
+cmdServe(const Options &opt)
+{
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    const auto ladder = mf->calibration().ladder();
+
+    // A mid-ladder rung keeps startup cheap (no AO sweep); override
+    // with --set.
+    const std::size_t rung =
+        opt.set ? *opt.set : ladder.size() / 2;
+    if (rung >= ladder.size()) {
+        std::fprintf(stderr, "error: --set must be 0..%zu\n",
+                     ladder.size() - 1);
+        return 2;
+    }
+    runtime::ExecutionPlan probe;
+    probe.kind = opt.plan;
+    mf->setThresholds(
+        {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0});
+    // Populate the division/skip statistics the planner projects.
+    evalAccuracy(*mf, app);
+
+    serve::InferenceEngine::Options eopts;
+    eopts.maxBatch = opt.batch;
+    eopts.workers = opt.workers;
+    eopts.plan = opt.plan;
+    eopts.observer = obs;
+    serve::InferenceEngine engine(*mf, eopts);
+    serve::Session session = engine.session();
+
+    // Open-loop arrivals: submit on a fixed clock regardless of
+    // completion, cycling through the calibration sequences.
+    const auto seqs = app.data.calibrationSequences(kCalibrationSeqs);
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(opt.requests);
+    for (std::size_t i = 0; i < opt.requests; ++i) {
+        futures.push_back(session.infer(seqs[i % seqs.size()],
+                                        opt.deadlineMs));
+        if (opt.arrivalUs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(opt.arrivalUs));
+    }
+
+    // batch size -> simulated weight-DRAM bytes per sequence
+    std::map<std::size_t, double> weight_by_batch;
+    for (auto &f : futures) {
+        const serve::Response r = f.get();
+        weight_by_batch[r.batch] = r.weightDramBytesPerSeq;
+    }
+    engine.shutdown();
+
+    const serve::InferenceEngine::Stats st = engine.stats();
+    std::printf("%s / %s on %s (threshold set %zu)\n", opt.app.c_str(),
+                runtime::toString(opt.plan), gpuFor(opt.gpuName).name.c_str(),
+                rung);
+    std::printf("served %llu requests in %llu batches "
+                "(mean batch %.2f, max %zu, workers %zu)\n",
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.batches),
+                st.meanBatchSize, st.maxBatchObserved, opt.workers);
+    std::printf("wall latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n",
+                engine.latencyQuantileMs(0.50),
+                engine.latencyQuantileMs(0.90),
+                engine.latencyQuantileMs(0.99));
+    if (opt.deadlineMs > 0.0) {
+        std::printf("deadline %.1f ms missed by %llu requests\n",
+                    opt.deadlineMs,
+                    static_cast<unsigned long long>(st.deadlineMisses));
+    }
+    std::printf("\nweight-matrix DRAM per sequence (simulated, "
+                "amortised over the batch):\n");
+    std::printf("%6s %16s\n", "batch", "weight MB/seq");
+    for (const auto &[b, bytes] : weight_by_batch)
+        std::printf("%6zu %16.3f\n", b, bytes / 1e6);
+
+    return writeObserverOutputs(opt, observer);
+}
+
 } // anonymous namespace
 
 int
@@ -329,7 +446,8 @@ main(int argc, char **argv)
         return 0;
     }
     if (opt.command != "list" && opt.command != "run" &&
-        opt.command != "sweep" && opt.command != "mts") {
+        opt.command != "sweep" && opt.command != "mts" &&
+        opt.command != "serve") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -377,6 +495,40 @@ main(int argc, char **argv)
                 return usage();
             }
             opt.gpuName = v;
+        } else if (arg == "--requests" || arg == "--batch" ||
+                   arg == "--workers" || arg == "--arrival-us") {
+            const char *v = next();
+            char *end = nullptr;
+            const unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
+            if (!v || end == v || *end != '\0') {
+                std::fprintf(stderr, "bad %s value: %s\n", arg.c_str(),
+                             v ? v : "(missing)");
+                return usage();
+            }
+            if ((arg == "--requests" || arg == "--batch" ||
+                 arg == "--workers") &&
+                n == 0) {
+                std::fprintf(stderr, "%s must be >= 1\n", arg.c_str());
+                return usage();
+            }
+            if (arg == "--requests")
+                opt.requests = n;
+            else if (arg == "--batch")
+                opt.batch = n;
+            else if (arg == "--workers")
+                opt.workers = n;
+            else
+                opt.arrivalUs = n;
+        } else if (arg == "--deadline-ms") {
+            const char *v = next();
+            char *end = nullptr;
+            const double x = v ? std::strtod(v, &end) : 0.0;
+            if (!v || end == v || *end != '\0' || x < 0.0) {
+                std::fprintf(stderr, "bad --deadline-ms value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+            opt.deadlineMs = x;
         } else if (arg == "--csv") {
             opt.csv = true;
         } else if (arg == "--trace-csv") {
@@ -407,6 +559,8 @@ main(int argc, char **argv)
             return cmdRun(opt);
         if (opt.command == "sweep")
             return cmdSweep(opt);
+        if (opt.command == "serve")
+            return cmdServe(opt);
         return cmdMts(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
