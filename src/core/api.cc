@@ -79,6 +79,47 @@ MemoryFriendlyLstm::setThresholds(const ThresholdSet &set)
     thresholds_ = set;
 }
 
+runtime::ExecutionPlan
+MemoryFriendlyLstm::planFromStats(
+    const TimingOptions &opts,
+    const std::vector<LayerApproxStats> &stats,
+    const runtime::NetworkExecutor &exec, obs::Observer *observer) const
+{
+    runtime::ExecutionPlan plan;
+    plan.kind = opts.kind;
+
+    if (opts.kind == runtime::PlanKind::Baseline)
+        return plan;
+    if (opts.kind == runtime::PlanKind::ZeroPruning) {
+        plan.pruneFraction = opts.pruneFraction;
+        return plan;
+    }
+
+    const Calibration &cal = calibration();
+    const std::size_t model_hidden =
+        runner_.model().config().hiddenSize;
+
+    std::size_t mts = cal.mts;
+    if (opts.kind == runtime::PlanKind::Combined) {
+        // DRS relieves on-chip traffic inside the tissue GEMM, which
+        // raises the bandwidth-limited MTS; re-run the sweep with the
+        // measured mean skip fraction.
+        double skip = 0.0;
+        for (const LayerApproxStats &st : stats)
+            skip += st.skipFraction(model_hidden);
+        skip /= static_cast<double>(stats.size());
+        if (skip > 0.0) {
+            mts = findMts(exec, cfg_.timingShape.layers.front(), 12,
+                          skip)
+                      .mts;
+        }
+    }
+
+    auto ph = obs::Observer::phase(observer, "planning");
+    return buildPlan(opts.kind, stats, cfg_.timingShape, mts,
+                     model_hidden);
+}
+
 TimingOutcome
 MemoryFriendlyLstm::evaluateTiming(const TimingOptions &opts) const
 {
@@ -101,45 +142,50 @@ MemoryFriendlyLstm::evaluateTiming(const TimingOptions &opts) const
         return out;
     }
 
-    if (opts.kind == runtime::PlanKind::ZeroPruning) {
-        out.plan.kind = opts.kind;
-        out.plan.pruneFraction = opts.pruneFraction;
-        out.report = exec.run(cfg_.timingShape, out.plan);
-        out.speedup = runtime::speedup(baseline_, out.report);
-        out.energySavingPct =
-            runtime::energySavingPct(baseline_, out.report);
-        return out;
-    }
-
-    const Calibration &cal = calibration();
-    const std::size_t model_hidden =
-        runner_.model().config().hiddenSize;
-
-    std::size_t mts = cal.mts;
-    if (opts.kind == runtime::PlanKind::Combined) {
-        // DRS relieves on-chip traffic inside the tissue GEMM, which
-        // raises the bandwidth-limited MTS; re-run the sweep with the
-        // measured mean skip fraction.
-        double skip = 0.0;
-        for (const LayerApproxStats &st : runner_.stats())
-            skip += st.skipFraction(model_hidden);
-        skip /= static_cast<double>(runner_.stats().size());
-        if (skip > 0.0) {
-            mts = findMts(exec, cfg_.timingShape.layers.front(), 12,
-                          skip)
-                      .mts;
-        }
-    }
-
-    {
-        auto ph = obs::Observer::phase(observer, "planning");
-        out.plan = buildPlan(opts.kind, runner_.stats(), cfg_.timingShape,
-                             mts, model_hidden);
-    }
+    out.plan = planFromStats(opts, runner_.stats(), exec, observer);
     out.report = exec.run(cfg_.timingShape, out.plan);
     out.speedup = runtime::speedup(baseline_, out.report);
     out.energySavingPct = runtime::energySavingPct(baseline_, out.report);
     return out;
+}
+
+MemoryFriendlyLstm::RungSnapshot
+MemoryFriendlyLstm::snapshotRung(
+    const ThresholdSet &set,
+    const std::vector<std::vector<std::int32_t>> &eval_seqs,
+    const TimingOptions &opts) const
+{
+    std::optional<runtime::NetworkExecutor> local;
+    if (opts.observer)
+        local.emplace(cfg_.gpu, opts.observer);
+    const runtime::NetworkExecutor &exec = local ? *local : executor_;
+    obs::Observer *observer =
+        opts.observer ? opts.observer : cfg_.observer;
+
+    RungSnapshot snap{set, {}, runner_};
+    snap.runner.setThresholds(set.alphaInter, set.alphaIntra);
+    snap.runner.resetStats();
+
+    const bool needs_stats =
+        opts.kind != runtime::PlanKind::Baseline &&
+        opts.kind != runtime::PlanKind::ZeroPruning;
+    if (needs_stats) {
+        if (eval_seqs.empty())
+            throw std::invalid_argument(
+                "snapshotRung: statistics-driven plan kind needs "
+                "eval sequences");
+        auto ph = obs::Observer::phase(observer, "rung-eval");
+        const bool lm = runner_.model().config().task ==
+                        nn::TaskKind::LanguageModel;
+        for (const auto &s : eval_seqs) {
+            if (lm)
+                snap.runner.lmLogits(s);
+            else
+                snap.runner.classify(s);
+        }
+    }
+    snap.plan = planFromStats(opts, snap.runner.stats(), exec, observer);
+    return snap;
 }
 
 TimingOutcome

@@ -141,6 +141,36 @@ class MemoryFriendlyLstm
     TimingOutcome evaluateTiming(const TimingOptions &opts) const;
 
     /**
+     * Per-rung snapshot for the serving governor: a private runner
+     * configured at one threshold set plus the execution plan its
+     * measured statistics imply.
+     */
+    struct RungSnapshot
+    {
+        ThresholdSet set;
+        runtime::ExecutionPlan plan;
+        ApproxRunner runner;
+    };
+
+    /**
+     * Build a RungSnapshot for @p set without mutating the facade:
+     * copies the calibrated runner, applies the thresholds, replays
+     * @p eval_seqs to measure division/skip statistics, and builds the
+     * plan exactly as evaluateTiming would for @p opts.kind. The
+     * serving engine snapshots every governor-ladder rung this way at
+     * construction.
+     *
+     * @throws std::logic_error when set.alphaInter > 0 before
+     *         calibrate() has run.
+     * @throws std::invalid_argument when @p opts.kind is statistics-
+     *         driven and @p eval_seqs is empty.
+     */
+    RungSnapshot
+    snapshotRung(const ThresholdSet &set,
+                 const std::vector<std::vector<std::int32_t>> &eval_seqs,
+                 const TimingOptions &opts) const;
+
+    /**
      * @deprecated Positional form kept for source compatibility;
      * delegates to evaluateTiming(const TimingOptions&).
      */
@@ -148,6 +178,12 @@ class MemoryFriendlyLstm
                                  double prune_fraction = 0.37) const;
 
   private:
+    runtime::ExecutionPlan
+    planFromStats(const TimingOptions &opts,
+                  const std::vector<LayerApproxStats> &stats,
+                  const runtime::NetworkExecutor &exec,
+                  obs::Observer *observer) const;
+
     Config cfg_;
     runtime::NetworkExecutor executor_;
     ApproxRunner runner_;

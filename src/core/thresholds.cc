@@ -174,5 +174,20 @@ selectForPreference(const std::vector<OperatingPoint> &points,
     return best;
 }
 
+std::vector<ThresholdSet>
+aoToBpaLadder(const std::vector<OperatingPoint> &points,
+              double baseline_accuracy, double max_loss_pct)
+{
+    const std::size_t ao =
+        selectAo(points, baseline_accuracy, max_loss_pct);
+    const std::size_t bpa = selectBpa(points);
+
+    std::vector<ThresholdSet> ladder;
+    ladder.push_back(points[ao].set);
+    for (std::size_t i = ao + 1; i <= bpa; ++i)
+        ladder.push_back(points[i].set);
+    return ladder;
+}
+
 } // namespace core
 } // namespace mflstm

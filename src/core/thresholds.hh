@@ -107,6 +107,17 @@ std::size_t selectBpa(const std::vector<OperatingPoint> &points);
 std::size_t selectForPreference(const std::vector<OperatingPoint> &points,
                                 double min_accuracy);
 
+/**
+ * The serving governor's degradation ladder: threshold sets from the
+ * AO point (inclusive) to the BPA point (inclusive) in ladder order,
+ * so rung 0 is the accuracy-oriented operating point and the last rung
+ * the best performance-accuracy one. When BPA is not more aggressive
+ * than AO the ladder collapses to {AO} (nothing to degrade into).
+ */
+std::vector<ThresholdSet>
+aoToBpaLadder(const std::vector<OperatingPoint> &points,
+              double baseline_accuracy, double max_loss_pct = 2.0);
+
 } // namespace core
 } // namespace mflstm
 

@@ -16,6 +16,8 @@
 #ifndef MFLSTM_RUNTIME_EXECUTOR_HH
 #define MFLSTM_RUNTIME_EXECUTOR_HH
 
+#include <functional>
+
 #include "gpu/simulator.hh"
 #include "runtime/lowering.hh"
 #include "runtime/plan.hh"
@@ -102,6 +104,16 @@ class NetworkExecutor
     const Lowering &lowering() const { return lowering_; }
     obs::Observer *observer() const { return obs_; }
 
+    /**
+     * Hook invoked at the top of every run(), before lowering. The
+     * serving layer's fault injector throws from here to model a
+     * transient device failure on the real execution path; exceptions
+     * propagate to the run() caller. Install before sharing the
+     * executor across threads — the hook itself must be thread-safe.
+     */
+    using PreRunHook = std::function<void(const RunRequest &)>;
+    void setPreRunHook(PreRunHook hook) { preRunHook_ = std::move(hook); }
+
     /** Lower + simulate one descriptor (the common entry point). */
     RunReport run(const RunRequest &req) const;
 
@@ -118,6 +130,7 @@ class NetworkExecutor
     gpu::GpuConfig cfg_;
     Lowering lowering_;
     obs::Observer *obs_ = nullptr;
+    PreRunHook preRunHook_;
 };
 
 } // namespace runtime

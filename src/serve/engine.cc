@@ -1,6 +1,7 @@
 #include "serve/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
@@ -27,16 +28,28 @@ wallMsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/**
+ * The fault site the executor's pre-run hook consults. The worker
+ * stamps it immediately before each executor_->run call, so the
+ * injection decision happens on the real execution path without the
+ * runtime layer depending on serve types.
+ */
+thread_local FaultSite t_batchSite;
+
 } // anonymous namespace
 
 InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
                                  const Options &opts)
     : opts_(opts), shape_(mf.config().timingShape),
       task_(mf.runner().model().config().task),
+      queue_(QueueOptions{opts.queueCapacity, opts.admission,
+                          opts.admitTimeoutMs}),
       batcher_(queue_, opts.maxBatch)
 {
     if (opts_.workers == 0)
         throw std::invalid_argument("InferenceEngine: workers == 0");
+    if (opts_.maxRetries < 0)
+        throw std::invalid_argument("InferenceEngine: maxRetries < 0");
 
     if (opts_.observer) {
         obs_ = opts_.observer;
@@ -45,16 +58,50 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
         obs_ = ownedObs_.get();
     }
 
-    // Plan exactly as the facade would, recording planning phases into
-    // this engine's sink.
     core::TimingOptions topt;
     topt.kind = opts_.plan;
     topt.pruneFraction = opts_.pruneFraction;
     topt.observer = obs_;
-    plan_ = mf.evaluateTiming(topt).plan;
+
+    // Rung snapshots: plan + base runner per threshold set. Without a
+    // ladder the single rung mirrors the facade's active state,
+    // planned exactly as the facade would plan it.
+    std::vector<core::ApproxRunner> base_runners;
+    if (opts_.governorLadder.empty()) {
+        ladder_ = {mf.thresholds()};
+        plans_.push_back(mf.evaluateTiming(topt).plan);
+        base_runners.push_back(mf.runner());
+    } else {
+        for (const core::ThresholdSet &set : opts_.governorLadder) {
+            core::MemoryFriendlyLstm::RungSnapshot snap =
+                mf.snapshotRung(set, opts_.planningSequences, topt);
+            ladder_.push_back(set);
+            plans_.push_back(std::move(snap.plan));
+            base_runners.push_back(std::move(snap.runner));
+        }
+    }
+
+    if (ladder_.size() > 1) {
+        AdaptiveThresholdGovernor::Config gcfg = opts_.governor;
+        gcfg.rungCount = ladder_.size();
+        governor_ =
+            std::make_unique<AdaptiveThresholdGovernor>(gcfg, obs_);
+    }
 
     executor_ = std::make_unique<runtime::NetworkExecutor>(
         mf.config().gpu, obs_);
+    if (opts_.faultInjector) {
+        executor_->setPreRunHook([this](const runtime::RunRequest &) {
+            if (opts_.faultInjector->shouldFail(t_batchSite)) {
+                obs_->metrics().counter("serve.faults_injected").add();
+                throw TransientFault(
+                    "injected batch-timing fault (batch " +
+                    std::to_string(t_batchSite.batchOrdinal) +
+                    ", attempt " +
+                    std::to_string(t_batchSite.attempt) + ")");
+            }
+        });
+    }
 
     // Touch the instruments once so quantile queries work even before
     // the first request completes.
@@ -66,7 +113,7 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
 
     runners_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w)
-        runners_.push_back(mf.runner());  // private calibrated copy
+        runners_.push_back(base_runners);  // private copies per worker
 
     workers_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w)
@@ -92,11 +139,29 @@ InferenceEngine::submit(Request req)
     item.enqueued = std::chrono::steady_clock::now();
     std::future<Response> fut = item.promise.get_future();
 
-    if (!queue_.push(std::move(item)))
+    std::vector<QueuedRequest> bounced;
+    const RequestQueue::PushOutcome outcome =
+        queue_.push(std::move(item), &bounced);
+    if (outcome == RequestQueue::PushOutcome::Closed)
         throw std::runtime_error(
             "InferenceEngine::submit: engine is shut down");
+
     submitted_.fetch_add(1, std::memory_order_relaxed);
     obs_->metrics().counter("serve.requests").add();
+
+    // Admission control resolves every bounced promise right here with
+    // a terminal status: the new item under RejectNew / a block
+    // timeout, or the evicted victims under DropOldest.
+    if (outcome == RequestQueue::PushOutcome::RejectedCapacity) {
+        for (QueuedRequest &b : bounced)
+            resolveUnserved(std::move(b), Status::RejectedCapacity);
+    } else if (!bounced.empty()) {
+        for (QueuedRequest &b : bounced) {
+            evicted_.fetch_add(1, std::memory_order_relaxed);
+            obs_->metrics().counter("serve.evicted").add();
+            resolveUnserved(std::move(b), Status::RejectedCapacity);
+        }
+    }
     return fut;
 }
 
@@ -122,8 +187,23 @@ InferenceEngine::stats() const
     Stats s;
     s.submitted = submitted_.load(std::memory_order_relaxed);
     s.completed = completed_.load(std::memory_order_relaxed);
+    s.ok = ok_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.deadlineMisses = deadlineMisses_.load(std::memory_order_relaxed);
+    s.shedBeforeRun = shedBeforeRun_.load(std::memory_order_relaxed);
+    s.lateCompletions =
+        lateCompletions_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.evicted = evicted_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.workerRestarts = workerRestarts_.load(std::memory_order_relaxed);
+    if (governor_) {
+        const AdaptiveThresholdGovernor::Stats g = governor_->stats();
+        s.governorStepsUp = g.stepsUp;
+        s.governorStepsDown = g.stepsDown;
+    }
+    s.queueHighWater = queue_.counters().highWater;
     s.maxBatchObserved =
         maxBatchObserved_.load(std::memory_order_relaxed);
     const std::uint64_t seqs =
@@ -143,28 +223,159 @@ InferenceEngine::latencyQuantileMs(double q) const
 }
 
 void
+InferenceEngine::resolveUnserved(QueuedRequest item, Status status)
+{
+    obs::MetricsRegistry &m = obs_->metrics();
+    Response r;
+    r.id = item.id;
+    r.status = status;
+    r.queueMs = r.latencyMs = wallMsSince(item.enqueued);
+    switch (status) {
+    case Status::ShedDeadline:
+        shedBeforeRun_.fetch_add(1, std::memory_order_relaxed);
+        deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
+        m.counter("serve.shed_deadline").add();
+        m.counter("serve.deadline_misses").add();
+        break;
+    case Status::RejectedCapacity:
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        m.counter("serve.rejected_capacity").add();
+        break;
+    case Status::Failed:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        m.counter("serve.failed").add();
+        break;
+    case Status::Ok:
+        break;  // unreachable: Ok always comes from serveBatch
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    m.counter("serve.responses").add();
+    item.promise.set_value(std::move(r));
+}
+
+std::vector<QueuedRequest>
+InferenceEngine::shedExpired(std::vector<QueuedRequest> batch)
+{
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<QueuedRequest> live;
+    live.reserve(batch.size());
+    for (QueuedRequest &item : batch) {
+        if (item.expired(now))
+            resolveUnserved(std::move(item), Status::ShedDeadline);
+        else
+            live.push_back(std::move(item));
+    }
+    return live;
+}
+
+void
+InferenceEngine::backoff(int attempt) const
+{
+    if (opts_.retryBackoffMs <= 0.0)
+        return;
+    const double ms =
+        opts_.retryBackoffMs * static_cast<double>(1 << std::min(attempt, 10));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+void
 InferenceEngine::workerLoop(std::size_t worker_index)
 {
-    core::ApproxRunner &runner = runners_[worker_index];
     for (;;) {
         std::vector<QueuedRequest> batch = batcher_.nextBatch();
         if (batch.empty())
             return;  // closed and drained
-        serveBatch(std::move(batch), runner);
+
+        // Deadline shedding (§10): expired requests resolve
+        // ShedDeadline before they waste a batch slot, and the freed
+        // slots are refilled so the batch still amortises weights.
+        std::vector<QueuedRequest> live = shedExpired(std::move(batch));
+        while (live.size() < opts_.maxBatch) {
+            std::vector<QueuedRequest> extra;
+            if (queue_.drain(extra, opts_.maxBatch - live.size()) == 0)
+                break;
+            extra = shedExpired(std::move(extra));
+            for (QueuedRequest &e : extra)
+                live.push_back(std::move(e));
+        }
+        if (live.empty())
+            continue;
+
+        try {
+            serveBatch(std::move(live), worker_index);
+        } catch (...) {
+            // Graceful worker restart: an unexpected batch error never
+            // kills the loop. serveBatch resolves every promise before
+            // it can throw, so nothing is leaked.
+            workerRestarts_.fetch_add(1, std::memory_order_relaxed);
+            obs_->metrics().counter("serve.worker_restarts").add();
+        }
     }
 }
 
 void
 InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
-                            core::ApproxRunner &runner)
+                            std::size_t worker_index)
 {
     const std::size_t b = batch.size();
+    const std::size_t rung = governor_ ? governor_->rung() : 0;
+    core::ApproxRunner &runner = runners_[worker_index][rung];
+    const runtime::ExecutionPlan &plan = plans_[rung];
+    const std::uint64_t ordinal =
+        batchOrdinal_.fetch_add(1, std::memory_order_relaxed);
     const auto batch_start = std::chrono::steady_clock::now();
     auto ph = obs::Observer::phase(obs_, "serve.batch");
+    obs::MetricsRegistry &m = obs_->metrics();
+    FaultInjector *inj = opts_.faultInjector;
 
-    // Timing side: one batched lowering, weights charged once.
-    const runtime::RunReport report =
-        executor_->run(runtime::RunRequest::network(shape_, plan_, b));
+    // Timing side: one batched lowering, weights charged once. A
+    // transient fault on the executor path is retried with backoff;
+    // an exhausted budget (or a non-transient error) fails the batch.
+    runtime::RunReport report;
+    bool timing_ok = false;
+    std::string timing_err;
+    for (int attempt = 0; attempt <= opts_.maxRetries; ++attempt) {
+        try {
+            t_batchSite = FaultSite{FaultSite::Kind::BatchRun, ordinal,
+                                    0, attempt};
+            report = executor_->run(
+                runtime::RunRequest::network(shape_, plan, b));
+            timing_ok = true;
+            break;
+        } catch (const TransientFault &e) {
+            timing_err = e.what();
+            if (attempt < opts_.maxRetries) {
+                retries_.fetch_add(1, std::memory_order_relaxed);
+                m.counter("serve.retries").add();
+                backoff(attempt);
+            }
+        } catch (const std::exception &e) {
+            timing_err = e.what();  // non-transient: no retry
+            break;
+        }
+    }
+    if (!timing_ok) {
+        for (QueuedRequest &item : batch) {
+            Response r;
+            r.id = item.id;
+            r.status = Status::Failed;
+            r.error = "batch timing run failed: " + timing_err;
+            r.batch = b;
+            r.rung = rung;
+            r.queueMs = std::chrono::duration<double, std::milli>(
+                            batch_start - item.enqueued)
+                            .count();
+            r.latencyMs = wallMsSince(item.enqueued);
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            m.counter("serve.failed").add();
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            m.counter("serve.responses").add();
+            item.promise.set_value(std::move(r));
+        }
+        return;
+    }
+
     const double sim_ms = report.result.timeUs / 1e3;
     const double weight_per_seq = report.weightDramBytesPerSequence();
 
@@ -175,48 +386,98 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
            !maxBatchObserved_.compare_exchange_weak(
                seen, b, std::memory_order_relaxed))
         ;
-    obs::MetricsRegistry &m = obs_->metrics();
     m.counter("serve.batches").add();
     m.histogram("serve.batch_size", batchSizeEdges(opts_.maxBatch))
         .observe(static_cast<double>(b));
     m.gauge("serve.weight_dram_bytes_per_seq").set(weight_per_seq);
+    m.gauge("serve.rung").set(static_cast<double>(rung));
 
-    // Functional side: per sequence, bit-identical to a solo run.
+    // Functional side: per sequence, bit-identical to a solo run at
+    // this rung's thresholds. Transient per-request faults retry with
+    // backoff; exhausting the budget fails only that request.
     for (QueuedRequest &item : batch) {
-        try {
-            Response r;
-            r.id = item.id;
-            r.batch = b;
-            r.simBatchMs = sim_ms;
-            r.weightDramBytesPerSeq = weight_per_seq;
-            r.queueMs =
-                std::chrono::duration<double, std::milli>(batch_start -
-                                                          item.enqueued)
-                    .count();
-
-            if (task_ == nn::TaskKind::LanguageModel)
-                r.stepLogits = runner.lmLogits(item.request.tokens);
-            else
-                r.logits = runner.classify(item.request.tokens);
-
-            r.latencyMs = wallMsSince(item.enqueued);
-            r.deadlineMet = item.request.deadlineMs <= 0.0 ||
-                            r.latencyMs <= item.request.deadlineMs;
-            if (!r.deadlineMet) {
-                deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
-                m.counter("serve.deadline_misses").add();
-            }
-
-            m.histogram(
-                 "serve.latency_ms",
-                 obs::Histogram::exponentialEdges(1e-3, 1e5, 33))
-                .observe(r.latencyMs);
-            completed_.fetch_add(1, std::memory_order_relaxed);
-            m.counter("serve.responses").add();
-            item.promise.set_value(std::move(r));
-        } catch (...) {
-            item.promise.set_exception(std::current_exception());
+        // Deadlines can expire while earlier siblings run — shed
+        // before spending functional compute.
+        if (item.expired(std::chrono::steady_clock::now())) {
+            resolveUnserved(std::move(item), Status::ShedDeadline);
+            continue;
         }
+
+        Response r;
+        r.id = item.id;
+        r.batch = b;
+        r.rung = rung;
+        r.simBatchMs = sim_ms;
+        r.weightDramBytesPerSeq = weight_per_seq;
+        r.queueMs = std::chrono::duration<double, std::milli>(
+                        batch_start - item.enqueued)
+                        .count();
+
+        bool run_failed = false;
+        for (int attempt = 0; attempt <= opts_.maxRetries; ++attempt) {
+            if (inj &&
+                inj->shouldFail(FaultSite{FaultSite::Kind::RequestRun,
+                                          ordinal, item.id, attempt})) {
+                m.counter("serve.faults_injected").add();
+                if (attempt == opts_.maxRetries) {
+                    run_failed = true;
+                    r.error = "transient faults exhausted the retry "
+                              "budget";
+                    break;
+                }
+                r.retries = attempt + 1;
+                retries_.fetch_add(1, std::memory_order_relaxed);
+                m.counter("serve.retries").add();
+                backoff(attempt);
+                continue;
+            }
+            try {
+                if (task_ == nn::TaskKind::LanguageModel)
+                    r.stepLogits = runner.lmLogits(item.request.tokens);
+                else
+                    r.logits = runner.classify(item.request.tokens);
+                r.executed = true;
+            } catch (const std::exception &e) {
+                run_failed = true;
+                r.error = e.what();
+            }
+            break;
+        }
+
+        r.latencyMs = wallMsSince(item.enqueued);
+        if (run_failed) {
+            r.status = Status::Failed;
+            failed_.fetch_add(1, std::memory_order_relaxed);
+            m.counter("serve.failed").add();
+        } else if (item.request.deadlineMs > 0.0 &&
+                   r.latencyMs > item.request.deadlineMs) {
+            // The §10 unification of the old latent bug: an executed
+            // request that finished late is a deadline miss by status,
+            // not a silent success (outputs stay populated).
+            r.status = Status::ShedDeadline;
+            lateCompletions_.fetch_add(1, std::memory_order_relaxed);
+            deadlineMisses_.fetch_add(1, std::memory_order_relaxed);
+            m.counter("serve.late_completions").add();
+            m.counter("serve.deadline_misses").add();
+        } else {
+            r.status = Status::Ok;
+            ok_.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        m.histogram("serve.latency_ms",
+                    obs::Histogram::exponentialEdges(1e-3, 1e5, 33))
+            .observe(r.latencyMs);
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        m.counter("serve.responses").add();
+        item.promise.set_value(std::move(r));
+    }
+
+    // One governor tick per batch: queue pressure + cumulative p95.
+    if (governor_) {
+        m.gauge("serve.queue_depth")
+            .set(static_cast<double>(queue_.size()));
+        governor_->observe(queue_.size(), opts_.workers,
+                           latencyQuantileMs(0.95));
     }
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
- * Batched inference engine (DESIGN.md §9). Owns a calibrated model +
- * executor pair and serves concurrent requests:
+ * Batched inference engine (DESIGN.md §9-§10). Owns a calibrated
+ * model + executor pair and serves concurrent requests:
  *
  *   submit() / Session::infer()  ->  RequestQueue  ->  DynamicBatcher
  *       ->  worker threads  ->  per-request Response futures
@@ -11,15 +11,23 @@
  * sequence (bit-identical to serving each request alone), while the
  * timing side lowers the network once with the batch dimension, so the
  * simulator charges every recurrent weight matrix's DRAM traffic once
- * per batched kernel instead of once per sequence. Weight-matrix DRAM
- * bytes per sequence therefore fall as 1/B — the serving-time extension
- * of the paper's weight-reuse principle.
+ * per batched kernel instead of once per sequence.
+ *
+ * Overload control (§10): the queue is optionally bounded with a
+ * configurable admission policy; queued requests whose deadline has
+ * already passed are shed before they waste a batch slot; a
+ * FaultInjector can force transient failures that are retried with
+ * exponential backoff; and an AdaptiveThresholdGovernor walks the
+ * active ThresholdSet along an AO→BPA ladder under pressure. Every
+ * future resolves with exactly one terminal Status — the engine never
+ * completes a promise twice, never leaks one, and never surfaces an
+ * exception through a future.
  *
  * Thread safety: submit() is safe from any thread; workers record
  * through the (thread-safe) obs sinks; each worker owns a private copy
- * of the calibrated ApproxRunner, so functional runs never share
- * mutable state. The model and (if supplied) observer must outlive the
- * engine.
+ * of the calibrated ApproxRunner per ladder rung, so functional runs
+ * never share mutable state. The model, observer and fault injector
+ * (when supplied) must outlive the engine.
  */
 
 #ifndef MFLSTM_SERVE_ENGINE_HH
@@ -34,6 +42,8 @@
 
 #include "core/api.hh"
 #include "serve/batcher.hh"
+#include "serve/fault.hh"
+#include "serve/governor.hh"
 #include "serve/queue.hh"
 #include "serve/request.hh"
 
@@ -61,28 +71,85 @@ class InferenceEngine
          * latency percentiles still work.
          */
         obs::Observer *observer = nullptr;
+
+        // --- admission control (§10) ---
+        /// bound on queued requests; 0 = unbounded
+        std::size_t queueCapacity = 0;
+        AdmissionPolicy admission = AdmissionPolicy::RejectNew;
+        /// producer wait bound for BlockWithTimeout, wall ms
+        double admitTimeoutMs = 5.0;
+
+        // --- fault tolerance (§10) ---
+        /// optional injector consulted at the batch-timing and
+        /// per-request sites; nullptr disables injection
+        FaultInjector *faultInjector = nullptr;
+        /// extra attempts after a transient fault (total = 1 + retries)
+        int maxRetries = 2;
+        /// base backoff before a retry, doubled per attempt, wall ms
+        double retryBackoffMs = 0.2;
+
+        // --- adaptive threshold governor (§10) ---
+        /**
+         * AO→BPA degradation ladder (rung 0 = most accurate). Empty:
+         * the engine serves at the facade's active thresholds/plan,
+         * exactly as before. With >= 2 rungs the engine snapshots a
+         * plan + per-worker runner per rung (via snapshotRung, driven
+         * by planningSequences) and runs a governor over them.
+         */
+        std::vector<core::ThresholdSet> governorLadder;
+        /// sequences replayed per rung to measure the division/skip
+        /// statistics its plan projects (required with a ladder)
+        std::vector<std::vector<std::int32_t>> planningSequences;
+        /// pressure thresholds + hysteresis (rungCount is overwritten)
+        AdaptiveThresholdGovernor::Config governor;
     };
 
     /** Aggregate serving statistics (monotonic, thread-safe reads). */
     struct Stats
     {
         std::uint64_t submitted = 0;
+        /// futures resolved with any terminal status
         std::uint64_t completed = 0;
+        /// subset of completed that resolved Status::Ok
+        std::uint64_t ok = 0;
         std::uint64_t batches = 0;
+        /// ShedDeadline resolutions (shedBeforeRun + lateCompletions)
         std::uint64_t deadlineMisses = 0;
+        /// shed from the queue/batch without execution
+        std::uint64_t shedBeforeRun = 0;
+        /// executed but finished past the deadline
+        std::uint64_t lateCompletions = 0;
+        /// RejectedCapacity resolutions (admission turned them away)
+        std::uint64_t rejected = 0;
+        /// subset of rejected evicted from the queue by DropOldest
+        std::uint64_t evicted = 0;
+        /// Status::Failed resolutions (retry budget exhausted)
+        std::uint64_t failed = 0;
+        /// transient-fault retries performed (both sites)
+        std::uint64_t retries = 0;
+        /// worker loops that survived an unexpected batch error
+        std::uint64_t workerRestarts = 0;
+        std::uint64_t governorStepsUp = 0;
+        std::uint64_t governorStepsDown = 0;
+        /// deepest queue depth ever observed
+        std::size_t queueHighWater = 0;
         std::size_t maxBatchObserved = 0;
         double meanBatchSize = 0.0;
     };
 
     /**
      * Snapshot @p mf (plan, thresholds, calibration) into a serving
-     * engine and start the workers. Builds the execution plan exactly
-     * as MemoryFriendlyLstm::evaluateTiming would for Options::plan, so
-     * run an accuracy evaluation through mf.runner() first when serving
-     * a statistics-driven scheme (Combined / layer division / DRS).
+     * engine and start the workers. Without a governor ladder the
+     * execution plan is built exactly as MemoryFriendlyLstm::
+     * evaluateTiming would for Options::plan, so run an accuracy
+     * evaluation through mf.runner() first when serving a
+     * statistics-driven scheme; with a ladder each rung is snapshot
+     * via mf.snapshotRung over Options::planningSequences.
      *
      * @throws std::logic_error via evaluateTiming when Options::plan
      *         needs calibration that has not run.
+     * @throws std::invalid_argument on workers == 0, or a governor
+     *         ladder without planning sequences.
      */
     InferenceEngine(const core::MemoryFriendlyLstm &mf,
                     const Options &opts);
@@ -95,7 +162,10 @@ class InferenceEngine
 
     /**
      * Enqueue one request; the future completes when a worker finishes
-     * its batch. Safe from any thread.
+     * its batch — or immediately with Status::RejectedCapacity when
+     * admission control turns it away. Safe from any thread. Every
+     * returned future resolves with a value (a terminal Status), never
+     * an exception.
      *
      * @throws std::invalid_argument on an empty token sequence.
      * @throws std::runtime_error after shutdown().
@@ -119,27 +189,55 @@ class InferenceEngine
      */
     double latencyQuantileMs(double q) const;
 
-    /** The execution plan every batch simulates. */
-    const runtime::ExecutionPlan &plan() const { return plan_; }
+    /** The execution plan of ladder rung @p rung (0 without a ladder). */
+    const runtime::ExecutionPlan &planAt(std::size_t rung) const
+    {
+        return plans_.at(rung);
+    }
+    /** The base-rung execution plan (rung 0). */
+    const runtime::ExecutionPlan &plan() const { return plans_.front(); }
+    /** The threshold sets serveable by this engine (>= 1 entries). */
+    const std::vector<core::ThresholdSet> &ladder() const
+    {
+        return ladder_;
+    }
+    /** The governor's current rung (0 without a governor). */
+    std::size_t activeRung() const
+    {
+        return governor_ ? governor_->rung() : 0;
+    }
+    std::size_t queueDepth() const { return queue_.size(); }
+
     const Options &options() const { return opts_; }
     obs::Observer &observer() { return *obs_; }
 
   private:
     void workerLoop(std::size_t worker_index);
     void serveBatch(std::vector<QueuedRequest> batch,
-                    core::ApproxRunner &runner);
+                    std::size_t worker_index);
+    /// complete @p item without execution; counts per @p status
+    void resolveUnserved(QueuedRequest item, Status status);
+    /// shed expired items from @p batch, resolving their futures
+    std::vector<QueuedRequest>
+    shedExpired(std::vector<QueuedRequest> batch);
+    void backoff(int attempt) const;
 
     Options opts_;
     runtime::NetworkShape shape_;
-    runtime::ExecutionPlan plan_;
     nn::TaskKind task_;
 
     std::unique_ptr<obs::Observer> ownedObs_;
     obs::Observer *obs_ = nullptr;
 
     std::unique_ptr<runtime::NetworkExecutor> executor_;
-    /// one private calibrated runner per worker (index-aligned)
-    std::vector<core::ApproxRunner> runners_;
+    /// the threshold set of each rung (size >= 1; single entry
+    /// mirrors the facade's active thresholds when no ladder is given)
+    std::vector<core::ThresholdSet> ladder_;
+    /// one execution plan per rung (index-aligned with ladder_)
+    std::vector<runtime::ExecutionPlan> plans_;
+    /// runners_[worker][rung]: private calibrated runner copies
+    std::vector<std::vector<core::ApproxRunner>> runners_;
+    std::unique_ptr<AdaptiveThresholdGovernor> governor_;
 
     RequestQueue queue_;
     DynamicBatcher batcher_;
@@ -148,11 +246,20 @@ class InferenceEngine
 
     std::atomic<std::uint64_t> nextId_{1};
     std::atomic<std::uint64_t> nextSeq_{0};
+    std::atomic<std::uint64_t> batchOrdinal_{0};
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> ok_{0};
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> batchSeqSum_{0};
     std::atomic<std::uint64_t> deadlineMisses_{0};
+    std::atomic<std::uint64_t> shedBeforeRun_{0};
+    std::atomic<std::uint64_t> lateCompletions_{0};
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<std::uint64_t> evicted_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> workerRestarts_{0};
     std::atomic<std::size_t> maxBatchObserved_{0};
 };
 

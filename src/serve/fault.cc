@@ -1,0 +1,83 @@
+#include "serve/fault.hh"
+
+#include <algorithm>
+
+namespace mflstm {
+namespace serve {
+
+ProbabilisticFaultInjector::ProbabilisticFaultInjector(
+    double rate, std::uint64_t seed, std::uint64_t max_faults)
+    : rate_(std::clamp(rate, 0.0, 1.0)), maxFaults_(max_faults),
+      rng_(seed)
+{}
+
+bool
+ProbabilisticFaultInjector::shouldFail(const FaultSite &)
+{
+    if (rate_ <= 0.0 ||
+        injected_.load(std::memory_order_relaxed) >= maxFaults_)
+        return false;
+    double draw;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        draw = std::uniform_real_distribution<double>(0.0, 1.0)(rng_);
+    }
+    if (draw >= rate_)
+        return false;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ScriptedFaultInjector::failRequest(RequestId id, int attempts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    requestScript_[id] = attempts;
+}
+
+void
+ScriptedFaultInjector::failBatch(std::uint64_t ordinal, int attempts)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    batchScript_[ordinal] = attempts;
+}
+
+bool
+ScriptedFaultInjector::shouldFail(const FaultSite &site)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (site.kind == FaultSite::Kind::RequestRun) {
+        int &seen = seen_[site.requestId];
+        seen = std::max(seen, site.attempt + 1);
+        const auto it = requestScript_.find(site.requestId);
+        if (it != requestScript_.end() && site.attempt < it->second) {
+            ++injected_;
+            return true;
+        }
+        return false;
+    }
+    const auto it = batchScript_.find(site.batchOrdinal);
+    if (it != batchScript_.end() && site.attempt < it->second) {
+        ++injected_;
+        return true;
+    }
+    return false;
+}
+
+int
+ScriptedFaultInjector::attemptsSeen(RequestId id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = seen_.find(id);
+    return it == seen_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ScriptedFaultInjector::injected() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+}
+
+} // namespace serve
+} // namespace mflstm

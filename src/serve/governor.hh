@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Adaptive threshold governor (DESIGN.md §10): walks the engine's
+ * active ThresholdSet along a configured AO→BPA ladder (the paper's
+ * Sec. V / Table II operating points) as load changes. Under pressure
+ * — deep queue per worker, or p95 latency over target — it steps one
+ * rung toward BPA so batches serve faster at a small accuracy cost;
+ * when the queue drains it steps back toward AO.
+ *
+ * Hysteresis comes from two mechanisms: the escalate threshold is
+ * strictly above the relax threshold (a depth band where the rung
+ * holds), and at least Config::dwellTicks observations must pass
+ * between transitions — so an AO↔BPA flap cannot happen on consecutive
+ * batches. Every transition is counted in the metrics registry
+ * (serve.governor.steps_up / steps_down, serve.governor.rung gauge)
+ * and traced as a zero-length host span.
+ *
+ * Thread safety: rung() is an atomic read on the worker hot path;
+ * observe() serialises on a mutex (one call per completed batch).
+ */
+
+#ifndef MFLSTM_SERVE_GOVERNOR_HH
+#define MFLSTM_SERVE_GOVERNOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/observer.hh"
+
+namespace mflstm {
+namespace serve {
+
+class AdaptiveThresholdGovernor
+{
+  public:
+    struct Config
+    {
+        /// ladder rungs available (rung 0 = most accurate / AO end)
+        std::size_t rungCount = 1;
+        /// step toward BPA when queued requests per worker exceed this
+        double highQueuePerWorker = 16.0;
+        /// step toward AO when queued requests per worker fall below
+        /// this; must be < highQueuePerWorker for the hysteresis band
+        double lowQueuePerWorker = 2.0;
+        /// escalate when p95 wall latency exceeds this (ms); 0 disables
+        /// the latency signal (the cumulative histogram never forgets,
+        /// so relaxation is always queue-depth-driven)
+        double targetP95Ms = 0.0;
+        /// minimum observe() calls between two transitions
+        std::uint64_t dwellTicks = 8;
+    };
+
+    struct Stats
+    {
+        std::uint64_t stepsUp = 0;    ///< transitions toward BPA
+        std::uint64_t stepsDown = 0;  ///< transitions toward AO
+    };
+
+    /**
+     * @param obs optional sink for transition counters/trace spans.
+     * @throws std::invalid_argument on rungCount == 0 or an inverted
+     *         hysteresis band.
+     */
+    explicit AdaptiveThresholdGovernor(const Config &cfg,
+                                       obs::Observer *obs = nullptr);
+
+    /** The rung workers should serve the next batch at (atomic). */
+    std::size_t rung() const
+    {
+        return rung_.load(std::memory_order_acquire);
+    }
+
+    std::size_t rungCount() const { return cfg_.rungCount; }
+    const Config &config() const { return cfg_; }
+
+    /**
+     * One control tick, called by a worker after each batch completes.
+     * @param queue_depth current queued requests
+     * @param workers     engine worker count (>= 1)
+     * @param p95_ms      cumulative p95 wall latency, ms (0 = unknown)
+     */
+    void observe(std::size_t queue_depth, std::size_t workers,
+                 double p95_ms);
+
+    Stats stats() const;
+
+  private:
+    void recordTransition(bool up, std::size_t to_rung);
+
+    Config cfg_;
+    obs::Observer *obs_;
+    std::atomic<std::size_t> rung_{0};
+    mutable std::mutex mu_;
+    std::uint64_t ticksSinceTransition_;
+    Stats stats_;
+};
+
+} // namespace serve
+} // namespace mflstm
+
+#endif // MFLSTM_SERVE_GOVERNOR_HH

@@ -1,6 +1,7 @@
 #include "serve/queue.hh"
 
 #include <algorithm>
+#include <chrono>
 
 namespace mflstm {
 namespace serve {
@@ -22,18 +23,109 @@ heapLess(const QueuedRequest &a, const QueuedRequest &b)
 
 } // anonymous namespace
 
-bool
-RequestQueue::push(QueuedRequest item)
+const char *
+toString(Status s)
 {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (closed_)
-            return false;
-        heap_.push_back(std::move(item));
-        std::push_heap(heap_.begin(), heap_.end(), heapLess);
+    switch (s) {
+    case Status::Ok:
+        return "ok";
+    case Status::ShedDeadline:
+        return "shed-deadline";
+    case Status::RejectedCapacity:
+        return "rejected-capacity";
+    case Status::Failed:
+        return "failed";
     }
+    return "?";
+}
+
+const char *
+toString(AdmissionPolicy p)
+{
+    switch (p) {
+    case AdmissionPolicy::RejectNew:
+        return "reject-new";
+    case AdmissionPolicy::DropOldest:
+        return "drop-oldest";
+    case AdmissionPolicy::BlockWithTimeout:
+        return "block-with-timeout";
+    }
+    return "?";
+}
+
+void
+RequestQueue::admitLocked(QueuedRequest item)
+{
+    heap_.push_back(std::move(item));
+    std::push_heap(heap_.begin(), heap_.end(), heapLess);
+    ++counters_.admitted;
+    counters_.highWater = std::max(counters_.highWater, heap_.size());
+}
+
+RequestQueue::PushOutcome
+RequestQueue::push(QueuedRequest item, std::vector<QueuedRequest> *bounced)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) {
+        if (bounced)
+            bounced->push_back(std::move(item));
+        return PushOutcome::Closed;
+    }
+
+    if (fullLocked()) {
+        switch (opt_.policy) {
+        case AdmissionPolicy::RejectNew:
+            ++counters_.rejected;
+            if (bounced)
+                bounced->push_back(std::move(item));
+            return PushOutcome::RejectedCapacity;
+
+        case AdmissionPolicy::DropOldest: {
+            // Victim: the globally oldest admission (minimum seq) —
+            // under deadline pressure it is the closest to expiry.
+            const auto victim = std::min_element(
+                heap_.begin(), heap_.end(),
+                [](const QueuedRequest &a, const QueuedRequest &b) {
+                    return a.seq < b.seq;
+                });
+            if (bounced)
+                bounced->push_back(std::move(*victim));
+            heap_.erase(victim);
+            std::make_heap(heap_.begin(), heap_.end(), heapLess);
+            ++counters_.evicted;
+            break;
+        }
+
+        case AdmissionPolicy::BlockWithTimeout: {
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        opt_.blockTimeoutMs));
+            spaceCv_.wait_until(lock, deadline, [&] {
+                return closed_ || !fullLocked();
+            });
+            if (closed_) {
+                if (bounced)
+                    bounced->push_back(std::move(item));
+                return PushOutcome::Closed;
+            }
+            if (fullLocked()) {  // timed out, still full
+                ++counters_.rejected;
+                if (bounced)
+                    bounced->push_back(std::move(item));
+                return PushOutcome::RejectedCapacity;
+            }
+            break;
+        }
+        }
+    }
+
+    admitLocked(std::move(item));
+    lock.unlock();
     cv_.notify_one();
-    return true;
+    return PushOutcome::Admitted;
 }
 
 bool
@@ -46,13 +138,15 @@ RequestQueue::popWait(QueuedRequest &out)
     std::pop_heap(heap_.begin(), heap_.end(), heapLess);
     out = std::move(heap_.back());
     heap_.pop_back();
+    lock.unlock();
+    spaceCv_.notify_one();
     return true;
 }
 
 std::size_t
 RequestQueue::drain(std::vector<QueuedRequest> &out, std::size_t max)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     std::size_t n = 0;
     while (n < max && !heap_.empty()) {
         std::pop_heap(heap_.begin(), heap_.end(), heapLess);
@@ -60,6 +154,35 @@ RequestQueue::drain(std::vector<QueuedRequest> &out, std::size_t max)
         heap_.pop_back();
         ++n;
     }
+    lock.unlock();
+    if (n)
+        spaceCv_.notify_all();
+    return n;
+}
+
+std::size_t
+RequestQueue::shedExpired(std::chrono::steady_clock::time_point now,
+                          std::vector<QueuedRequest> &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < heap_.size();) {
+        if (heap_[i].expired(now)) {
+            out.push_back(std::move(heap_[i]));
+            heap_[i] = std::move(heap_.back());
+            heap_.pop_back();
+            ++n;
+        } else {
+            ++i;
+        }
+    }
+    if (n) {
+        std::make_heap(heap_.begin(), heap_.end(), heapLess);
+        counters_.shed += n;
+    }
+    lock.unlock();
+    if (n)
+        spaceCv_.notify_all();
     return n;
 }
 
@@ -71,6 +194,7 @@ RequestQueue::close()
         closed_ = true;
     }
     cv_.notify_all();
+    spaceCv_.notify_all();
 }
 
 bool
@@ -85,6 +209,13 @@ RequestQueue::size() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return heap_.size();
+}
+
+RequestQueue::Counters
+RequestQueue::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
 }
 
 } // namespace serve

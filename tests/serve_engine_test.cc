@@ -91,6 +91,9 @@ TEST_F(EngineTest, BatchedOutputsBitIdenticalToSolo)
 
     for (std::size_t i = 0; i < futures.size(); ++i) {
         const serve::Response r = futures[i].get();
+        EXPECT_EQ(r.status, serve::Status::Ok) << "request " << i;
+        EXPECT_TRUE(r.executed);
+        EXPECT_TRUE(r.deadlineMet());
         EXPECT_EQ(r.logits, expected[i]) << "request " << i;
         EXPECT_GE(r.batch, 1u);
         EXPECT_LE(r.batch, 8u);
@@ -212,8 +215,83 @@ TEST_F(EngineTest, ImpossibleDeadlineIsReportedMissed)
 
     const serve::Response r =
         session.infer(seqs(1, 10, 61).front(), 1e-9).get();
-    EXPECT_FALSE(r.deadlineMet);
-    EXPECT_GE(engine.stats().deadlineMisses, 1u);
+    EXPECT_EQ(r.status, serve::Status::ShedDeadline);
+    EXPECT_FALSE(r.deadlineMet());
+    const auto st = engine.stats();
+    EXPECT_GE(st.deadlineMisses, 1u);
+    // The miss is either shed before execution or a late completion —
+    // the two buckets partition deadlineMisses exactly.
+    EXPECT_EQ(st.shedBeforeRun + st.lateCompletions, st.deadlineMisses);
+}
+
+TEST_F(EngineTest, RejectNewAdmissionResolvesRejectedCapacity)
+{
+    auto opts = engineOptions();
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    opts.admission = serve::AdmissionPolicy::RejectNew;
+    serve::InferenceEngine engine(mf, opts);
+    serve::Session session = engine.session();
+
+    // Burst far past capacity: every future must still resolve with a
+    // terminal status, and at least the overflow must be rejected.
+    const auto inputs = seqs(32, 10, 71);
+    std::vector<std::future<serve::Response>> futures;
+    for (const auto &s : inputs)
+        futures.push_back(session.infer(s));
+
+    std::size_t ok = 0;
+    std::size_t rejected = 0;
+    for (auto &f : futures) {
+        const serve::Response r = f.get();
+        if (r.status == serve::Status::Ok) {
+            ++ok;
+            EXPECT_TRUE(r.executed);
+        } else {
+            ASSERT_EQ(r.status, serve::Status::RejectedCapacity);
+            EXPECT_FALSE(r.executed);
+            ++rejected;
+        }
+    }
+    EXPECT_EQ(ok + rejected, inputs.size());
+    EXPECT_GE(ok, 1u);  // something was served
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.rejected, rejected);
+    EXPECT_LE(st.queueHighWater, 2u);  // capacity honoured
+}
+
+TEST_F(EngineTest, GovernorLadderServesEveryRungBitIdentical)
+{
+    const auto full = mf.calibration().ladder();
+    auto opts = engineOptions();
+    opts.governorLadder = {full[2], full[5], full[8]};
+    opts.planningSequences = seqs(4, 8, 11);
+    serve::InferenceEngine engine(mf, opts);
+
+    ASSERT_EQ(engine.ladder().size(), 3u);
+    EXPECT_EQ(engine.activeRung(), 0u);  // starts at the accurate end
+    for (std::size_t r = 0; r < 3; ++r)
+        EXPECT_EQ(engine.planAt(r).kind, runtime::PlanKind::Combined);
+
+    serve::Session session = engine.session();
+    const auto inputs = seqs(8, 10, 81);
+    std::vector<std::future<serve::Response>> futures;
+    for (const auto &s : inputs)
+        futures.push_back(session.infer(s));
+
+    // Under light load the governor never escalates, so outputs match
+    // a solo runner at rung 0's thresholds.
+    core::ApproxRunner solo = mf.runner();
+    solo.setThresholds(full[2].alphaInter, full[2].alphaIntra);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        const serve::Response r = futures[i].get();
+        ASSERT_EQ(r.status, serve::Status::Ok);
+        EXPECT_EQ(r.rung, 0u);
+        EXPECT_EQ(r.logits, solo.classify(inputs[i])) << "request " << i;
+    }
+    EXPECT_EQ(engine.stats().governorStepsUp, 0u);
 }
 
 } // namespace

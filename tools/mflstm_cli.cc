@@ -28,6 +28,12 @@
  *   --arrival-us N     mean inter-arrival gap in microseconds
  *                      (default 200; 0 = submit everything at once)
  *   --deadline-ms X    per-request wall deadline (default 0 = none)
+ *   --queue-capacity N bound the request queue (default 0 = unbounded)
+ *   --admission P      reject | drop-oldest | block (default reject)
+ *   --admit-timeout-ms X  producer wait bound for block (default 5)
+ *   --fault-rate X     transient-fault injection probability per site
+ *   --retries N        retry budget after a transient fault (default 2)
+ *   --governor         degrade thresholds AO->BPA under pressure
  *
  * Any unrecognised argument prints usage and exits with status 2.
  * Trained accuracy models are cached in ./mflstm_model_cache.
@@ -70,6 +76,12 @@ struct Options
     std::size_t workers = 2;
     std::size_t arrivalUs = 200;
     double deadlineMs = 0.0;
+    std::size_t queueCapacity = 0;
+    serve::AdmissionPolicy admission = serve::AdmissionPolicy::RejectNew;
+    double admitTimeoutMs = 5.0;
+    double faultRate = 0.0;
+    int retries = 2;
+    bool governor = false;
 
     /** The observability sinks were requested on the command line. */
     bool wantsObserver() const
@@ -103,7 +115,13 @@ printUsage(std::FILE *to)
         "  --workers N        engine worker threads (default 2)\n"
         "  --arrival-us N     mean inter-arrival gap, microseconds\n"
         "                     (default 200; 0 = all at once)\n"
-        "  --deadline-ms X    per-request wall deadline (default none)\n");
+        "  --deadline-ms X    per-request wall deadline (default none)\n"
+        "  --queue-capacity N bound the queue (default 0 = unbounded)\n"
+        "  --admission P      reject | drop-oldest | block\n"
+        "  --admit-timeout-ms X  producer wait bound for block\n"
+        "  --fault-rate X     transient-fault probability per site\n"
+        "  --retries N        retry budget per transient fault\n"
+        "  --governor         degrade thresholds AO->BPA under load\n");
 }
 
 int
@@ -379,6 +397,29 @@ cmdServe(const Options &opt)
     eopts.workers = opt.workers;
     eopts.plan = opt.plan;
     eopts.observer = obs;
+    eopts.queueCapacity = opt.queueCapacity;
+    eopts.admission = opt.admission;
+    eopts.admitTimeoutMs = opt.admitTimeoutMs;
+    eopts.maxRetries = opt.retries;
+
+    // Must outlive the engine (workers consult it per batch/request).
+    std::optional<serve::ProbabilisticFaultInjector> injector;
+    if (opt.faultRate > 0.0) {
+        injector.emplace(opt.faultRate, /*seed=*/1);
+        eopts.faultInjector = &*injector;
+    }
+
+    if (opt.governor) {
+        // Sweep the full ladder once to locate this app's AO and BPA
+        // sets, then serve on the AO->BPA slice between them.
+        const SchemeCurve curve =
+            evaluateScheme(*mf, app, opt.plan, ladder);
+        eopts.governorLadder = core::aoToBpaLadder(
+            curve.points, app.baselineAccuracy, 2.0);
+        eopts.planningSequences =
+            app.data.calibrationSequences(kCalibrationSeqs);
+    }
+
     serve::InferenceEngine engine(*mf, eopts);
     serve::Session session = engine.session();
 
@@ -397,9 +438,12 @@ cmdServe(const Options &opt)
 
     // batch size -> simulated weight-DRAM bytes per sequence
     std::map<std::size_t, double> weight_by_batch;
+    std::map<serve::Status, std::uint64_t> by_status;
     for (auto &f : futures) {
         const serve::Response r = f.get();
-        weight_by_batch[r.batch] = r.weightDramBytesPerSeq;
+        ++by_status[r.status];
+        if (r.status == serve::Status::Ok)
+            weight_by_batch[r.batch] = r.weightDramBytesPerSeq;
     }
     engine.shutdown();
 
@@ -416,6 +460,35 @@ cmdServe(const Options &opt)
                 engine.latencyQuantileMs(0.50),
                 engine.latencyQuantileMs(0.90),
                 engine.latencyQuantileMs(0.99));
+
+    std::printf("\nstatus distribution:\n");
+    for (const auto &[status, n] : by_status)
+        std::printf("  %-18s %llu\n", serve::toString(status),
+                    static_cast<unsigned long long>(n));
+    std::printf("overload control: admission %s, queue high-water %zu, "
+                "shed-before-run %llu, late %llu, rejected %llu "
+                "(evicted %llu)\n",
+                serve::toString(opt.admission), st.queueHighWater,
+                static_cast<unsigned long long>(st.shedBeforeRun),
+                static_cast<unsigned long long>(st.lateCompletions),
+                static_cast<unsigned long long>(st.rejected),
+                static_cast<unsigned long long>(st.evicted));
+    if (opt.faultRate > 0.0) {
+        std::printf("fault tolerance: injected %llu, retries %llu, "
+                    "failed %llu, worker restarts %llu\n",
+                    static_cast<unsigned long long>(injector->injected()),
+                    static_cast<unsigned long long>(st.retries),
+                    static_cast<unsigned long long>(st.failed),
+                    static_cast<unsigned long long>(st.workerRestarts));
+    }
+    if (opt.governor) {
+        std::printf("governor: ladder %zu rungs, steps up %llu / down "
+                    "%llu, final rung %zu\n",
+                    engine.ladder().size(),
+                    static_cast<unsigned long long>(st.governorStepsUp),
+                    static_cast<unsigned long long>(st.governorStepsDown),
+                    engine.activeRung());
+    }
     if (opt.deadlineMs > 0.0) {
         std::printf("deadline %.1f ms missed by %llu requests\n",
                     opt.deadlineMs,
@@ -495,8 +568,24 @@ main(int argc, char **argv)
                 return usage();
             }
             opt.gpuName = v;
+        } else if (arg == "--admission") {
+            const char *v = next();
+            if (v && std::strcmp(v, "reject") == 0) {
+                opt.admission = serve::AdmissionPolicy::RejectNew;
+            } else if (v && std::strcmp(v, "drop-oldest") == 0) {
+                opt.admission = serve::AdmissionPolicy::DropOldest;
+            } else if (v && std::strcmp(v, "block") == 0) {
+                opt.admission = serve::AdmissionPolicy::BlockWithTimeout;
+            } else {
+                std::fprintf(stderr, "bad --admission value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+        } else if (arg == "--governor") {
+            opt.governor = true;
         } else if (arg == "--requests" || arg == "--batch" ||
-                   arg == "--workers" || arg == "--arrival-us") {
+                   arg == "--workers" || arg == "--arrival-us" ||
+                   arg == "--queue-capacity" || arg == "--retries") {
             const char *v = next();
             char *end = nullptr;
             const unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
@@ -517,18 +606,28 @@ main(int argc, char **argv)
                 opt.batch = n;
             else if (arg == "--workers")
                 opt.workers = n;
+            else if (arg == "--queue-capacity")
+                opt.queueCapacity = n;
+            else if (arg == "--retries")
+                opt.retries = static_cast<int>(n);
             else
                 opt.arrivalUs = n;
-        } else if (arg == "--deadline-ms") {
+        } else if (arg == "--deadline-ms" || arg == "--admit-timeout-ms" ||
+                   arg == "--fault-rate") {
             const char *v = next();
             char *end = nullptr;
             const double x = v ? std::strtod(v, &end) : 0.0;
             if (!v || end == v || *end != '\0' || x < 0.0) {
-                std::fprintf(stderr, "bad --deadline-ms value: %s\n",
+                std::fprintf(stderr, "bad %s value: %s\n", arg.c_str(),
                              v ? v : "(missing)");
                 return usage();
             }
-            opt.deadlineMs = x;
+            if (arg == "--deadline-ms")
+                opt.deadlineMs = x;
+            else if (arg == "--admit-timeout-ms")
+                opt.admitTimeoutMs = x;
+            else
+                opt.faultRate = x;
         } else if (arg == "--csv") {
             opt.csv = true;
         } else if (arg == "--trace-csv") {
