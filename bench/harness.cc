@@ -68,9 +68,24 @@ makeApp(const workloads::BenchmarkSpec &spec)
 
     const std::string path = cachePath(spec);
     if (nn::isModelFile(path)) {
-        app.model =
-            std::make_shared<nn::LstmModel>(nn::loadModel(path));
-    } else {
+        // Corruption recovery: a damaged cache file is quarantined and
+        // the model retrained — a bad artifact must never abort a
+        // bench run, only cost the training time the cache was saving.
+        try {
+            app.model = std::make_shared<nn::LstmModel>(
+                nn::loadModel(path, io::ArtifactLimits{},
+                              &benchObserver()));
+        } catch (const io::ArtifactError &e) {
+            const std::string moved = io::quarantine(path);
+            std::fprintf(stderr,
+                         "[harness] cache %s rejected (%s): %s\n"
+                         "[harness] quarantined to %s; retraining\n",
+                         path.c_str(), io::toString(e.kind()), e.what(),
+                         moved.empty() ? "(rename failed)"
+                                       : moved.c_str());
+        }
+    }
+    if (!app.model) {
         std::fprintf(stderr, "[harness] training %s accuracy model...\n",
                      spec.name.c_str());
         app.model = std::make_shared<nn::LstmModel>(

@@ -110,6 +110,17 @@ class MemoryFriendlyLstm
     const Calibration &calibration() const;
 
     /**
+     * Install a previously computed Calibration without re-running the
+     * offline phase — the warm-restart path (core/persist.hh). The
+     * caller is responsible for the calibration matching this model;
+     * loadCalibration enforces that with a model fingerprint.
+     */
+    void restoreCalibration(const Calibration &calib)
+    {
+        calibration_ = calib;
+    }
+
+    /**
      * Set the two approximation thresholds and reset the accumulated
      * division/skip statistics (every threshold change starts a fresh
      * measurement window). This is the supported mutation path; use

@@ -133,6 +133,13 @@ class ApproxRunner
     const std::vector<LayerApproxStats> &stats() const { return stats_; }
     void resetStats();
 
+    /** Per-layer link predictors (persistence export/restore). */
+    const std::vector<LinkPredictor> &predictors() const
+    {
+        return predictors_;
+    }
+    std::vector<LinkPredictor> &predictors() { return predictors_; }
+
     const nn::LstmModel &model() const { return model_; }
 
     /**

@@ -46,6 +46,20 @@ class LinkPredictor
     /** Predicted cell state at a breakpoint. */
     tensor::Vector predictedC() const { return cDist_.expectation(); }
 
+    /** Collected h_t distribution (persistence export/restore). */
+    const tensor::VectorDistribution &hDistribution() const
+    {
+        return hDist_;
+    }
+    tensor::VectorDistribution &hDistribution() { return hDist_; }
+
+    /** Collected c_t distribution (persistence export/restore). */
+    const tensor::VectorDistribution &cDistribution() const
+    {
+        return cDist_;
+    }
+    tensor::VectorDistribution &cDistribution() { return cDist_; }
+
   private:
     tensor::VectorDistribution hDist_;
     tensor::VectorDistribution cDist_;

@@ -22,6 +22,8 @@ struct ThresholdSet
 {
     double alphaInter = 0.0;
     double alphaIntra = 0.0;
+
+    bool operator==(const ThresholdSet &) const = default;
 };
 
 /** Per-application threshold upper limits. */

@@ -1,47 +1,292 @@
 #include "nn/serialize.hh"
 
+#include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
-#include <stdexcept>
+
+#include "obs/observer.hh"
 
 namespace mflstm {
 namespace nn {
 
 namespace {
 
-constexpr std::uint32_t kMagic = 0x4d464c31;  // "MFL1"
-constexpr std::uint32_t kVersion = 1;
+using io::ArtifactError;
+using io::ErrorKind;
 
-void
-writeU32(std::ostream &os, std::uint32_t v)
-{
-    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
-}
+/// legacy v1: raw little-endian dump, magic + version + 7 header words
+constexpr std::uint32_t kLegacyMagic = 0x4d464c31;  // "MFL1"
+constexpr std::uint32_t kLegacyVersion = 1;
+constexpr std::size_t kLegacyHeaderBytes = 9 * 4;
+
+/// v2: artifact container chunks
+constexpr std::uint32_t kModelSchemaVersion = 2;
+constexpr std::uint32_t kChunkConfig = io::fourcc('M', 'C', 'F', 'G');
+constexpr std::uint32_t kChunkEmbedding = io::fourcc('M', 'E', 'M', 'B');
+constexpr std::uint32_t kChunkHead = io::fourcc('M', 'H', 'E', 'D');
 
 std::uint32_t
-readU32(std::istream &is)
+layerTag(std::size_t l)
 {
-    std::uint32_t v = 0;
-    is.read(reinterpret_cast<char *>(&v), sizeof(v));
-    if (!is)
-        throw std::runtime_error("loadModel: truncated header");
-    return v;
+    return io::indexedTag('L', 'Y', l);
+}
+
+/**
+ * The per-allocation contract: every dimension is bounded and the
+ * total parameter count fits the limits under checked arithmetic
+ * BEFORE LstmModel's constructor allocates anything.
+ */
+void
+validateConfig(const ModelConfig &cfg, const io::ArtifactLimits &limits,
+               const std::string &path)
+{
+    const auto dim = [&](std::uint64_t v, const char *name,
+                         std::uint64_t min) {
+        if (v < min || v > limits.maxDim)
+            throw ArtifactError(
+                ErrorKind::LimitExceeded,
+                "loadModel: " + path + ": " + name + " = " +
+                    std::to_string(v) + " outside [" +
+                    std::to_string(min) + ", " +
+                    std::to_string(limits.maxDim) + "]");
+    };
+    dim(cfg.vocab, "vocab", 1);
+    dim(cfg.embedSize, "embedSize", 1);
+    dim(cfg.hiddenSize, "hiddenSize", 1);
+    dim(cfg.numLayers, "numLayers", 1);
+    dim(cfg.numClasses, "numClasses", 0);
+    if (cfg.headClasses() == 0)
+        throw ArtifactError(ErrorKind::Malformed,
+                            "loadModel: " + path +
+                                ": classification model with zero "
+                                "classes");
+
+    std::uint64_t total = io::checkedMul(cfg.vocab, cfg.embedSize,
+                                         "embedding");
+    for (std::size_t l = 0; l < cfg.numLayers; ++l) {
+        const std::uint64_t input =
+            l == 0 ? cfg.embedSize : cfg.hiddenSize;
+        std::uint64_t layer = io::checkedMul(
+            4, io::checkedMul(cfg.hiddenSize, input, "W"), "W");
+        layer = io::checkedAdd(
+            layer,
+            io::checkedMul(
+                4, io::checkedMul(cfg.hiddenSize, cfg.hiddenSize, "U"),
+                "U"),
+            "layer");
+        layer = io::checkedAdd(
+            layer, io::checkedMul(4, cfg.hiddenSize, "b"), "layer");
+        total = io::checkedAdd(total, layer, "parameters");
+    }
+    total = io::checkedAdd(
+        total,
+        io::checkedMul(cfg.headClasses(), cfg.hiddenSize, "head"),
+        "parameters");
+    total = io::checkedAdd(total, cfg.headClasses(), "parameters");
+
+    if (total > limits.maxElements)
+        throw ArtifactError(
+            ErrorKind::LimitExceeded,
+            "loadModel: " + path + ": header requests " +
+                std::to_string(total) + " parameters, over the " +
+                std::to_string(limits.maxElements) + " element limit");
 }
 
 void
-writeFloats(std::ostream &os, const float *data, std::size_t n)
+requireFinite(const float *data, std::size_t n, const char *what,
+              const std::string &path)
 {
-    os.write(reinterpret_cast<const char *>(data),
-             static_cast<std::streamsize>(n * sizeof(float)));
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!std::isfinite(data[i]))
+            throw ArtifactError(
+                ErrorKind::NonFinite,
+                "loadModel: " + path + ": non-finite value in " +
+                    what + " at element " + std::to_string(i));
+    }
 }
 
+/** Copy a length-prefixed f32 array into @p dst (exact size match). */
 void
-readFloats(std::istream &is, float *data, std::size_t n)
+readTensor(io::ByteReader &r, float *dst, std::size_t expected,
+           const char *what, const std::string &path)
 {
-    is.read(reinterpret_cast<char *>(data),
-            static_cast<std::streamsize>(n * sizeof(float)));
+    const std::vector<float> v = r.f32Array();
+    if (v.size() != expected)
+        throw ArtifactError(
+            ErrorKind::Malformed,
+            "loadModel: " + path + ": " + what + " holds " +
+                std::to_string(v.size()) + " values, expected " +
+                std::to_string(expected));
+    std::copy(v.begin(), v.end(), dst);
+    requireFinite(dst, expected, what, path);
+}
+
+LstmModel
+loadModelV2(const std::string &path, const io::ArtifactLimits &limits)
+{
+    const io::ArtifactReader reader(path, io::kSchemaModel, limits);
+    if (reader.schemaVersion() != kModelSchemaVersion)
+        throw ArtifactError(ErrorKind::BadVersion,
+                            "loadModel: " + path +
+                                ": unsupported model schema version " +
+                                std::to_string(reader.schemaVersion()));
+
+    ModelConfig cfg;
+    {
+        io::ByteReader r = reader.chunk(kChunkConfig);
+        const std::uint32_t task = r.u32();
+        cfg.vocab = static_cast<std::size_t>(r.u64());
+        cfg.embedSize = static_cast<std::size_t>(r.u64());
+        cfg.hiddenSize = static_cast<std::size_t>(r.u64());
+        cfg.numLayers = static_cast<std::size_t>(r.u64());
+        cfg.numClasses = static_cast<std::size_t>(r.u64());
+        const std::uint32_t sigmoid = r.u32();
+        r.expectEnd();
+        if (task > 1 || sigmoid > 1)
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadModel: " + path +
+                                    ": bad task/sigmoid enum value");
+        cfg.task = task ? TaskKind::LanguageModel
+                        : TaskKind::Classification;
+        cfg.sigmoid = sigmoid ? SigmoidKind::Hard
+                              : SigmoidKind::Logistic;
+    }
+    validateConfig(cfg, limits, path);
+
+    LstmModel model(cfg, 0);
+    {
+        io::ByteReader r = reader.chunk(kChunkEmbedding);
+        readTensor(r, model.embedding().table.data(),
+                   model.embedding().table.size(), "embedding", path);
+        r.expectEnd();
+    }
+    for (std::size_t l = 0; l < cfg.numLayers; ++l) {
+        io::ByteReader r = reader.chunk(layerTag(l));
+        LstmLayerParams &p = model.layers()[l];
+        for (tensor::Matrix *m :
+             {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
+            readTensor(r, m->data(), m->size(), "layer matrix", path);
+        for (tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
+            readTensor(r, v->data(), v->size(), "layer bias", path);
+        r.expectEnd();
+    }
+    {
+        io::ByteReader r = reader.chunk(kChunkHead);
+        readTensor(r, model.head().w.data(), model.head().w.size(),
+                   "head weights", path);
+        readTensor(r, model.head().b.data(), model.head().b.size(),
+                   "head bias", path);
+        r.expectEnd();
+    }
+    return model;
+}
+
+/**
+ * Legacy v1 migration path: same byte layout as the original raw dump,
+ * re-parsed with the full validation contract — dimensions checked
+ * before allocation, the exact expected file size compared against the
+ * bytes present, and a non-finite scan (v1 carries no checksum, so a
+ * bit-flipped weight is only catchable when it decodes to NaN/Inf).
+ */
+LstmModel
+loadModelLegacy(const std::string &path,
+                const io::ArtifactLimits &limits)
+{
+    std::error_code ec;
+    const std::uintmax_t file_size =
+        std::filesystem::file_size(path, ec);
+    if (ec)
+        throw ArtifactError(ErrorKind::Io, "loadModel: cannot stat " +
+                                               path + ": " +
+                                               ec.message());
+
+    std::ifstream is(path, std::ios::binary);
     if (!is)
-        throw std::runtime_error("loadModel: truncated tensor");
+        throw ArtifactError(ErrorKind::Io,
+                            "loadModel: cannot open " + path);
+
+    const auto u32 = [&]() -> std::uint32_t {
+        std::uint8_t b[4];
+        is.read(reinterpret_cast<char *>(b), sizeof(b));
+        if (!is)
+            throw ArtifactError(ErrorKind::Truncated,
+                                "loadModel: truncated header in " +
+                                    path);
+        return static_cast<std::uint32_t>(b[0]) |
+               static_cast<std::uint32_t>(b[1]) << 8 |
+               static_cast<std::uint32_t>(b[2]) << 16 |
+               static_cast<std::uint32_t>(b[3]) << 24;
+    };
+
+    if (u32() != kLegacyMagic)
+        throw ArtifactError(ErrorKind::BadMagic,
+                            "loadModel: bad magic in " + path);
+    if (u32() != kLegacyVersion)
+        throw ArtifactError(ErrorKind::BadVersion,
+                            "loadModel: unsupported legacy version in " +
+                                path);
+
+    ModelConfig cfg;
+    const std::uint32_t task = u32();
+    cfg.vocab = u32();
+    cfg.embedSize = u32();
+    cfg.hiddenSize = u32();
+    cfg.numLayers = u32();
+    cfg.numClasses = u32();
+    const std::uint32_t sigmoid = u32();
+    if (task > 1 || sigmoid > 1)
+        throw ArtifactError(ErrorKind::Malformed,
+                            "loadModel: " + path +
+                                ": bad task/sigmoid enum value");
+    cfg.task = task ? TaskKind::LanguageModel : TaskKind::Classification;
+    cfg.sigmoid = sigmoid ? SigmoidKind::Hard : SigmoidKind::Logistic;
+
+    validateConfig(cfg, limits, path);
+
+    // v1 has no per-tensor framing: the only structural check is that
+    // the file holds exactly the bytes the header implies.
+    LstmModel model(cfg, 0);
+    const std::uint64_t expected = io::checkedAdd(
+        kLegacyHeaderBytes,
+        io::checkedMul(model.parameterCount(), 4, "legacy payload"),
+        "legacy file size");
+    if (file_size < expected)
+        throw ArtifactError(
+            ErrorKind::Truncated,
+            "loadModel: " + path + " holds " +
+                std::to_string(file_size) + " bytes, header implies " +
+                std::to_string(expected));
+    if (file_size > expected)
+        throw ArtifactError(
+            ErrorKind::Malformed,
+            "loadModel: " + path + " carries trailing bytes past the "
+                                   "declared tensors");
+
+    const auto tensor = [&](float *data, std::size_t n,
+                            const char *what) {
+        is.read(reinterpret_cast<char *>(data),
+                static_cast<std::streamsize>(n * sizeof(float)));
+        if (!is)
+            throw ArtifactError(ErrorKind::Truncated,
+                                "loadModel: truncated tensor in " +
+                                    path);
+        requireFinite(data, n, what, path);
+    };
+
+    tensor(model.embedding().table.data(),
+           model.embedding().table.size(), "embedding");
+    for (LstmLayerParams &p : model.layers()) {
+        for (tensor::Matrix *m :
+             {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
+            tensor(m->data(), m->size(), "layer matrix");
+        for (tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
+            tensor(v->data(), v->size(), "layer bias");
+    }
+    tensor(model.head().w.data(), model.head().w.size(),
+           "head weights");
+    tensor(model.head().b.data(), model.head().b.size(), "head bias");
+    return model;
 }
 
 } // anonymous namespace
@@ -49,83 +294,79 @@ readFloats(std::istream &is, float *data, std::size_t n)
 void
 saveModel(const LstmModel &model, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    if (!os)
-        throw std::runtime_error("saveModel: cannot open " + path);
-
     const ModelConfig &cfg = model.config();
-    writeU32(os, kMagic);
-    writeU32(os, kVersion);
-    writeU32(os, cfg.task == TaskKind::LanguageModel ? 1 : 0);
-    writeU32(os, static_cast<std::uint32_t>(cfg.vocab));
-    writeU32(os, static_cast<std::uint32_t>(cfg.embedSize));
-    writeU32(os, static_cast<std::uint32_t>(cfg.hiddenSize));
-    writeU32(os, static_cast<std::uint32_t>(cfg.numLayers));
-    writeU32(os, static_cast<std::uint32_t>(cfg.numClasses));
-    writeU32(os, cfg.sigmoid == SigmoidKind::Hard ? 1 : 0);
+    io::ArtifactWriter w(io::kSchemaModel, kModelSchemaVersion);
 
-    writeFloats(os, model.embedding().table.data(),
-                model.embedding().table.size());
-    for (const LstmLayerParams &p : model.layers()) {
+    io::ByteWriter &c = w.chunk(kChunkConfig);
+    c.u32(cfg.task == TaskKind::LanguageModel ? 1 : 0);
+    c.u64(cfg.vocab);
+    c.u64(cfg.embedSize);
+    c.u64(cfg.hiddenSize);
+    c.u64(cfg.numLayers);
+    c.u64(cfg.numClasses);
+    c.u32(cfg.sigmoid == SigmoidKind::Hard ? 1 : 0);
+
+    w.chunk(kChunkEmbedding)
+        .f32Array({model.embedding().table.data(),
+                   model.embedding().table.size()});
+
+    for (std::size_t l = 0; l < model.layers().size(); ++l) {
+        const LstmLayerParams &p = model.layers()[l];
+        io::ByteWriter &lw = w.chunk(layerTag(l));
         for (const tensor::Matrix *m :
              {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
-            writeFloats(os, m->data(), m->size());
+            lw.f32Array({m->data(), m->size()});
         for (const tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
-            writeFloats(os, v->data(), v->size());
+            lw.f32Array({v->data(), v->size()});
     }
-    writeFloats(os, model.head().w.data(), model.head().w.size());
-    writeFloats(os, model.head().b.data(), model.head().b.size());
 
-    if (!os)
-        throw std::runtime_error("saveModel: write failed for " + path);
+    io::ByteWriter &h = w.chunk(kChunkHead);
+    h.f32Array({model.head().w.data(), model.head().w.size()});
+    h.f32Array({model.head().b.data(), model.head().b.size()});
+
+    w.commit(path);
 }
 
 LstmModel
-loadModel(const std::string &path)
+loadModel(const std::string &path, const io::ArtifactLimits &limits,
+          obs::Observer *obs)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        throw std::runtime_error("loadModel: cannot open " + path);
-
-    if (readU32(is) != kMagic)
-        throw std::runtime_error("loadModel: bad magic in " + path);
-    if (readU32(is) != kVersion)
-        throw std::runtime_error("loadModel: unsupported version");
-
-    ModelConfig cfg;
-    cfg.task = readU32(is) ? TaskKind::LanguageModel
-                           : TaskKind::Classification;
-    cfg.vocab = readU32(is);
-    cfg.embedSize = readU32(is);
-    cfg.hiddenSize = readU32(is);
-    cfg.numLayers = readU32(is);
-    cfg.numClasses = readU32(is);
-    cfg.sigmoid = readU32(is) ? SigmoidKind::Hard : SigmoidKind::Logistic;
-
-    LstmModel model(cfg, 0);
-    readFloats(is, model.embedding().table.data(),
-               model.embedding().table.size());
-    for (LstmLayerParams &p : model.layers()) {
-        for (tensor::Matrix *m :
-             {&p.wf, &p.wi, &p.wc, &p.wo, &p.uf, &p.ui, &p.uc, &p.uo})
-            readFloats(is, m->data(), m->size());
-        for (tensor::Vector *v : {&p.bf, &p.bi, &p.bc, &p.bo})
-            readFloats(is, v->data(), v->size());
+    try {
+        if (io::isArtifactFile(path))
+            return loadModelV2(path, limits);
+        return loadModelLegacy(path, limits);
+    } catch (const ArtifactError &e) {
+        io::recordRejection(obs, e.kind());
+        throw;
     }
-    readFloats(is, model.head().w.data(), model.head().w.size());
-    readFloats(is, model.head().b.data(), model.head().b.size());
-    return model;
+}
+
+void
+verifyModelFile(const std::string &path,
+                const io::ArtifactLimits &limits)
+{
+    (void)loadModel(path, limits);
 }
 
 bool
 isModelFile(const std::string &path)
 {
+    std::uint32_t schema = 0;
+    if (io::isArtifactFile(path, &schema))
+        return schema == io::kSchemaModel;
+
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return false;
-    std::uint32_t magic = 0;
-    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
-    return is && magic == kMagic;
+    std::uint8_t b[4];
+    is.read(reinterpret_cast<char *>(b), sizeof(b));
+    if (!is)
+        return false;
+    const std::uint32_t magic = static_cast<std::uint32_t>(b[0]) |
+                                static_cast<std::uint32_t>(b[1]) << 8 |
+                                static_cast<std::uint32_t>(b[2]) << 16 |
+                                static_cast<std::uint32_t>(b[3]) << 24;
+    return magic == kLegacyMagic;
 }
 
 } // namespace nn

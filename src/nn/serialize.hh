@@ -1,8 +1,13 @@
 /**
  * @file
- * Binary model serialization. Benchmark binaries train the six Table II
- * accuracy models once and cache them on disk; the format is a simple
- * versioned little-endian dump (config header + raw fp32 tensors).
+ * Binary model serialization on the crash-safe artifact layer
+ * (DESIGN.md §11). saveModel writes the chunked, CRC32-checksummed v2
+ * container atomically; loadModel reads v2 and migrates the legacy v1
+ * raw dump (pre-artifact cache files), in both cases with strictly
+ * bounds-checked parsing: header dimensions are validated against
+ * io::ArtifactLimits with checked multiplication *before* any tensor is
+ * allocated, every payload is checked against the bytes actually
+ * present, and models carrying NaN/Inf weights are rejected.
  */
 
 #ifndef MFLSTM_NN_SERIALIZE_HH
@@ -10,21 +15,42 @@
 
 #include <string>
 
+#include "io/artifact.hh"
 #include "nn/model.hh"
 
 namespace mflstm {
+namespace obs {
+class Observer;
+} // namespace obs
+
 namespace nn {
 
-/** Write a model to @p path; throws std::runtime_error on I/O failure. */
+/**
+ * Write a model to @p path as a v2 artifact (atomic: temp + fsync +
+ * rename). @throws io::ArtifactError on I/O failure.
+ */
 void saveModel(const LstmModel &model, const std::string &path);
 
 /**
- * Read a model from @p path; throws std::runtime_error on I/O or format
- * errors (bad magic, version, or truncated tensors).
+ * Read a model from @p path — v2 artifact or legacy v1 dump. Either
+ * returns a fully validated model or throws io::ArtifactError (a
+ * std::runtime_error) with a typed reason; it never allocates from an
+ * unvalidated header and never returns a partially-read model. When
+ * @p obs is non-null a rejection bumps artifact_load_rejected_total
+ * with the reason label before the error propagates.
  */
-LstmModel loadModel(const std::string &path);
+LstmModel loadModel(const std::string &path,
+                    const io::ArtifactLimits &limits = {},
+                    obs::Observer *obs = nullptr);
 
-/** True when @p path exists and carries the expected magic. */
+/**
+ * loadModel and discard — the deep verification behind `mflstm fsck`.
+ * @throws io::ArtifactError exactly as loadModel does.
+ */
+void verifyModelFile(const std::string &path,
+                     const io::ArtifactLimits &limits = {});
+
+/** True when @p path exists and carries a model magic (v1 or v2). */
 bool isModelFile(const std::string &path);
 
 } // namespace nn

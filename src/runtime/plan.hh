@@ -34,6 +34,8 @@ struct LstmLayerShape
     std::size_t inputSize = 0;   ///< E for layer 0, H above
     std::size_t hiddenSize = 0;  ///< H
     std::size_t length = 0;      ///< cells per layer (timesteps)
+
+    bool operator==(const LstmLayerShape &) const = default;
 };
 
 /** Shape of a whole stacked-LSTM network (Table II row). */
@@ -46,6 +48,8 @@ struct NetworkShape
                                 std::size_t hidden_size,
                                 std::size_t num_layers,
                                 std::size_t length);
+
+    bool operator==(const NetworkShape &) const = default;
 };
 
 /** Inter-cell decisions for one layer: the aligned tissue schedule. */
@@ -60,6 +64,8 @@ struct LayerInterPlan
 
     std::size_t totalCells() const;
     std::size_t maxTissue() const;
+
+    bool operator==(const LayerInterPlan &) const = default;
 };
 
 /** Intra-cell decisions for one layer. */
@@ -70,6 +76,8 @@ struct LayerIntraPlan
      * functional DRS pass over the model, src/core/drs).
      */
     double skipFraction = 0.0;
+
+    bool operator==(const LayerIntraPlan &) const = default;
 };
 
 /** A full execution plan for one network. */
@@ -99,6 +107,8 @@ struct ExecutionPlan
         return kind == PlanKind::IntraCellHw ||
                kind == PlanKind::Combined;
     }
+
+    bool operator==(const ExecutionPlan &) const = default;
 };
 
 } // namespace runtime

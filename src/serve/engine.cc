@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/persist.hh"
+#include "serve/persist.hh"
+
 namespace mflstm {
 namespace serve {
 
@@ -51,12 +54,7 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
     if (opts_.maxRetries < 0)
         throw std::invalid_argument("InferenceEngine: maxRetries < 0");
 
-    if (opts_.observer) {
-        obs_ = opts_.observer;
-    } else {
-        ownedObs_ = std::make_unique<obs::Observer>();
-        obs_ = ownedObs_.get();
-    }
+    initObserver();
 
     core::TimingOptions topt;
     topt.kind = opts_.plan;
@@ -81,6 +79,95 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
         }
     }
 
+    finishInit(mf, std::move(base_runners));
+}
+
+InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
+                                 const Options &opts,
+                                 const EngineWarmState &warm)
+    : opts_(opts), shape_(mf.config().timingShape),
+      task_(mf.runner().model().config().task),
+      queue_(QueueOptions{opts.queueCapacity, opts.admission,
+                          opts.admitTimeoutMs}),
+      batcher_(queue_, opts.maxBatch)
+{
+    using io::ArtifactError;
+    using io::ErrorKind;
+
+    if (opts_.workers == 0)
+        throw std::invalid_argument("InferenceEngine: workers == 0");
+    if (opts_.maxRetries < 0)
+        throw std::invalid_argument("InferenceEngine: maxRetries < 0");
+
+    initObserver();
+
+    if (warm.ladder.empty() || warm.ladder.size() != warm.plans.size())
+        throw ArtifactError(
+            ErrorKind::Malformed,
+            "InferenceEngine: warm state ladder/plan mismatch");
+    if (warm.modelWeightsCrc !=
+        core::modelWeightsCrc(mf.runner().model()))
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state was saved from a different "
+            "model (weights CRC mismatch)");
+    if (!(warm.shape == shape_))
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state was saved for a different "
+            "timing shape");
+    if (warm.plan != opts_.plan ||
+        warm.pruneFraction != opts_.pruneFraction)
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state was saved under different "
+            "plan options");
+    if (!opts_.governorLadder.empty() &&
+        !(warm.ladder == opts_.governorLadder))
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state ladder does not match "
+            "Options::governorLadder");
+
+    const bool needs_calibration = std::any_of(
+        warm.ladder.begin(), warm.ladder.end(),
+        [](const core::ThresholdSet &s) { return s.alphaInter > 0.0; });
+    if (needs_calibration && !mf.runner().calibrated())
+        throw std::logic_error(
+            "InferenceEngine: warm state uses layer division but the "
+            "facade is not calibrated (restore the calibration first)");
+
+    // The whole point of the warm path: adopt the persisted plans and
+    // configure runners directly instead of replaying the planning
+    // sequences through snapshotRung.
+    ladder_ = warm.ladder;
+    plans_ = warm.plans;
+    std::vector<core::ApproxRunner> base_runners;
+    base_runners.reserve(ladder_.size());
+    for (const core::ThresholdSet &set : ladder_) {
+        core::ApproxRunner runner = mf.runner();
+        runner.setThresholds(set.alphaInter, set.alphaIntra);
+        base_runners.push_back(std::move(runner));
+    }
+
+    finishInit(mf, std::move(base_runners));
+}
+
+void
+InferenceEngine::initObserver()
+{
+    if (opts_.observer) {
+        obs_ = opts_.observer;
+    } else {
+        ownedObs_ = std::make_unique<obs::Observer>();
+        obs_ = ownedObs_.get();
+    }
+}
+
+void
+InferenceEngine::finishInit(const core::MemoryFriendlyLstm &mf,
+                            std::vector<core::ApproxRunner> base_runners)
+{
     if (ladder_.size() > 1) {
         AdaptiveThresholdGovernor::Config gcfg = opts_.governor;
         gcfg.rungCount = ladder_.size();
@@ -179,6 +266,27 @@ InferenceEngine::shutdown()
     for (std::thread &t : workers_)
         if (t.joinable())
             t.join();
+}
+
+EngineWarmState
+InferenceEngine::exportWarmState() const
+{
+    EngineWarmState s;
+    s.plan = opts_.plan;
+    s.pruneFraction = opts_.pruneFraction;
+    s.shape = shape_;
+    s.modelWeightsCrc =
+        core::modelWeightsCrc(runners_.front().front().model());
+    s.ladder = ladder_;
+    s.plans = plans_;
+    return s;
+}
+
+void
+InferenceEngine::drainAndSaveState(const std::string &path)
+{
+    shutdown();
+    saveEngineState(*this, path);
 }
 
 InferenceEngine::Stats

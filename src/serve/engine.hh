@@ -52,6 +52,24 @@ namespace serve {
 
 class Session;
 
+/**
+ * Everything a warm restart needs to rebuild an engine without
+ * re-running the expensive per-rung snapshots (plan building + planning
+ * sequence replay): the plan/ladder pair plus a fingerprint tying the
+ * state to the exact model and options it was computed for. Persisted
+ * via serve/persist.hh.
+ */
+struct EngineWarmState
+{
+    runtime::PlanKind plan = runtime::PlanKind::Combined;
+    double pruneFraction = 0.37;
+    runtime::NetworkShape shape;
+    /// core::modelWeightsCrc of the model the state was computed on
+    std::uint32_t modelWeightsCrc = 0;
+    std::vector<core::ThresholdSet> ladder;
+    std::vector<runtime::ExecutionPlan> plans;
+};
+
 class InferenceEngine
 {
   public:
@@ -154,6 +172,22 @@ class InferenceEngine
     InferenceEngine(const core::MemoryFriendlyLstm &mf,
                     const Options &opts);
 
+    /**
+     * Warm restart: rebuild the engine from persisted @p warm state
+     * instead of re-snapshotting every rung. @p mf must hold the same
+     * model (weights CRC), timing shape and calibration the state was
+     * saved from; responses are then bit-identical to the engine that
+     * saved it.
+     *
+     * @throws io::ArtifactError(ErrorKind::Stale) when @p warm belongs
+     *         to a different model, shape or plan configuration;
+     *         ErrorKind::Malformed on an inconsistent state.
+     * @throws std::logic_error when the state needs layer division but
+     *         @p mf is not calibrated.
+     */
+    InferenceEngine(const core::MemoryFriendlyLstm &mf,
+                    const Options &opts, const EngineWarmState &warm);
+
     /** Drains submitted work, then joins the workers. */
     ~InferenceEngine();
 
@@ -180,6 +214,18 @@ class InferenceEngine
      * the workers. Idempotent; the destructor calls it.
      */
     void shutdown();
+
+    /** The serialisable warm-restart state of this engine. */
+    EngineWarmState exportWarmState() const;
+
+    /**
+     * Graceful drain: stop admissions, finish everything already
+     * queued, join the workers, then persist the warm-restart state to
+     * @p path atomically. Idempotent on the drain half (delegates to
+     * shutdown()). @throws io::ArtifactError when the write fails —
+     * after the drain completed.
+     */
+    void drainAndSaveState(const std::string &path);
 
     Stats stats() const;
 
@@ -212,6 +258,11 @@ class InferenceEngine
     obs::Observer &observer() { return *obs_; }
 
   private:
+    void initObserver();
+    /// shared tail of both constructors: governor, executor, fault
+    /// hook, instruments, per-worker runner copies, worker threads
+    void finishInit(const core::MemoryFriendlyLstm &mf,
+                    std::vector<core::ApproxRunner> base_runners);
     void workerLoop(std::size_t worker_index);
     void serveBatch(std::vector<QueuedRequest> batch,
                     std::size_t worker_index);

@@ -1,0 +1,250 @@
+#include "serve/persist.hh"
+
+#include <cmath>
+
+namespace mflstm {
+namespace serve {
+
+namespace {
+
+using io::ArtifactError;
+using io::ErrorKind;
+
+constexpr std::uint32_t kEngineSchemaVersion = 1;
+constexpr std::uint32_t kChunkFingerprint = io::fourcc('E', 'F', 'P', 'R');
+constexpr std::uint32_t kChunkShape = io::fourcc('E', 'S', 'H', 'P');
+constexpr std::uint32_t kChunkLadder = io::fourcc('E', 'L', 'A', 'D');
+
+constexpr std::uint32_t kMaxPlanKind =
+    static_cast<std::uint32_t>(runtime::PlanKind::ZeroPruning);
+
+std::uint32_t
+rungPlanTag(std::size_t rung)
+{
+    return io::indexedTag('E', 'P', rung);
+}
+
+void
+requireFinite(double v, const char *what, const std::string &path)
+{
+    if (!std::isfinite(v))
+        throw ArtifactError(ErrorKind::NonFinite,
+                            "loadEngineState: " + path +
+                                ": non-finite " + what);
+}
+
+void
+writePlan(io::ByteWriter &w, const runtime::ExecutionPlan &plan)
+{
+    w.u32(static_cast<std::uint32_t>(plan.kind));
+    w.f64(plan.pruneFraction);
+    w.u64(plan.inter.size());
+    for (const runtime::LayerInterPlan &p : plan.inter) {
+        std::vector<std::uint64_t> sizes(p.tissueSizes.begin(),
+                                         p.tissueSizes.end());
+        w.u64Array(sizes);
+    }
+    w.u64(plan.intra.size());
+    for (const runtime::LayerIntraPlan &p : plan.intra)
+        w.f64(p.skipFraction);
+}
+
+runtime::ExecutionPlan
+readPlan(io::ByteReader &r, const io::ArtifactLimits &limits,
+         const std::string &path)
+{
+    runtime::ExecutionPlan plan;
+    const std::uint32_t kind = r.u32();
+    if (kind > kMaxPlanKind)
+        throw ArtifactError(ErrorKind::Malformed,
+                            "loadEngineState: " + path +
+                                ": unknown plan kind " +
+                                std::to_string(kind));
+    plan.kind = static_cast<runtime::PlanKind>(kind);
+    plan.pruneFraction = r.f64();
+    requireFinite(plan.pruneFraction, "pruneFraction", path);
+
+    const std::uint64_t inter_count = r.u64();
+    if (inter_count > limits.maxDim)
+        throw ArtifactError(ErrorKind::LimitExceeded,
+                            "loadEngineState: " + path +
+                                ": absurd inter-plan layer count");
+    plan.inter.reserve(static_cast<std::size_t>(inter_count));
+    for (std::uint64_t l = 0; l < inter_count; ++l) {
+        runtime::LayerInterPlan p;
+        for (std::uint64_t s : r.u64Array()) {
+            if (s > limits.maxDim)
+                throw ArtifactError(ErrorKind::LimitExceeded,
+                                    "loadEngineState: " + path +
+                                        ": absurd tissue size");
+            p.tissueSizes.push_back(static_cast<std::size_t>(s));
+        }
+        plan.inter.push_back(std::move(p));
+    }
+
+    const std::uint64_t intra_count = r.u64();
+    if (intra_count > limits.maxDim)
+        throw ArtifactError(ErrorKind::LimitExceeded,
+                            "loadEngineState: " + path +
+                                ": absurd intra-plan layer count");
+    plan.intra.reserve(static_cast<std::size_t>(intra_count));
+    for (std::uint64_t l = 0; l < intra_count; ++l) {
+        runtime::LayerIntraPlan p;
+        p.skipFraction = r.f64();
+        requireFinite(p.skipFraction, "skipFraction", path);
+        if (p.skipFraction < 0.0 || p.skipFraction > 1.0)
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": skipFraction outside [0, 1]");
+        plan.intra.push_back(p);
+    }
+    r.expectEnd();
+    return plan;
+}
+
+EngineWarmState
+parseState(const io::ArtifactReader &reader,
+           const io::ArtifactLimits &limits, const std::string &path)
+{
+    if (reader.schemaVersion() != kEngineSchemaVersion)
+        throw ArtifactError(
+            ErrorKind::BadVersion,
+            "loadEngineState: " + path +
+                ": unsupported engine-state schema version " +
+                std::to_string(reader.schemaVersion()));
+
+    EngineWarmState state;
+    {
+        io::ByteReader r = reader.chunk(kChunkFingerprint);
+        state.modelWeightsCrc = r.u32();
+        const std::uint32_t kind = r.u32();
+        if (kind > kMaxPlanKind)
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": unknown plan kind");
+        state.plan = static_cast<runtime::PlanKind>(kind);
+        state.pruneFraction = r.f64();
+        requireFinite(state.pruneFraction, "pruneFraction", path);
+        r.expectEnd();
+    }
+    {
+        io::ByteReader r = reader.chunk(kChunkShape);
+        const std::uint64_t layers = r.u64();
+        if (layers == 0 || layers > limits.maxDim)
+            throw ArtifactError(ErrorKind::LimitExceeded,
+                                "loadEngineState: " + path +
+                                    ": absurd shape layer count");
+        for (std::uint64_t l = 0; l < layers; ++l) {
+            runtime::LstmLayerShape ls;
+            const std::uint64_t in = r.u64();
+            const std::uint64_t hid = r.u64();
+            const std::uint64_t len = r.u64();
+            if (in == 0 || hid == 0 || len == 0 ||
+                in > limits.maxDim || hid > limits.maxDim ||
+                len > limits.maxDim)
+                throw ArtifactError(ErrorKind::LimitExceeded,
+                                    "loadEngineState: " + path +
+                                        ": absurd layer shape");
+            ls.inputSize = static_cast<std::size_t>(in);
+            ls.hiddenSize = static_cast<std::size_t>(hid);
+            ls.length = static_cast<std::size_t>(len);
+            state.shape.layers.push_back(ls);
+        }
+        r.expectEnd();
+    }
+    {
+        io::ByteReader r = reader.chunk(kChunkLadder);
+        const std::uint64_t rungs = r.u64();
+        if (rungs == 0 || rungs > limits.maxChunks)
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": absurd rung count");
+        for (std::uint64_t i = 0; i < rungs; ++i) {
+            core::ThresholdSet set;
+            set.alphaInter = r.f64();
+            set.alphaIntra = r.f64();
+            requireFinite(set.alphaInter, "alphaInter", path);
+            requireFinite(set.alphaIntra, "alphaIntra", path);
+            if (set.alphaInter < 0.0 || set.alphaIntra < 0.0 ||
+                set.alphaIntra >= 1.0)
+                throw ArtifactError(ErrorKind::Malformed,
+                                    "loadEngineState: " + path +
+                                        ": threshold out of range");
+            state.ladder.push_back(set);
+        }
+        r.expectEnd();
+    }
+    for (std::size_t i = 0; i < state.ladder.size(); ++i) {
+        io::ByteReader r = reader.chunk(rungPlanTag(i));
+        state.plans.push_back(readPlan(r, limits, path));
+    }
+    return state;
+}
+
+} // anonymous namespace
+
+void
+saveEngineState(const EngineWarmState &state, const std::string &path)
+{
+    io::ArtifactWriter w(io::kSchemaEngineState, kEngineSchemaVersion);
+
+    io::ByteWriter &f = w.chunk(kChunkFingerprint);
+    f.u32(state.modelWeightsCrc);
+    f.u32(static_cast<std::uint32_t>(state.plan));
+    f.f64(state.pruneFraction);
+
+    io::ByteWriter &s = w.chunk(kChunkShape);
+    s.u64(state.shape.layers.size());
+    for (const runtime::LstmLayerShape &ls : state.shape.layers) {
+        s.u64(ls.inputSize);
+        s.u64(ls.hiddenSize);
+        s.u64(ls.length);
+    }
+
+    io::ByteWriter &l = w.chunk(kChunkLadder);
+    l.u64(state.ladder.size());
+    for (const core::ThresholdSet &set : state.ladder) {
+        l.f64(set.alphaInter);
+        l.f64(set.alphaIntra);
+    }
+
+    for (std::size_t i = 0; i < state.plans.size(); ++i)
+        writePlan(w.chunk(rungPlanTag(i)), state.plans[i]);
+
+    w.commit(path);
+}
+
+void
+saveEngineState(const InferenceEngine &engine, const std::string &path)
+{
+    saveEngineState(engine.exportWarmState(), path);
+}
+
+EngineWarmState
+loadEngineState(const std::string &path, const io::ArtifactLimits &limits,
+                obs::Observer *obs)
+{
+    try {
+        const io::ArtifactReader reader(path, io::kSchemaEngineState,
+                                        limits);
+        EngineWarmState state = parseState(reader, limits, path);
+        if (state.ladder.size() != state.plans.size())
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": ladder/plan count mismatch");
+        return state;
+    } catch (const ArtifactError &e) {
+        io::recordRejection(obs, e.kind());
+        throw;
+    }
+}
+
+void
+verifyEngineStateFile(const std::string &path,
+                      const io::ArtifactLimits &limits)
+{
+    (void)loadEngineState(path, limits);
+}
+
+} // namespace serve
+} // namespace mflstm

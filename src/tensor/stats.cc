@@ -80,6 +80,26 @@ Histogram::expectation() const
     return acc;
 }
 
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    assert(i < counts_.size());
+    return static_cast<std::uint64_t>(counts_[i]);
+}
+
+void
+Histogram::restoreCounts(std::span<const std::uint64_t> counts)
+{
+    if (counts.size() != counts_.size())
+        throw std::invalid_argument(
+            "Histogram::restoreCounts: bin count mismatch");
+    samples_ = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        counts_[i] = static_cast<std::size_t>(counts[i]);
+        samples_ += counts_[i];
+    }
+}
+
 VectorDistribution::VectorDistribution(std::size_t dim, double lo,
                                        double hi, std::size_t bins)
 {
@@ -96,6 +116,17 @@ VectorDistribution::observe(const Vector &v)
     for (std::size_t i = 0; i < v.size(); ++i)
         elements_[i].add(v[i]);
     ++samples_;
+}
+
+void
+VectorDistribution::restoreElementCounts(
+    std::size_t i, std::span<const std::uint64_t> counts)
+{
+    if (i >= elements_.size())
+        throw std::invalid_argument(
+            "VectorDistribution::restoreElementCounts: bad element");
+    elements_[i].restoreCounts(counts);
+    samples_ = elements_.front().samples();
 }
 
 Vector

@@ -12,6 +12,8 @@
 #define MFLSTM_TENSOR_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/matrix.hh"
@@ -64,6 +66,19 @@ class Histogram
      */
     double expectation() const;
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /** Raw count of bin i (persistence export). */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /**
+     * Replace the bin counts wholesale (persistence restore); the sample
+     * count becomes the sum. @throws std::invalid_argument when
+     * counts.size() != bins().
+     */
+    void restoreCounts(std::span<const std::uint64_t> counts);
+
   private:
     double lo_;
     double hi_;
@@ -97,6 +112,13 @@ class VectorDistribution
 
     /** Per-element expectation vector (the predicted link). */
     Vector expectation() const;
+
+    /**
+     * Restore element @p i's histogram counts (persistence restore) and
+     * re-sync the observation count from element 0.
+     */
+    void restoreElementCounts(std::size_t i,
+                              std::span<const std::uint64_t> counts);
 
   private:
     std::size_t samples_ = 0;

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Engine warm-restart tests (DESIGN.md §11): a restarted engine built
+ * from persisted warm state must serve bit-identically to the engine
+ * that saved it — same ladder, same plans, same logits — and warm
+ * state recorded against different weights or options must be rejected
+ * as stale rather than silently adopted.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/persist.hh"
+#include "serve/engine.hh"
+#include "serve/persist.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+
+nn::ModelConfig
+clsConfig()
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 20;
+    cfg.embedSize = 8;
+    cfg.hiddenSize = 12;
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+std::vector<std::vector<std::int32_t>>
+seqs(std::size_t n, std::size_t len, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    std::vector<std::vector<std::int32_t>> out(n);
+    for (auto &s : out)
+        for (std::size_t t = 0; t < len; ++t)
+            s.push_back(static_cast<std::int32_t>(rng.integer(0, 19)));
+    return out;
+}
+
+std::vector<tensor::Vector>
+serveAll(serve::InferenceEngine &engine,
+         const std::vector<std::vector<std::int32_t>> &inputs)
+{
+    serve::Session session = engine.session();
+    std::vector<std::future<serve::Response>> futures;
+    for (const auto &s : inputs)
+        futures.push_back(session.infer(s));
+    std::vector<tensor::Vector> out;
+    for (auto &f : futures) {
+        serve::Response r = f.get();
+        EXPECT_EQ(r.status, serve::Status::Ok);
+        out.push_back(std::move(r.logits));
+    }
+    return out;
+}
+
+class WarmRestartTest : public ::testing::Test
+{
+  protected:
+    WarmRestartTest()
+        : model(clsConfig(), 77),
+          mf(model, {gpu::GpuConfig::tegraX1(),
+                     runtime::NetworkShape::stacked(512, 512, 2, 40)})
+    {
+        mf.calibrate(seqs(4, 8, 5));
+        const auto ladder = mf.calibration().ladder();
+        mf.setThresholds(ladder[ladder.size() / 2]);
+        for (const auto &s : seqs(4, 8, 11))
+            mf.runner().classify(s);
+
+        // Per-process name: ctest runs test cases concurrently.
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("mflstm_warm_restart_test_" +
+                  std::to_string(::getpid()) + ".bin"))
+                    .string();
+        std::remove(path_.c_str());
+    }
+    ~WarmRestartTest() override { std::remove(path_.c_str()); }
+
+    serve::InferenceEngine::Options engineOptions() const
+    {
+        serve::InferenceEngine::Options o;
+        o.maxBatch = 8;
+        o.workers = 2;
+        o.plan = runtime::PlanKind::Combined;
+        return o;
+    }
+
+    nn::LstmModel model;
+    core::MemoryFriendlyLstm mf;
+    std::string path_;
+};
+
+TEST_F(WarmRestartTest, WarmStartServesBitIdenticallyToCold)
+{
+    const auto inputs = seqs(12, 10, 23);
+
+    serve::InferenceEngine cold(mf, engineOptions());
+    const std::vector<tensor::Vector> expected =
+        serveAll(cold, inputs);
+    serve::saveEngineState(cold, path_);
+    cold.shutdown();
+
+    // "Restart": a fresh engine adopting the persisted state instead
+    // of rebuilding its plans.
+    const serve::EngineWarmState warm = serve::loadEngineState(path_);
+    EXPECT_EQ(warm.modelWeightsCrc, core::modelWeightsCrc(model));
+    serve::InferenceEngine restarted(mf, engineOptions(), warm);
+
+    // Identical plans were adopted, not rebuilt...
+    const serve::EngineWarmState after = restarted.exportWarmState();
+    EXPECT_EQ(after.ladder, warm.ladder);
+    EXPECT_EQ(after.plans, warm.plans);
+    EXPECT_EQ(after.shape, warm.shape);
+
+    // ...and the served logits are bit-identical.
+    const std::vector<tensor::Vector> actual =
+        serveAll(restarted, inputs);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        EXPECT_EQ(actual[i], expected[i]) << "request " << i;
+}
+
+TEST_F(WarmRestartTest, DrainAndSaveStatePersistsLoadableState)
+{
+    const auto inputs = seqs(6, 10, 31);
+    std::vector<tensor::Vector> expected;
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        expected = serveAll(engine, inputs);
+        engine.drainAndSaveState(path_);
+    }
+    EXPECT_NO_THROW(serve::verifyEngineStateFile(path_));
+
+    const serve::EngineWarmState warm = serve::loadEngineState(path_);
+    serve::InferenceEngine restarted(mf, engineOptions(), warm);
+    const std::vector<tensor::Vector> actual =
+        serveAll(restarted, inputs);
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        EXPECT_EQ(actual[i], expected[i]) << "request " << i;
+}
+
+TEST_F(WarmRestartTest, StaleStateForDifferentWeightsRejected)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    const serve::EngineWarmState warm = serve::loadEngineState(path_);
+
+    const nn::LstmModel other(clsConfig(), 78);
+    core::MemoryFriendlyLstm mf2(
+        other, {gpu::GpuConfig::tegraX1(),
+                runtime::NetworkShape::stacked(512, 512, 2, 40)});
+    mf2.calibrate(seqs(4, 8, 5));
+    try {
+        serve::InferenceEngine engine(mf2, engineOptions(), warm);
+        FAIL() << "warm state for different weights accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::Stale);
+    }
+}
+
+TEST_F(WarmRestartTest, StateForDifferentOptionsRejected)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    const serve::EngineWarmState warm = serve::loadEngineState(path_);
+
+    serve::InferenceEngine::Options opts = engineOptions();
+    opts.plan = runtime::PlanKind::InterCell;
+    try {
+        serve::InferenceEngine engine(mf, opts, warm);
+        FAIL() << "warm state for different plan kind accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::Stale);
+    }
+}
+
+TEST_F(WarmRestartTest, CorruptStateFileRejectedAndCounted)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    const std::uintmax_t size = std::filesystem::file_size(path_);
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in |
+                                  std::ios::out);
+        f.seekg(static_cast<std::streamoff>(size - 3));
+        char b = 0;
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x40);
+        f.seekp(static_cast<std::streamoff>(size - 3));
+        f.write(&b, 1);
+    }
+
+    obs::Observer obs;
+    try {
+        (void)serve::loadEngineState(path_, io::ArtifactLimits{},
+                                     &obs);
+        FAIL() << "corrupt engine state loaded";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::ChecksumMismatch);
+    }
+    EXPECT_EQ(obs.metrics()
+                  .counter("artifact_load_rejected_total")
+                  .value(),
+              1.0);
+}
+
+TEST_F(WarmRestartTest, TruncatedStateFileRejected)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    std::filesystem::resize_file(
+        path_, std::filesystem::file_size(path_) - 9);
+    EXPECT_THROW(serve::loadEngineState(path_), io::ArtifactError);
+    EXPECT_THROW(serve::verifyEngineStateFile(path_),
+                 io::ArtifactError);
+}
+
+} // namespace

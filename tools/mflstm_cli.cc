@@ -8,6 +8,7 @@
  *   sweep --app NAME [options]   sweep the full threshold ladder
  *   mts   --app NAME             the Fig. 9 tissue-size sweep
  *   serve --app NAME [options]   batched serving demo (DESIGN.md §9)
+ *   fsck  [--cache-dir DIR]      verify every artifact in a cache dir
  *   help                         print usage
  *
  * Common options:
@@ -34,24 +35,45 @@
  *   --fault-rate X     transient-fault injection probability per site
  *   --retries N        retry budget after a transient fault (default 2)
  *   --governor         degrade thresholds AO->BPA under pressure
+ *   --state-dir DIR    persist calibration + engine warm state in DIR
+ *                      and restore them on the next start; SIGTERM /
+ *                      SIGINT triggers a graceful drain (stop
+ *                      admissions, finish in-flight batches, save
+ *                      state, exit 0)
+ *
+ * fsck options:
+ *   --cache-dir DIR    directory to verify (default mflstm_model_cache)
+ *   --quarantine       rename corrupt files to <name>.corrupt
+ *   exit status: 0 = everything verified, 1 = corruption found
+ *
+ * Corrupt cache artifacts never abort a run: they are quarantined
+ * (renamed *.corrupt), counted in artifact_load_rejected_total, and
+ * recomputed.
  *
  * Any unrecognised argument prints usage and exits with status 2.
  * Trained accuracy models are cached in ./mflstm_model_cache.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <thread>
 
+#include "core/persist.hh"
 #include "harness.hh"
+#include "io/fsck.hh"
+#include "nn/serialize.hh"
 #include "obs/observer.hh"
 #include "runtime/report.hh"
 #include "serve/engine.hh"
+#include "serve/persist.hh"
 
 namespace {
 
@@ -82,6 +104,11 @@ struct Options
     double faultRate = 0.0;
     int retries = 2;
     bool governor = false;
+    std::string stateDir;
+
+    // fsck
+    std::string cacheDir = "mflstm_model_cache";
+    bool quarantineBad = false;
 
     /** The observability sinks were requested on the command line. */
     bool wantsObserver() const
@@ -95,7 +122,8 @@ printUsage(std::FILE *to)
 {
     std::fprintf(
         to,
-        "usage: mflstm_cli <list|run|sweep|mts|serve|help> [options]\n"
+        "usage: mflstm_cli <list|run|sweep|mts|serve|fsck|help> "
+        "[options]\n"
         "\n"
         "options:\n"
         "  --app NAME         Table II application (default IMDB)\n"
@@ -121,7 +149,15 @@ printUsage(std::FILE *to)
         "  --admit-timeout-ms X  producer wait bound for block\n"
         "  --fault-rate X     transient-fault probability per site\n"
         "  --retries N        retry budget per transient fault\n"
-        "  --governor         degrade thresholds AO->BPA under load\n");
+        "  --governor         degrade thresholds AO->BPA under load\n"
+        "  --state-dir DIR    persist/restore calibration + engine\n"
+        "                     warm state; SIGTERM drains gracefully\n"
+        "\n"
+        "fsck options:\n"
+        "  --cache-dir DIR    directory to verify (default "
+        "mflstm_model_cache)\n"
+        "  --quarantine       rename corrupt files to <name>.corrupt\n"
+        "  exit 0 = all artifacts verified, 1 = corruption found\n");
 }
 
 int
@@ -357,6 +393,87 @@ cmdMts(const Options &opt)
     return 0;
 }
 
+/**
+ * Schema-aware deep verification for fsck: the container layer has
+ * already checked structure + checksums; this decodes the payload with
+ * the same hardened loaders the runtime uses. Legacy (non-container)
+ * files are tried as v1 models.
+ */
+void
+deepVerifyArtifact(const std::string &path, std::uint32_t schema)
+{
+    switch (schema) {
+    case io::kSchemaModel:
+    case 0:  // legacy / unknown: the model loader owns the v1 format
+        nn::verifyModelFile(path);
+        break;
+    case io::kSchemaCalibration:
+        core::verifyCalibrationFile(path);
+        break;
+    case io::kSchemaEngineState:
+        serve::verifyEngineStateFile(path);
+        break;
+    default:
+        throw io::ArtifactError(io::ErrorKind::BadSchema,
+                                "fsck: " + path +
+                                    ": unknown schema kind " +
+                                    std::to_string(schema));
+    }
+}
+
+int
+cmdFsck(const Options &opt)
+{
+    const io::FsckReport report =
+        io::fsckDirectory(opt.cacheDir, {}, deepVerifyArtifact);
+
+    if (report.entries.empty()) {
+        std::printf("fsck: %s: no artifacts found\n",
+                    opt.cacheDir.c_str());
+        return 0;
+    }
+
+    std::size_t quarantined = 0;
+    for (const io::FsckEntry &e : report.entries) {
+        if (e.ok) {
+            std::printf("ok       %-28s %s", e.format.c_str(),
+                        e.path.c_str());
+            if (e.chunks)
+                std::printf("  (%zu chunks)", e.chunks);
+            std::printf("\n");
+            continue;
+        }
+        std::printf("CORRUPT  %-28s %s\n         reason: %s\n",
+                    io::toString(e.kind), e.path.c_str(),
+                    e.detail.c_str());
+        if (opt.quarantineBad) {
+            const std::string moved = io::quarantine(e.path);
+            if (!moved.empty()) {
+                std::printf("         quarantined to %s\n",
+                            moved.c_str());
+                ++quarantined;
+            }
+        }
+    }
+
+    const std::size_t bad = report.corruptCount();
+    std::printf("fsck: %zu artifact(s), %zu corrupt",
+                report.entries.size(), bad);
+    if (opt.quarantineBad)
+        std::printf(", %zu quarantined", quarantined);
+    std::printf("\n");
+    return bad ? 1 : 0;
+}
+
+/// set by the SIGTERM/SIGINT handler installed under serve --state-dir
+std::atomic<bool> g_drainRequested{false};
+
+extern "C" void
+onDrainSignal(int)
+{
+    g_drainRequested.store(true, std::memory_order_relaxed);
+}
+
 int
 cmdServe(const Options &opt)
 {
@@ -372,7 +489,33 @@ cmdServe(const Options &opt)
         *app.model,
         core::MemoryFriendlyLstm::Config{
             gpuFor(opt.gpuName), app.spec.timingShape(), obs});
-    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+
+    const std::string calibPath = opt.stateDir + "/calibration.bin";
+    const std::string enginePath = opt.stateDir + "/engine_state.bin";
+
+    // Warm restart, half 1: a saved calibration skips the offline MTS
+    // sweep + predictor collection. A corrupt or stale file is
+    // quarantined and the cold path recomputes it.
+    bool warmCalibration = false;
+    if (!opt.stateDir.empty() &&
+        std::filesystem::exists(calibPath)) {
+        try {
+            core::loadCalibration(*mf, calibPath, {}, obs);
+            warmCalibration = true;
+            std::fprintf(stderr, "[serve] calibration restored from %s\n",
+                         calibPath.c_str());
+        } catch (const io::ArtifactError &e) {
+            const std::string moved = io::quarantine(calibPath);
+            std::fprintf(stderr,
+                         "[serve] %s rejected (%s); quarantined to %s; "
+                         "recalibrating\n",
+                         calibPath.c_str(), io::toString(e.kind()),
+                         moved.empty() ? "(rename failed)"
+                                       : moved.c_str());
+        }
+    }
+    if (!warmCalibration)
+        mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
     const auto ladder = mf->calibration().ladder();
 
     // A mid-ladder rung keeps startup cheap (no AO sweep); override
@@ -409,19 +552,49 @@ cmdServe(const Options &opt)
         eopts.faultInjector = &*injector;
     }
 
-    if (opt.governor) {
-        // Sweep the full ladder once to locate this app's AO and BPA
-        // sets, then serve on the AO->BPA slice between them.
-        const SchemeCurve curve =
-            evaluateScheme(*mf, app, opt.plan, ladder);
-        eopts.governorLadder = core::aoToBpaLadder(
-            curve.points, app.baselineAccuracy, 2.0);
-        eopts.planningSequences =
-            app.data.calibrationSequences(kCalibrationSeqs);
+    // Warm restart, half 2: a saved engine state skips the per-rung
+    // snapshots (and, under --governor, the AO/BPA locating sweep).
+    std::unique_ptr<serve::InferenceEngine> engine;
+    if (!opt.stateDir.empty() &&
+        std::filesystem::exists(enginePath)) {
+        try {
+            const serve::EngineWarmState warm =
+                serve::loadEngineState(enginePath, {}, obs);
+            engine = std::make_unique<serve::InferenceEngine>(
+                *mf, eopts, warm);
+            std::fprintf(stderr,
+                         "[serve] engine warm-started from %s "
+                         "(%zu rung(s))\n",
+                         enginePath.c_str(), engine->ladder().size());
+        } catch (const io::ArtifactError &e) {
+            const std::string moved = io::quarantine(enginePath);
+            std::fprintf(stderr,
+                         "[serve] %s rejected (%s); quarantined to %s; "
+                         "cold start\n",
+                         enginePath.c_str(), io::toString(e.kind()),
+                         moved.empty() ? "(rename failed)"
+                                       : moved.c_str());
+        }
     }
+    if (!engine) {
+        if (opt.governor) {
+            // Sweep the full ladder once to locate this app's AO and
+            // BPA sets, then serve on the AO->BPA slice between them.
+            const SchemeCurve curve =
+                evaluateScheme(*mf, app, opt.plan, ladder);
+            eopts.governorLadder = core::aoToBpaLadder(
+                curve.points, app.baselineAccuracy, 2.0);
+            eopts.planningSequences =
+                app.data.calibrationSequences(kCalibrationSeqs);
+        }
+        engine = std::make_unique<serve::InferenceEngine>(*mf, eopts);
+    }
+    serve::Session session = engine->session();
 
-    serve::InferenceEngine engine(*mf, eopts);
-    serve::Session session = engine.session();
+    if (!opt.stateDir.empty()) {
+        std::signal(SIGTERM, onDrainSignal);
+        std::signal(SIGINT, onDrainSignal);
+    }
 
     // Open-loop arrivals: submit on a fixed clock regardless of
     // completion, cycling through the calibration sequences.
@@ -429,6 +602,13 @@ cmdServe(const Options &opt)
     std::vector<std::future<serve::Response>> futures;
     futures.reserve(opt.requests);
     for (std::size_t i = 0; i < opt.requests; ++i) {
+        if (g_drainRequested.load(std::memory_order_relaxed)) {
+            std::fprintf(stderr,
+                         "[serve] drain requested after %zu of %zu "
+                         "requests; stopping admissions\n",
+                         i, opt.requests);
+            break;
+        }
         futures.push_back(session.infer(seqs[i % seqs.size()],
                                         opt.deadlineMs));
         if (opt.arrivalUs > 0)
@@ -445,9 +625,24 @@ cmdServe(const Options &opt)
         if (r.status == serve::Status::Ok)
             weight_by_batch[r.batch] = r.weightDramBytesPerSeq;
     }
-    engine.shutdown();
 
-    const serve::InferenceEngine::Stats st = engine.stats();
+    // Graceful exit: finish everything queued, then (with --state-dir)
+    // persist calibration + engine warm state for the next start.
+    if (!opt.stateDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.stateDir, ec);
+        engine->drainAndSaveState(enginePath);
+        core::saveCalibration(*mf, calibPath);
+        std::fprintf(stderr, "[serve] warm state saved to %s\n",
+                     opt.stateDir.c_str());
+    } else {
+        engine->shutdown();
+    }
+    if (g_drainRequested.load(std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "[serve] drained cleanly after signal\n");
+
+    const serve::InferenceEngine::Stats st = engine->stats();
     std::printf("%s / %s on %s (threshold set %zu)\n", opt.app.c_str(),
                 runtime::toString(opt.plan), gpuFor(opt.gpuName).name.c_str(),
                 rung);
@@ -457,9 +652,9 @@ cmdServe(const Options &opt)
                 static_cast<unsigned long long>(st.batches),
                 st.meanBatchSize, st.maxBatchObserved, opt.workers);
     std::printf("wall latency p50 %.3f ms, p90 %.3f ms, p99 %.3f ms\n",
-                engine.latencyQuantileMs(0.50),
-                engine.latencyQuantileMs(0.90),
-                engine.latencyQuantileMs(0.99));
+                engine->latencyQuantileMs(0.50),
+                engine->latencyQuantileMs(0.90),
+                engine->latencyQuantileMs(0.99));
 
     std::printf("\nstatus distribution:\n");
     for (const auto &[status, n] : by_status)
@@ -484,10 +679,10 @@ cmdServe(const Options &opt)
     if (opt.governor) {
         std::printf("governor: ladder %zu rungs, steps up %llu / down "
                     "%llu, final rung %zu\n",
-                    engine.ladder().size(),
+                    engine->ladder().size(),
                     static_cast<unsigned long long>(st.governorStepsUp),
                     static_cast<unsigned long long>(st.governorStepsDown),
-                    engine.activeRung());
+                    engine->activeRung());
     }
     if (opt.deadlineMs > 0.0) {
         std::printf("deadline %.1f ms missed by %llu requests\n",
@@ -520,7 +715,7 @@ main(int argc, char **argv)
     }
     if (opt.command != "list" && opt.command != "run" &&
         opt.command != "sweep" && opt.command != "mts" &&
-        opt.command != "serve") {
+        opt.command != "serve" && opt.command != "fsck") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -581,6 +776,18 @@ main(int argc, char **argv)
                              v ? v : "(missing)");
                 return usage();
             }
+        } else if (arg == "--state-dir") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.stateDir = v;
+        } else if (arg == "--cache-dir") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.cacheDir = v;
+        } else if (arg == "--quarantine") {
+            opt.quarantineBad = true;
         } else if (arg == "--governor") {
             opt.governor = true;
         } else if (arg == "--requests" || arg == "--batch" ||
@@ -660,6 +867,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
         if (opt.command == "serve")
             return cmdServe(opt);
+        if (opt.command == "fsck")
+            return cmdFsck(opt);
         return cmdMts(opt);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
