@@ -143,8 +143,11 @@ evaluateScheme(core::MemoryFriendlyLstm &mf, const AppContext &app,
     const bool uses_intra = probe.usesIntra();
 
     for (std::size_t i = 0; i < ladder.size(); ++i) {
+        // The quant mode rides along unconditionally: it is orthogonal
+        // to which alphas the scheme uses (DESIGN.md §12).
         mf.setThresholds({uses_inter ? ladder[i].alphaInter : 0.0,
-                          uses_intra ? ladder[i].alphaIntra : 0.0});
+                          uses_intra ? ladder[i].alphaIntra : 0.0,
+                          ladder[i].quant});
 
         core::OperatingPoint pt;
         pt.index = i;

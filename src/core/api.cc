@@ -75,6 +75,7 @@ MemoryFriendlyLstm::setThresholds(const ThresholdSet &set)
 {
     // May throw (alphaInter before calibrate()); only commit after.
     runner_.setThresholds(set.alphaInter, set.alphaIntra);
+    runner_.setQuantMode(set.quant);
     runner_.resetStats();
     thresholds_ = set;
 }
@@ -83,10 +84,15 @@ runtime::ExecutionPlan
 MemoryFriendlyLstm::planFromStats(
     const TimingOptions &opts,
     const std::vector<LayerApproxStats> &stats,
-    const runtime::NetworkExecutor &exec, obs::Observer *observer) const
+    quant::QuantMode quant_mode, const runtime::NetworkExecutor &exec,
+    obs::Observer *observer) const
 {
     runtime::ExecutionPlan plan;
     plan.kind = opts.kind;
+    // The lowering forces ZeroPruning back to fp32 (the CSR comparator
+    // is defined on full-precision weights); every other kind prices
+    // W/U traffic at this precision.
+    plan.quantMode = quant_mode;
 
     if (opts.kind == runtime::PlanKind::Baseline)
         return plan;
@@ -116,8 +122,10 @@ MemoryFriendlyLstm::planFromStats(
     }
 
     auto ph = obs::Observer::phase(observer, "planning");
-    return buildPlan(opts.kind, stats, cfg_.timingShape, mts,
-                     model_hidden);
+    runtime::ExecutionPlan built =
+        buildPlan(opts.kind, stats, cfg_.timingShape, mts, model_hidden);
+    built.quantMode = quant_mode;
+    return built;
 }
 
 TimingOutcome
@@ -134,7 +142,11 @@ MemoryFriendlyLstm::evaluateTiming(const TimingOptions &opts) const
 
     TimingOutcome out;
 
-    if (opts.kind == runtime::PlanKind::Baseline) {
+    // The cached baseline is the fp32 Algorithm 1 run; a quantized
+    // Baseline (the "quantization alone" column of Fig. 16) must go
+    // through the executor so the lowering prices the narrower weights.
+    if (opts.kind == runtime::PlanKind::Baseline &&
+        thresholds_.quant == quant::QuantMode::Fp32) {
         out.report = baseline_;
         out.plan.kind = opts.kind;
         out.speedup = 1.0;
@@ -142,7 +154,8 @@ MemoryFriendlyLstm::evaluateTiming(const TimingOptions &opts) const
         return out;
     }
 
-    out.plan = planFromStats(opts, runner_.stats(), exec, observer);
+    out.plan = planFromStats(opts, runner_.stats(), thresholds_.quant,
+                             exec, observer);
     out.report = exec.run(cfg_.timingShape, out.plan);
     out.speedup = runtime::speedup(baseline_, out.report);
     out.energySavingPct = runtime::energySavingPct(baseline_, out.report);
@@ -164,6 +177,7 @@ MemoryFriendlyLstm::snapshotRung(
 
     RungSnapshot snap{set, {}, runner_};
     snap.runner.setThresholds(set.alphaInter, set.alphaIntra);
+    snap.runner.setQuantMode(set.quant);
     snap.runner.resetStats();
 
     const bool needs_stats =
@@ -184,7 +198,8 @@ MemoryFriendlyLstm::snapshotRung(
                 snap.runner.classify(s);
         }
     }
-    snap.plan = planFromStats(opts, snap.runner.stats(), exec, observer);
+    snap.plan = planFromStats(opts, snap.runner.stats(), set.quant, exec,
+                              observer);
     return snap;
 }
 

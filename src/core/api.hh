@@ -192,6 +192,7 @@ class MemoryFriendlyLstm
     runtime::ExecutionPlan
     planFromStats(const TimingOptions &opts,
                   const std::vector<LayerApproxStats> &stats,
+                  quant::QuantMode quant_mode,
                   const runtime::NetworkExecutor &exec,
                   obs::Observer *observer) const;
 

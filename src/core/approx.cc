@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quant/quantize.hh"
 #include "tensor/activations.hh"
 #include "tensor/ops.hh"
 
@@ -76,12 +77,36 @@ lstmCellForwardDrs(const nn::LstmLayerParams &params, const Vector &x_proj,
 ApproxRunner::ApproxRunner(const nn::LstmModel &model) : model_(model)
 {
     const std::size_t hid = model.config().hiddenSize;
-    relevanceCtx_.reserve(model.layers().size());
-    for (const nn::LstmLayerParams &p : model.layers()) {
-        relevanceCtx_.emplace_back(p);
+    rebuildRelevanceContexts();
+    for (std::size_t l = 0; l < model.layers().size(); ++l)
         predictors_.emplace_back(hid);
-    }
     stats_.resize(model.layers().size());
+}
+
+void
+ApproxRunner::rebuildRelevanceContexts()
+{
+    relevanceCtx_.clear();
+    relevanceCtx_.reserve(activeModel().layers().size());
+    for (const nn::LstmLayerParams &p : activeModel().layers())
+        relevanceCtx_.emplace_back(p);
+}
+
+void
+ApproxRunner::setQuantMode(quant::QuantMode mode)
+{
+    if (mode == quantMode_)
+        return;
+    quantMode_ = mode;
+    if (mode == quant::QuantMode::Fp32) {
+        qmodel_.reset();
+    } else {
+        qmodel_ = model_;
+        quant::applyFakeQuant(*qmodel_, mode);
+    }
+    // The relevance norms are precomputed from the weight rows, so they
+    // must follow the precision of the model actually served.
+    rebuildRelevanceContexts();
 }
 
 void
@@ -92,7 +117,7 @@ ApproxRunner::calibrate(
         if (seq.empty())
             continue;
         std::vector<std::vector<nn::LstmCellTrace>> traces;
-        model_.runLayers(model_.embed(seq), &traces);
+        activeModel().runLayers(activeModel().embed(seq), &traces);
         for (std::size_t l = 0; l < traces.size(); ++l)
             predictors_[l].observe(traces[l]);
     }
@@ -120,11 +145,12 @@ ApproxRunner::setThresholds(double alpha_inter, double alpha_intra)
 std::vector<Vector>
 ApproxRunner::runLayers(const std::vector<Vector> &inputs)
 {
-    const nn::SigmoidKind sk = model_.config().sigmoid;
+    const nn::LstmModel &m = activeModel();
+    const nn::SigmoidKind sk = m.config().sigmoid;
     std::vector<Vector> acts = inputs;
 
-    for (std::size_t l = 0; l < model_.layers().size(); ++l) {
-        const nn::LstmLayerParams &p = model_.layers()[l];
+    for (std::size_t l = 0; l < m.layers().size(); ++l) {
+        const nn::LstmLayerParams &p = m.layers()[l];
         LayerApproxStats &st = stats_[l];
         ++st.sequences;
 
@@ -182,19 +208,19 @@ ApproxRunner::classify(std::span<const std::int32_t> tokens)
     assert(model_.config().task == nn::TaskKind::Classification);
     if (tokens.empty())
         throw std::invalid_argument("ApproxRunner::classify: empty");
-    const std::vector<Vector> top = runLayers(model_.embed(tokens));
-    return nn::linearForward(model_.head(), top.back());
+    const std::vector<Vector> top = runLayers(activeModel().embed(tokens));
+    return nn::linearForward(activeModel().head(), top.back());
 }
 
 std::vector<Vector>
 ApproxRunner::lmLogits(std::span<const std::int32_t> tokens)
 {
     assert(model_.config().task == nn::TaskKind::LanguageModel);
-    const std::vector<Vector> top = runLayers(model_.embed(tokens));
+    const std::vector<Vector> top = runLayers(activeModel().embed(tokens));
     std::vector<Vector> logits;
     logits.reserve(top.size());
     for (const Vector &h : top)
-        logits.push_back(nn::linearForward(model_.head(), h));
+        logits.push_back(nn::linearForward(activeModel().head(), h));
     return logits;
 }
 
@@ -235,16 +261,17 @@ ApproxRunner::CalibrationProfile
 ApproxRunner::profile(
     const std::vector<std::vector<std::int32_t>> &token_seqs) const
 {
+    const nn::LstmModel &m = activeModel();
     CalibrationProfile prof;
-    prof.layerRelevances.resize(model_.layers().size());
-    const nn::SigmoidKind sk = model_.config().sigmoid;
+    prof.layerRelevances.resize(m.layers().size());
+    const nn::SigmoidKind sk = m.config().sigmoid;
 
     for (const auto &seq : token_seqs) {
         if (seq.empty())
             continue;
-        std::vector<Vector> acts = model_.embed(seq);
-        for (std::size_t l = 0; l < model_.layers().size(); ++l) {
-            const nn::LstmLayerParams &p = model_.layers()[l];
+        std::vector<Vector> acts = m.embed(seq);
+        for (std::size_t l = 0; l < m.layers().size(); ++l) {
+            const nn::LstmLayerParams &p = m.layers()[l];
             const std::vector<Vector> projs = nn::projectInputs(p, acts);
 
             for (std::size_t t = 1; t < projs.size(); ++t) {

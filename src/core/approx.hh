@@ -21,12 +21,14 @@
 #define MFLSTM_CORE_APPROX_HH
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/predictor.hh"
 #include "core/relevance.hh"
 #include "nn/model.hh"
+#include "quant/qformat.hh"
 
 namespace mflstm {
 namespace core {
@@ -121,6 +123,25 @@ class ApproxRunner
     void setDrsPolicy(DrsStatePolicy policy) { drsPolicy_ = policy; }
     DrsStatePolicy drsPolicy() const { return drsPolicy_; }
 
+    /**
+     * Set the weight precision of the served model (DESIGN.md §12).
+     * A non-fp32 mode swaps the forward passes onto a fake-quantized
+     * copy of the model (bit-identical to running the in-register
+     * dequant kernels of tensor/qmatrix.hh) and rebuilds the relevance
+     * contexts from the quantized rows; Fp32 restores the original.
+     * Calibration is expected to happen at fp32 before a quantized
+     * mode is selected (the facade orders it that way).
+     */
+    void setQuantMode(quant::QuantMode mode);
+    quant::QuantMode quantMode() const { return quantMode_; }
+
+    /** The model the forward passes actually run (fake-quantized or
+     *  the fp32 original). */
+    const nn::LstmModel &activeModel() const
+    {
+        return qmodel_ ? *qmodel_ : model_;
+    }
+
     /** Approximate classification logits (cf. LstmModel::classify). */
     Vector classify(std::span<const std::int32_t> tokens);
 
@@ -169,12 +190,17 @@ class ApproxRunner
     profile(const std::vector<std::vector<std::int32_t>> &token_seqs) const;
 
   private:
+    void rebuildRelevanceContexts();
+
     const nn::LstmModel &model_;
+    /// fake-quantized serving copy; engaged iff quantMode_ != Fp32
+    std::optional<nn::LstmModel> qmodel_;
     std::vector<LayerRelevanceContext> relevanceCtx_;
     std::vector<LinkPredictor> predictors_;
     std::vector<LayerApproxStats> stats_;
     double alphaInter_ = 0.0;
     double alphaIntra_ = 0.0;
+    quant::QuantMode quantMode_ = quant::QuantMode::Fp32;
     DrsStatePolicy drsPolicy_ = DrsStatePolicy::DropRecurrent;
 };
 

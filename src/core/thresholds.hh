@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/approx.hh"
+#include "quant/qformat.hh"
 
 namespace mflstm {
 namespace core {
@@ -22,6 +23,14 @@ struct ThresholdSet
 {
     double alphaInter = 0.0;
     double alphaIntra = 0.0;
+    /**
+     * Weight precision served at this point (DESIGN.md §12) — the third
+     * axis of the tuning space. Like the alphas it trades accuracy for
+     * memory time, so AO/BPA selection and the serving governor handle
+     * it uniformly: accuracy is measured through a fake-quantized model
+     * and AO still means <= 2% end-to-end loss.
+     */
+    quant::QuantMode quant = quant::QuantMode::Fp32;
 
     bool operator==(const ThresholdSet &) const = default;
 };

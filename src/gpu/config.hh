@@ -81,6 +81,20 @@ struct GpuConfig
     double l2PjPerByte = 6.0;
     double sharedPjPerByte = 4.0;
     double fmaPjPerFlop = 1.6;
+    /**
+     * In-register dequantization cost per quantized weight element
+     * (int8/int4 -> fp32 convert feeding the FMA). Well under one FMA:
+     * the convert is a single-cycle ALU op with no operand fetch.
+     */
+    double dequantPjPerWeight = 0.3;
+    /**
+     * Issue slots per quantized weight spent on the in-register
+     * convert. Maxwell-class parts (TX1) have no DP4A: every int8/int4
+     * weight costs one single-lane cvt op sharing the FMA issue pipes,
+     * so narrow weights trade DRAM cycles for ALU cycles and the win
+     * shrinks once a kernel turns compute-bound.
+     */
+    double dequantOpsPerWeight = 1.0;
 
     // --- CTA-reorganization module (Section V-B hardware design) -------
     /// Threads the CRM prefix-sum datapath retires per cycle (one warp).

@@ -21,7 +21,8 @@ computeEnergy(const GpuConfig &cfg, const ActivitySummary &a)
     e.staticJ = (cfg.socStaticW + cfg.gpuIdleW) * a.timeSeconds;
     e.gpuDynamicJ =
         cfg.gpuIssueActiveW * a.issueBusyFraction * a.timeSeconds +
-        cfg.fmaPjPerFlop * a.flops * 1e-12;
+        cfg.fmaPjPerFlop * a.flops * 1e-12 +
+        cfg.dequantPjPerWeight * a.quantWeightElems * 1e-12;
     e.dramJ = cfg.dramPjPerByte * a.dramBytes * 1e-12;
     e.onChipJ = cfg.l2PjPerByte * a.l2Bytes * 1e-12 +
                 cfg.sharedPjPerByte * a.sharedBytes * 1e-12;

@@ -43,6 +43,8 @@ struct ActivitySummary
     double sharedBytes = 0.0;
     /// time-weighted fraction of cycles the issue stage was busy
     double issueBusyFraction = 0.0;
+    /// weight elements dequantized in-register (quantized plans)
+    double quantWeightElems = 0.0;
     double crmDynamicJ = 0.0;
     bool crmPresent = false;
 };

@@ -52,6 +52,13 @@ struct KernelDesc
      * can report weight bytes amortised per sequence.
      */
     double dramWeightBytes = 0.0;
+    /**
+     * Weight elements this kernel dequantizes in-register (0 for fp32
+     * weights). The energy model charges an int->fp convert per
+     * element (GpuConfig::dequantPjPerWeight) — the compute-side price
+     * of the DRAM bytes quantization saves.
+     */
+    double quantWeightElems = 0.0;
 
     // --- Behaviour --------------------------------------------------------
     unsigned syncsPerCta = 0;

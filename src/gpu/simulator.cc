@@ -157,6 +157,7 @@ Simulator::runTrace(const KernelTrace &trace)
         res.l2Bytes += t.l2Bytes;
         res.sharedBytes += t.sharedBytes;
         res.weightDramBytes += desc.dramWeightBytes;
+        res.quantWeightElems += desc.quantWeightElems;
         res.crmCycles += t.crmCycles;
         crm_energy += t.crmEnergyJ;
 
@@ -182,6 +183,7 @@ Simulator::runTrace(const KernelTrace &trace)
     activity.sharedBytes = res.sharedBytes;
     activity.issueBusyFraction =
         res.cycles > 0.0 ? res.computeCycles / res.cycles : 0.0;
+    activity.quantWeightElems = res.quantWeightElems;
     activity.crmDynamicJ = crm_energy;
     activity.crmPresent = gmu_.crmPresent();
     res.energy = computeEnergy(cfg_, activity);

@@ -46,6 +46,8 @@ struct TraceResult
     /// weight-matrix DRAM bytes (sum of KernelDesc::dramWeightBytes);
     /// divide by the batch size for the per-sequence amortised figure
     double weightDramBytes = 0.0;
+    /// weight elements dequantized in-register (quantized plans only)
+    double quantWeightElems = 0.0;
 
     /// time-weighted mean utilisations over the whole trace
     double dramUtilization = 0.0;

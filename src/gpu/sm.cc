@@ -25,7 +25,14 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
     // --- Resource demands, in core cycles ------------------------------
     const double divergence = crm_applied ? 1.0 : desc.divergenceFactor;
     t.flops = desc.flops;
-    t.computeCycles = desc.flops / cfg.flopsPerCycle() * divergence;
+    // Quantized weights pay an in-register convert on the FMA issue
+    // pipes (no DP4A on TX1-class parts): one cvt lane-cycle per weight,
+    // i.e. the same issue bandwidth an FMA (2 FLOP) occupies.
+    const double dequant_cycles =
+        desc.quantWeightElems * cfg.dequantOpsPerWeight * 2.0 /
+        cfg.flopsPerCycle();
+    t.computeCycles =
+        (desc.flops / cfg.flopsPerCycle() + dequant_cycles) * divergence;
 
     t.dramBytes =
         (desc.dramReadBytes + desc.dramWriteBytes) * desc.coalescingFactor;

@@ -198,6 +198,13 @@ ByteWriter::u64Array(std::span<const std::uint64_t> v)
         u64(x);
 }
 
+void
+ByteWriter::u8Array(std::span<const std::int8_t> v)
+{
+    u64(v.size());
+    raw(v.data(), v.size());
+}
+
 // --- ByteReader ---------------------------------------------------------
 
 ByteReader::ByteReader(std::span<const std::uint8_t> data,
@@ -297,6 +304,18 @@ ByteReader::u64Array()
     std::vector<std::uint64_t> v(static_cast<std::size_t>(count));
     for (auto &x : v)
         x = u64();
+    return v;
+}
+
+std::vector<std::int8_t>
+ByteReader::u8Array()
+{
+    const std::uint64_t count = arrayCount(1);
+    std::vector<std::int8_t> v(static_cast<std::size_t>(count));
+    need(static_cast<std::size_t>(count));
+    std::memcpy(v.data(), data_.data() + pos_,
+                static_cast<std::size_t>(count));
+    pos_ += static_cast<std::size_t>(count);
     return v;
 }
 

@@ -95,6 +95,7 @@ struct ArtifactLimits
 constexpr std::uint32_t kSchemaModel = 1;        ///< nn::LstmModel
 constexpr std::uint32_t kSchemaCalibration = 2;  ///< core calibration
 constexpr std::uint32_t kSchemaEngineState = 3;  ///< serve warm state
+constexpr std::uint32_t kSchemaQuantModel = 4;   ///< quant::QuantizedModel
 
 /** Four-character chunk/file tag as a little-endian u32. */
 constexpr std::uint32_t
@@ -133,6 +134,8 @@ class ByteWriter
     void f32Array(std::span<const float> v);
     void f64Array(std::span<const double> v);
     void u64Array(std::span<const std::uint64_t> v);
+    /** u64 count followed by the raw bytes (quantized weight payloads). */
+    void u8Array(std::span<const std::int8_t> v);
 
     const std::vector<std::uint8_t> &bytes() const { return bytes_; }
 
@@ -161,6 +164,7 @@ class ByteReader
     std::vector<float> f32Array();
     std::vector<double> f64Array();
     std::vector<std::uint64_t> u64Array();
+    std::vector<std::int8_t> u8Array();
 
     std::size_t remaining() const { return data_.size() - pos_; }
 

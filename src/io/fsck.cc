@@ -15,6 +15,7 @@ schemaName(std::uint32_t kind)
     case kSchemaModel: return "container/model";
     case kSchemaCalibration: return "container/calibration";
     case kSchemaEngineState: return "container/engine-state";
+    case kSchemaQuantModel: return "container/quant-model";
     default: return "container/unknown-schema";
     }
 }

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The quantization format vocabulary (DESIGN.md §12). Header-only on
+ * purpose: runtime/gpu/core only need the enum and the bytes-per-weight
+ * scale to price DRAM traffic, and pulling a library edge from those
+ * layers into src/quant would invert the dependency order (quant links
+ * nn, nn links tensor). Everything that needs actual weights lives in
+ * quant/quantize.hh.
+ */
+
+#ifndef MFLSTM_QUANT_QFORMAT_HH
+#define MFLSTM_QUANT_QFORMAT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mflstm {
+namespace quant {
+
+/**
+ * Weight precision of the recurrent/input matrices (`U`, `W`).
+ * Biases, the embedding table and the head stay fp32 — they are a
+ * rounding error of the traffic (Section III: `U` dominates) and
+ * keeping them exact isolates the quantization error to the GEMM/GEMV
+ * operands the bound in quant/quantize.hh reasons about.
+ */
+enum class QuantMode : std::uint32_t {
+    Fp32 = 0,  ///< no quantization (the seed behaviour)
+    Int8 = 1,  ///< symmetric per-row int8, scale = absmax/127
+    Int4 = 2,  ///< symmetric per-row int4 (nibble-packed), scale = absmax/7
+};
+
+/** DRAM bytes one weight element occupies in @p m. */
+constexpr double
+bytesPerWeight(QuantMode m)
+{
+    switch (m) {
+    case QuantMode::Int8:
+        return 1.0;
+    case QuantMode::Int4:
+        return 0.5;
+    case QuantMode::Fp32:
+    default:
+        return 4.0;
+    }
+}
+
+/** Largest representable magnitude of the integer code. */
+constexpr int
+qmax(QuantMode m)
+{
+    // Int4 uses the symmetric range [-7, 7]: sacrificing -8 keeps
+    // negation exact and the code distribution symmetric around 0.
+    return m == QuantMode::Int8 ? 127 : m == QuantMode::Int4 ? 7 : 0;
+}
+
+constexpr const char *
+toString(QuantMode m)
+{
+    switch (m) {
+    case QuantMode::Int8:
+        return "int8";
+    case QuantMode::Int4:
+        return "int4";
+    case QuantMode::Fp32:
+    default:
+        return "fp32";
+    }
+}
+
+/** Parse a CLI spelling; nullopt on anything unknown. */
+inline std::optional<QuantMode>
+parseQuantMode(const std::string &s)
+{
+    if (s == "fp32")
+        return QuantMode::Fp32;
+    if (s == "int8")
+        return QuantMode::Int8;
+    if (s == "int4")
+        return QuantMode::Int4;
+    return std::nullopt;
+}
+
+} // namespace quant
+} // namespace mflstm
+
+#endif // MFLSTM_QUANT_QFORMAT_HH

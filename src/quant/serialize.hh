@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quantized-model persistence (DESIGN.md §11/§12): a QuantizedModel as
+ * an io artifact container (schema kSchemaQuantModel) with one config
+ * chunk and one chunk per layer. Loading re-validates everything the
+ * format promises — dimensions against limits, scale vectors finite,
+ * non-zero and row-count-matched, payload sizes exact, codes within
+ * the symmetric range — so `mflstm fsck` gets deep verification for
+ * free and a load can never hand back a structurally invalid model.
+ */
+
+#ifndef MFLSTM_QUANT_SERIALIZE_HH
+#define MFLSTM_QUANT_SERIALIZE_HH
+
+#include <string>
+
+#include "io/artifact.hh"
+#include "obs/observer.hh"
+#include "quant/quantize.hh"
+
+namespace mflstm {
+namespace quant {
+
+/** Atomic write of @p q to @p path (schema kSchemaQuantModel v1). */
+void saveQuantizedModel(const QuantizedModel &q, const std::string &path);
+
+/**
+ * Load and fully validate a quantized-model artifact.
+ * @throws io::ArtifactError (typed kind) on any damage; the rejection
+ * is counted on @p obs when provided.
+ */
+QuantizedModel
+loadQuantizedModel(const std::string &path,
+                   const io::ArtifactLimits &limits = {},
+                   obs::Observer *obs = nullptr);
+
+/**
+ * Load, then additionally require the artifact's fingerprint to match
+ * @p source's weights (ErrorKind::Stale otherwise) — the guard against
+ * serving quantized weights of some other checkpoint.
+ */
+QuantizedModel
+loadQuantizedModelFor(const nn::LstmModel &source, const std::string &path,
+                      const io::ArtifactLimits &limits = {},
+                      obs::Observer *obs = nullptr);
+
+/** Deep verification without keeping the model (fsck). */
+void verifyQuantizedModelFile(const std::string &path,
+                              const io::ArtifactLimits &limits = {});
+
+} // namespace quant
+} // namespace mflstm
+
+#endif // MFLSTM_QUANT_SERIALIZE_HH

@@ -40,6 +40,27 @@ checkedBatch(std::size_t batch)
     return static_cast<double>(batch);
 }
 
+/**
+ * DRAM footprint of a quantized weight block of @p elems elements with
+ * @p rows per-row scales: the integer codes plus the fp32 scale stream
+ * (which also has to cross the bus once per sweep).
+ */
+double
+weightFootprintBytes(double elems, double rows, quant::QuantMode qm)
+{
+    const double scale_bytes =
+        qm == quant::QuantMode::Fp32 ? 0.0 : rows * kFloat;
+    return elems * quant::bytesPerWeight(qm) + scale_bytes;
+}
+
+/** Quantized kernels tag the precision in their trace name. */
+void
+tagQuant(gpu::KernelDesc &k, quant::QuantMode qm)
+{
+    if (qm != quant::QuantMode::Fp32)
+        k.name += std::string(" [") + quant::toString(qm) + "]";
+}
+
 } // anonymous namespace
 
 double
@@ -82,7 +103,8 @@ Lowering::layerWeightTraffic(double footprint_bytes, double sweeps) const
 }
 
 gpu::KernelDesc
-Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch) const
+Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch,
+                     quant::QuantMode qm) const
 {
     const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
@@ -90,7 +112,7 @@ Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch) const
     const double n = static_cast<double>(shape.length);
 
     const double macs = 4.0 * h * e * n * b;
-    const double w_bytes = 4.0 * h * e * kFloat;
+    const double w_bytes = weightFootprintBytes(4.0 * h * e, 4.0 * h, qm);
     const double in_bytes = n * e * kFloat * b;
     const double out_bytes = n * 4.0 * h * kFloat * b;
 
@@ -105,16 +127,20 @@ Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch) const
     k.sharedBytes =
         macs * sgemmSharedBytesPerMac(shape.hiddenSize,
                                       shape.length * batch);
+    if (qm != quant::QuantMode::Fp32)
+        k.quantWeightElems = 4.0 * h * e;
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * n * b);
     k.syncsPerCta = 4;
+    tagQuant(k, qm);
     tagBatch(k, batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::cellSgemv(const LstmLayerShape &shape,
-                    double dram_bytes_weights, std::size_t batch) const
+                    double dram_bytes_weights, std::size_t batch,
+                    quant::QuantMode qm) const
 {
     const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
@@ -129,7 +155,10 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
     k.dramWriteBytes = 4.0 * h * kFloat * b;
-    k.l2AccessBytes = 4.0 * h * h * kFloat + vec_bytes;
+    k.l2AccessBytes =
+        weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) + vec_bytes;
+    if (qm != quant::QuantMode::Fp32)
+        k.quantWeightElems = 4.0 * h * h;
     // With B > 1 the kernel widens into a narrow Sgemm over the B
     // h-columns and inherits its shared-memory behaviour.
     k.sharedBytes =
@@ -139,6 +168,7 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * b);
     k.syncsPerCta = 2;
+    tagQuant(k, qm);
     tagBatch(k, batch);
     return k;
 }
@@ -146,7 +176,7 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
 gpu::KernelDesc
 Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
                       double dram_bytes_weights, double skip_fraction,
-                      std::size_t batch) const
+                      std::size_t batch, quant::QuantMode qm) const
 {
     const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
@@ -169,10 +199,13 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
     k.dramReadBytes = weight_bytes + tk * h * kFloat * b;
     k.dramWeightBytes = weight_bytes;
     k.dramWriteBytes = tk * 4.0 * h * kFloat * b;
-    k.l2AccessBytes = 4.0 * h * h * kFloat + tk * 5.0 * h * kFloat * b;
+    k.l2AccessBytes = weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) +
+                      tk * 5.0 * h * kFloat * b;
     k.sharedBytes = macs * keep *
                     sgemmSharedBytesPerMac(shape.hiddenSize,
                                            tissue_size * batch);
+    if (qm != quant::QuantMode::Fp32)
+        k.quantWeightElems = 4.0 * h * h * (1.0 - 0.75 * all_skip);
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * tk * b);
     k.syncsPerCta = 4;
@@ -181,6 +214,7 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
         k.disabledThreads = static_cast<unsigned>(
             skip_fraction * 3.0 * h * tk * b);
     }
+    tagQuant(k, qm);
     tagBatch(k, batch);
     return k;
 }
@@ -213,21 +247,31 @@ Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells,
 
 gpu::KernelDesc
 Lowering::outputGateSgemv(const LstmLayerShape &shape,
-                          double dram_bytes_weights,
-                          std::size_t batch) const
+                          double dram_bytes_weights, std::size_t batch,
+                          quant::QuantMode qm, bool fused_flags) const
 {
     const double b = checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double macs = h * h * b;
 
     gpu::KernelDesc k;
-    k.name = "Sgemv(U_o, h)";
+    k.name = fused_flags ? "Sgemv(U_o, h)+flags" : "Sgemv(U_o, h)";
     k.klass = gpu::KernelClass::Sgemv;
     k.flops = 2.0 * macs;
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
     k.dramWriteBytes = h * kFloat * b;
-    k.l2AccessBytes = h * h * kFloat + 2.0 * h * kFloat * b;
+    k.l2AccessBytes = weightFootprintBytes(h * h, h, qm) +
+                      2.0 * h * kFloat * b;
+    if (fused_flags) {
+        // sigma(o) + compare against alpha per element, one flag byte
+        // out: noise next to the h^2 reduction.
+        k.flops += 6.0 * h * b;
+        k.dramWriteBytes += h * b;
+        k.l2AccessBytes += h * b;
+    }
+    if (qm != quant::QuantMode::Fp32)
+        k.quantWeightElems = h * h;
     k.sharedBytes =
         batch > 1
             ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, batch)
@@ -235,6 +279,7 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(h * b);
     k.syncsPerCta = 2;
+    tagQuant(k, qm);
     tagBatch(k, batch);
     return k;
 }
@@ -262,7 +307,8 @@ Lowering::drsScan(const LstmLayerShape &shape, std::size_t batch) const
 gpu::KernelDesc
 Lowering::rowSkipSgemv(const LstmLayerShape &shape,
                        double dram_bytes_weights, double skip_fraction,
-                       bool hw_compacted, std::size_t batch) const
+                       bool hw_compacted, std::size_t batch,
+                       quant::QuantMode qm) const
 {
     if (skip_fraction < 0.0 || skip_fraction > 1.0)
         throw std::invalid_argument("rowSkipSgemv: bad skip fraction");
@@ -305,8 +351,14 @@ Lowering::rowSkipSgemv(const LstmLayerShape &shape,
     }
     k.dramWriteBytes = 3.0 * h * kFloat * b;
     k.l2AccessBytes =
-        3.0 * h * h * kFloat * (hw_compacted ? keep : 1.0) +
+        weightFootprintBytes(3.0 * h * h, 3.0 * h, qm) *
+            (hw_compacted ? keep : 1.0) +
         4.0 * h * kFloat * b;
+    // Skipped rows are never dequantized: the convert happens inside
+    // the surviving rows' FMA streams on both the CRM and sw paths.
+    if (qm != quant::QuantMode::Fp32)
+        k.quantWeightElems = 3.0 * h * h * keep;
+    tagQuant(k, qm);
     tagBatch(k, batch);
     return k;
 }
@@ -396,7 +448,13 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     checkedBatch(batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double n = static_cast<double>(shape.length);
-    const double u_bytes = 4.0 * h * h * kFloat;
+    // The U footprint that actually crosses the bus: quantized plans
+    // stream integer codes plus the per-row fp32 scales (ZeroPruning's
+    // CSR comparator always stays fp32, see ExecutionPlan::quantMode).
+    const quant::QuantMode qm = plan.kind == PlanKind::ZeroPruning
+                                    ? quant::QuantMode::Fp32
+                                    : plan.quantMode;
+    const double u_bytes = weightFootprintBytes(4.0 * h * h, 4.0 * h, qm);
 
     // Provenance tags consumed by the observability timeline.
     const int li = static_cast<int>(layer_index);
@@ -408,7 +466,7 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         out.push_back(std::move(k));
     };
 
-    push(inputSgemm(shape, batch));
+    push(inputSgemm(shape, batch, qm));
 
     // A layer the breakpoint search could not divide (all tissues of
     // size 1) gains nothing from the tissue flow but would pay its
@@ -453,34 +511,44 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         for (std::size_t tissue : ip.tissueSizes) {
             push(tissueGather(shape, tissue, batch), cell, ti);
             if (intra && skip > 0.0) {
-                // Combined flow: per-tissue U_o Sgemm, element-wise,
-                // DRS scan, then the row-skipped U_fic tissue Sgemm.
+                // Combined flow: per-tissue U_o Sgemm (whose epilogue
+                // applies sigma and emits relevance flags -- Combined
+                // always dispatches through the CRM, which compacts
+                // them in hardware), then the row-skipped U_fic Sgemm.
+                const double h = static_cast<double>(shape.hiddenSize);
+                const double flag_elems =
+                    h * static_cast<double>(tissue * batch);
                 gpu::KernelDesc uo =
-                    tissueSgemm(shape, tissue, 0.0, 0.0, batch);
-                uo.name = "Sgemm(U_o, H_t)";
+                    tissueSgemm(shape, tissue, 0.0, 0.0, batch, qm);
+                uo.name = "Sgemm(U_o, H_t)+flags";
+                tagQuant(uo, qm);
                 tagBatch(uo, batch);
                 uo.flops *= 0.25;
                 uo.dramReadBytes = traffic / tissues * 0.25;
                 uo.dramWeightBytes = uo.dramReadBytes;
                 uo.sharedBytes *= 0.25;
                 uo.l2AccessBytes *= 0.25;
+                uo.quantWeightElems *= 0.25;
                 uo.ctas = std::max(1u, uo.ctas / 4);
+                uo.flops += 6.0 * flag_elems;
+                uo.dramWriteBytes += flag_elems;
+                uo.l2AccessBytes += flag_elems;
                 push(std::move(uo), cell, ti);
-                push(elementWise(shape, tissue, batch), cell, ti);
-                push(drsScan(shape, batch), cell, ti);
 
                 gpu::KernelDesc fic =
                     tissueSgemm(shape, tissue, traffic / tissues * 0.75,
-                                skip, batch);
+                                skip, batch, qm);
                 fic.name = "Sgemm(U_fic, H_t, R)";
+                tagQuant(fic, qm);
                 tagBatch(fic, batch);
                 fic.flops *= 0.75;
                 fic.sharedBytes *= 0.75;
                 fic.l2AccessBytes *= 0.75;
+                fic.quantWeightElems *= 0.75;
                 push(std::move(fic), cell, ti);
             } else {
                 push(tissueSgemm(shape, tissue, traffic / tissues, 0.0,
-                                 batch),
+                                 batch, qm),
                      cell, ti);
             }
             push(elementWise(shape, tissue, batch), cell, ti);
@@ -497,12 +565,30 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         const double fic_traffic = layerWeightTraffic(u_bytes * 0.75, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
             const int ts = static_cast<int>(t);
-            push(outputGateSgemv(shape, uo_traffic / n, batch), ts);
-            push(elementWise(shape, 1, batch), ts);
-            push(drsScan(shape, batch), ts);
-            push(rowSkipSgemv(shape, fic_traffic / n, skip, hw, batch),
-                 ts);
-            push(elementWise(shape, 1, batch), ts);
+            if (hw) {
+                // CRM dataflow (Section V-B): the U_o epilogue applies
+                // sigma and writes raw relevance flags; the CRM's
+                // prefix-sum datapath compacts them in the dispatch
+                // stage (priced as crmCycles by the GMU model), so the
+                // software scan kernel and its extra element-wise pass
+                // never launch.
+                push(outputGateSgemv(shape, uo_traffic / n, batch, qm,
+                                     true),
+                     ts);
+                push(rowSkipSgemv(shape, fic_traffic / n, skip, hw,
+                                  batch, qm),
+                     ts);
+                push(elementWise(shape, 1, batch), ts);
+            } else {
+                push(outputGateSgemv(shape, uo_traffic / n, batch, qm),
+                     ts);
+                push(elementWise(shape, 1, batch), ts);
+                push(drsScan(shape, batch), ts);
+                push(rowSkipSgemv(shape, fic_traffic / n, skip, hw,
+                                  batch, qm),
+                     ts);
+                push(elementWise(shape, 1, batch), ts);
+            }
         }
         return;
     }
@@ -511,7 +597,7 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     const double traffic = layerWeightTraffic(u_bytes, n);
     for (std::size_t t = 0; t < shape.length; ++t) {
         const int ts = static_cast<int>(t);
-        push(cellSgemv(shape, traffic / n, batch), ts);
+        push(cellSgemv(shape, traffic / n, batch, qm), ts);
         push(elementWise(shape, 1, batch), ts);
     }
 }

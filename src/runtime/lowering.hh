@@ -87,12 +87,16 @@ class Lowering
                            std::size_t first_layer_index = 0) const;
 
     // --- Individual kernel builders (exposed for tests/benches) --------
-    // Every builder takes the batch dimension last; omitting it yields
-    // the unbatched kernel.
+    // Every builder takes the batch dimension and then the weight
+    // precision last; omitting them yields the unbatched fp32 kernel.
+    // A quantized mode shrinks the weight-side DRAM/L2 terms by
+    // quant::bytesPerWeight (plus a 4 B/row scale stream) and sets
+    // KernelDesc::quantWeightElems for the in-register dequant cost.
 
     /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
-    gpu::KernelDesc inputSgemm(const LstmLayerShape &shape,
-                               std::size_t batch = 1) const;
+    gpu::KernelDesc
+    inputSgemm(const LstmLayerShape &shape, std::size_t batch = 1,
+               quant::QuantMode qm = quant::QuantMode::Fp32) const;
 
     /**
      * Baseline per-cell Sgemv(U_{f,i,c,o}, h_{t-1}); with a batch it
@@ -101,26 +105,34 @@ class Lowering
      *        weight-streaming DRAM traffic (cache model applied at layer
      *        granularity).
      */
-    gpu::KernelDesc cellSgemv(const LstmLayerShape &shape,
-                              double dram_bytes_weights,
-                              std::size_t batch = 1) const;
+    gpu::KernelDesc
+    cellSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
+              std::size_t batch = 1,
+              quant::QuantMode qm = quant::QuantMode::Fp32) const;
 
     /** Per-tissue Sgemm(U_{f,i,c,o}, H_t) over @p tissue_size cells. */
-    gpu::KernelDesc tissueSgemm(const LstmLayerShape &shape,
-                                std::size_t tissue_size,
-                                double dram_bytes_weights,
-                                double skip_fraction,
-                                std::size_t batch = 1) const;
+    gpu::KernelDesc
+    tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
+                double dram_bytes_weights, double skip_fraction,
+                std::size_t batch = 1,
+                quant::QuantMode qm = quant::QuantMode::Fp32) const;
 
     /** Element-wise kernel over @p cells cells' gate vectors. */
     gpu::KernelDesc elementWise(const LstmLayerShape &shape,
                                 std::size_t cells,
                                 std::size_t batch = 1) const;
 
-    /** DRS split kernel 1: Sgemv(U_o, h_{t-1}). */
-    gpu::KernelDesc outputGateSgemv(const LstmLayerShape &shape,
-                                    double dram_bytes_weights,
-                                    std::size_t batch = 1) const;
+    /**
+     * DRS split kernel 1: Sgemv(U_o, h_{t-1}). With @p fused_flags the
+     * epilogue also applies sigma and emits the relevance flag per
+     * output element (the CRM dataflow: the hardware consumes raw flags
+     * in the dispatch stage, so no standalone scan kernel runs).
+     */
+    gpu::KernelDesc
+    outputGateSgemv(const LstmLayerShape &shape,
+                    double dram_bytes_weights, std::size_t batch = 1,
+                    quant::QuantMode qm = quant::QuantMode::Fp32,
+                    bool fused_flags = false) const;
 
     /** DRS threshold/scan kernel (Algorithm 3 line 6). */
     gpu::KernelDesc drsScan(const LstmLayerShape &shape,
@@ -134,11 +146,11 @@ class Lowering
      * saved weight traffic shrinks as skip^batch (the cross-sequence
      * analogue of the Section VI-B3 overlap).
      */
-    gpu::KernelDesc rowSkipSgemv(const LstmLayerShape &shape,
-                                 double dram_bytes_weights,
-                                 double skip_fraction,
-                                 bool hw_compacted,
-                                 std::size_t batch = 1) const;
+    gpu::KernelDesc
+    rowSkipSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
+                 double skip_fraction, bool hw_compacted,
+                 std::size_t batch = 1,
+                 quant::QuantMode qm = quant::QuantMode::Fp32) const;
 
     /** Inter-cell breakpoint search + link prediction (runtime ops). */
     gpu::KernelDesc relevanceKernel(const LstmLayerShape &shape,

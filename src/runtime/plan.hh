@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "quant/qformat.hh"
+
 namespace mflstm {
 namespace runtime {
 
@@ -90,6 +92,13 @@ struct ExecutionPlan
     std::vector<LayerIntraPlan> intra;
     /// element fraction pruned by the zero-pruning comparator
     double pruneFraction = 0.0;
+    /**
+     * Weight precision the lowered kernels stream (DESIGN.md §12).
+     * Orthogonal to the dataflow kinds above: every kind except
+     * ZeroPruning (whose CSR comparator stays fp32) prices its
+     * W/U traffic at quant::bytesPerWeight(quantMode).
+     */
+    quant::QuantMode quantMode = quant::QuantMode::Fp32;
 
     bool usesInter() const
     {

@@ -25,6 +25,13 @@ struct PruningResult
      * Fig. 16(a) metric). Equals prunedFraction for dense fp32 storage.
      */
     double compressionRatio = 0.0;
+    /**
+     * Dense-to-CSR storage ratio: original dense bytes over the bytes
+     * of the surviving values plus their 4 B column indices (the 1.5x
+     * overhead the lowering charges). 0.0 marks the degenerate case of
+     * zero surviving elements — guarded, never a division by zero.
+     */
+    double csrStorageRatio = 0.0;
 };
 
 /**

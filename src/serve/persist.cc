@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "quant/qformat.hh"
+
 namespace mflstm {
 namespace serve {
 
@@ -10,7 +12,28 @@ namespace {
 using io::ArtifactError;
 using io::ErrorKind;
 
-constexpr std::uint32_t kEngineSchemaVersion = 1;
+/**
+ * v1: thresholds are (alphaInter, alphaIntra) and plans carry no
+ *     precision (everything implicitly fp32);
+ * v2: adds a u32 QuantMode per ladder rung and per plan. v1 files stay
+ *     loadable — their quant fields default to Fp32.
+ */
+constexpr std::uint32_t kEngineSchemaVersion = 2;
+
+constexpr std::uint32_t kMaxQuantMode =
+    static_cast<std::uint32_t>(quant::QuantMode::Int4);
+
+quant::QuantMode
+readQuantMode(io::ByteReader &r, const std::string &path)
+{
+    const std::uint32_t qm = r.u32();
+    if (qm > kMaxQuantMode)
+        throw ArtifactError(ErrorKind::Malformed,
+                            "loadEngineState: " + path +
+                                ": unknown quant mode " +
+                                std::to_string(qm));
+    return static_cast<quant::QuantMode>(qm);
+}
 constexpr std::uint32_t kChunkFingerprint = io::fourcc('E', 'F', 'P', 'R');
 constexpr std::uint32_t kChunkShape = io::fourcc('E', 'S', 'H', 'P');
 constexpr std::uint32_t kChunkLadder = io::fourcc('E', 'L', 'A', 'D');
@@ -37,6 +60,7 @@ void
 writePlan(io::ByteWriter &w, const runtime::ExecutionPlan &plan)
 {
     w.u32(static_cast<std::uint32_t>(plan.kind));
+    w.u32(static_cast<std::uint32_t>(plan.quantMode));
     w.f64(plan.pruneFraction);
     w.u64(plan.inter.size());
     for (const runtime::LayerInterPlan &p : plan.inter) {
@@ -50,8 +74,8 @@ writePlan(io::ByteWriter &w, const runtime::ExecutionPlan &plan)
 }
 
 runtime::ExecutionPlan
-readPlan(io::ByteReader &r, const io::ArtifactLimits &limits,
-         const std::string &path)
+readPlan(io::ByteReader &r, std::uint32_t version,
+         const io::ArtifactLimits &limits, const std::string &path)
 {
     runtime::ExecutionPlan plan;
     const std::uint32_t kind = r.u32();
@@ -61,6 +85,8 @@ readPlan(io::ByteReader &r, const io::ArtifactLimits &limits,
                                 ": unknown plan kind " +
                                 std::to_string(kind));
     plan.kind = static_cast<runtime::PlanKind>(kind);
+    if (version >= 2)
+        plan.quantMode = readQuantMode(r, path);
     plan.pruneFraction = r.f64();
     requireFinite(plan.pruneFraction, "pruneFraction", path);
 
@@ -106,12 +132,13 @@ EngineWarmState
 parseState(const io::ArtifactReader &reader,
            const io::ArtifactLimits &limits, const std::string &path)
 {
-    if (reader.schemaVersion() != kEngineSchemaVersion)
+    const std::uint32_t version = reader.schemaVersion();
+    if (version < 1 || version > kEngineSchemaVersion)
         throw ArtifactError(
             ErrorKind::BadVersion,
             "loadEngineState: " + path +
                 ": unsupported engine-state schema version " +
-                std::to_string(reader.schemaVersion()));
+                std::to_string(version));
 
     EngineWarmState state;
     {
@@ -163,6 +190,8 @@ parseState(const io::ArtifactReader &reader,
             core::ThresholdSet set;
             set.alphaInter = r.f64();
             set.alphaIntra = r.f64();
+            if (version >= 2)
+                set.quant = readQuantMode(r, path);
             requireFinite(set.alphaInter, "alphaInter", path);
             requireFinite(set.alphaIntra, "alphaIntra", path);
             if (set.alphaInter < 0.0 || set.alphaIntra < 0.0 ||
@@ -176,7 +205,7 @@ parseState(const io::ArtifactReader &reader,
     }
     for (std::size_t i = 0; i < state.ladder.size(); ++i) {
         io::ByteReader r = reader.chunk(rungPlanTag(i));
-        state.plans.push_back(readPlan(r, limits, path));
+        state.plans.push_back(readPlan(r, version, limits, path));
     }
     return state;
 }
@@ -206,6 +235,7 @@ saveEngineState(const EngineWarmState &state, const std::string &path)
     for (const core::ThresholdSet &set : state.ladder) {
         l.f64(set.alphaInter);
         l.f64(set.alphaIntra);
+        l.u32(static_cast<std::uint32_t>(set.quant));
     }
 
     for (std::size_t i = 0; i < state.plans.size(); ++i)

@@ -171,4 +171,98 @@ TEST_F(ApiTest, LadderEndsAtBaselineAndLimits)
     EXPECT_NEAR(ladder.back().alphaIntra, cal.limits.maxIntra, 1e-6);
 }
 
+TEST_F(ApiTest, SetThresholdsForwardsQuantModeToRunner)
+{
+    mf.calibrate(seqs(4, 8, 5));
+    EXPECT_EQ(mf.runner().quantMode(), quant::QuantMode::Fp32);
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Int8});
+    EXPECT_EQ(mf.runner().quantMode(), quant::QuantMode::Int8);
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Fp32});
+    EXPECT_EQ(mf.runner().quantMode(), quant::QuantMode::Fp32);
+}
+
+TEST_F(ApiTest, QuantModeChangesClassifierOutputsReversibly)
+{
+    mf.calibrate(seqs(4, 8, 5));
+    const auto input = seqs(1, 10, 42)[0];
+    const tensor::Vector fp32 = mf.runner().classify(input);
+
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Int8});
+    const tensor::Vector q8 = mf.runner().classify(input);
+    EXPECT_NE(fp32, q8);  // quantization perturbs the logits...
+    for (std::size_t i = 0; i < q8.size(); ++i)
+        EXPECT_NEAR(q8[i], fp32[i], 0.5);  // ...but only slightly
+
+    // Dropping back to fp32 restores the original model exactly.
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Fp32});
+    EXPECT_EQ(mf.runner().classify(input), fp32);
+}
+
+TEST_F(ApiTest, QuantizedBaselineTimingIsNotShortCircuited)
+{
+    mf.calibrate(seqs(4, 8, 5));
+
+    // fp32 Baseline is the identity by definition...
+    const TimingOutcome fp32 =
+        mf.evaluateTiming(runtime::PlanKind::Baseline);
+    EXPECT_DOUBLE_EQ(fp32.speedup, 1.0);
+    EXPECT_EQ(fp32.plan.quantMode, quant::QuantMode::Fp32);
+
+    // ...but a quantized Baseline must actually run the executor: its
+    // lighter weight stream beats the fp32 reference (the Fig. 16
+    // "INT8 alone" mechanism).
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Int8});
+    const TimingOutcome q8 =
+        mf.evaluateTiming(runtime::PlanKind::Baseline);
+    EXPECT_EQ(q8.plan.quantMode, quant::QuantMode::Int8);
+    EXPECT_GT(q8.speedup, 1.0);
+    EXPECT_LT(q8.report.result.weightDramBytes,
+              mf.baseline().result.weightDramBytes / 3.0);
+}
+
+TEST_F(ApiTest, QuantModeReachesBuiltCombinedPlan)
+{
+    // The quant mode must survive planFromStats for *built* plans, not
+    // just the Baseline/ZeroPruning early returns: the composed plan
+    // streams >3x fewer weight bytes and saves more energy than its
+    // fp32 twin. (Speedup is NOT asserted pointwise here — the int8
+    // run re-derives its stats from the fake-quantized model, so the
+    // plans may differ; the beats-both gate lives in Fig. 16 at AO.)
+    mf.calibrate(seqs(4, 8, 5));
+    // A huge alphaInter breaks every link (aligned tissues of size MTS)
+    // so the combined plan actually exercises the tissue flow.
+    mf.setThresholds({1e9, 0.4, quant::QuantMode::Fp32});
+    for (const auto &s : seqs(5, 10, 6))
+        mf.runner().classify(s);
+    const TimingOutcome comb =
+        mf.evaluateTiming(runtime::PlanKind::Combined);
+    EXPECT_GT(comb.speedup, 1.5);
+
+    mf.setThresholds({1e9, 0.4, quant::QuantMode::Int8});
+    for (const auto &s : seqs(5, 10, 6))
+        mf.runner().classify(s);
+    const TimingOutcome comb_q8 =
+        mf.evaluateTiming(runtime::PlanKind::Combined);
+
+    EXPECT_EQ(comb_q8.plan.quantMode, quant::QuantMode::Int8);
+    EXPECT_GT(comb_q8.speedup, 1.5);
+    EXPECT_LT(comb_q8.report.result.weightDramBytes,
+              comb.report.result.weightDramBytes / 3.0);
+    EXPECT_GT(comb_q8.energySavingPct, comb.energySavingPct);
+}
+
+TEST_F(ApiTest, ZeroPruningPlanStaysFp32EvenWhenQuantRequested)
+{
+    mf.setThresholds({0.0, 0.0, quant::QuantMode::Int8});
+    const TimingOutcome zp =
+        mf.evaluateTiming(runtime::PlanKind::ZeroPruning, 0.37);
+    // The plan carries the mode, but the lowering defines the CSR
+    // comparator at fp32 — same traffic as an unstamped pruning plan.
+    mf.setThresholds({});
+    const TimingOutcome zp_fp32 =
+        mf.evaluateTiming(runtime::PlanKind::ZeroPruning, 0.37);
+    EXPECT_DOUBLE_EQ(zp.report.result.weightDramBytes,
+                     zp_fp32.report.result.weightDramBytes);
+}
+
 } // namespace

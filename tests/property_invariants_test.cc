@@ -98,6 +98,7 @@ TEST_P(LoweringProperty, FlopConservationAcrossPlans)
         const double n = static_cast<double>(shape.length);
         const double expect =
             2.0 * h * h * n +                       // U_o part
+            6.0 * h * n +                           // flag epilogue
             2.0 * 3.0 * h * h * n * (1.0 - skip);   // U_fic part
         EXPECT_NEAR(gemv_flops / expect, 1.0, 1e-6);
     }

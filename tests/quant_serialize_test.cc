@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Corruption matrix for the quantized-model artifact (DESIGN.md §11/12):
+ * bit-identical round trips through save/load, the stale-source
+ * fingerprint guard, deep validation of scales and canonical codes, and
+ * exhaustive single-bit-flip / truncation rejection.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "obs/observer.hh"
+#include "quant/serialize.hh"
+
+namespace {
+
+using namespace mflstm;
+using quant::QuantMode;
+
+class QuantSerializeTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("mflstm_quant_serialize_test_" +
+                  std::to_string(::getpid()) + ".bin"))
+                    .string();
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+nn::ModelConfig
+tinyConfig()
+{
+    // Small on purpose: the exhaustive bit-flip test loads the file
+    // once per bit.
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 6;
+    cfg.embedSize = 3;
+    cfg.hiddenSize = 5;  // odd: exercises int4 trailing nibbles
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+io::ErrorKind
+loadKind(const std::string &path)
+{
+    try {
+        (void)quant::loadQuantizedModel(path);
+    } catch (const io::ArtifactError &e) {
+        return e.kind();
+    }
+    ADD_FAILURE() << "corrupt quantized model " << path << " loaded";
+    return io::ErrorKind::Io;
+}
+
+TEST_F(QuantSerializeTest, RoundTripsBitIdentically)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    for (const QuantMode mode : {QuantMode::Int8, QuantMode::Int4}) {
+        const quant::QuantizedModel original =
+            quant::quantizeModel(m, mode);
+        quant::saveQuantizedModel(original, path_);
+
+        std::uint32_t kind = 0;
+        ASSERT_TRUE(io::isArtifactFile(path_, &kind));
+        EXPECT_EQ(kind, io::kSchemaQuantModel);
+
+        const quant::QuantizedModel loaded =
+            quant::loadQuantizedModel(path_);
+        EXPECT_EQ(loaded, original);
+
+        // And a second save of the loaded model is byte-stable.
+        const std::string again = path_ + ".again";
+        quant::saveQuantizedModel(loaded, again);
+        std::ifstream a(path_, std::ios::binary);
+        std::ifstream b(again, std::ios::binary);
+        const std::string bytes_a(
+            (std::istreambuf_iterator<char>(a)),
+            std::istreambuf_iterator<char>());
+        const std::string bytes_b(
+            (std::istreambuf_iterator<char>(b)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(bytes_a, bytes_b);
+        std::remove(again.c_str());
+    }
+}
+
+TEST_F(QuantSerializeTest, LoadForMatchingSourceSucceeds)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::saveQuantizedModel(quant::quantizeModel(m, QuantMode::Int8),
+                              path_);
+    EXPECT_NO_THROW((void)quant::loadQuantizedModelFor(m, path_));
+    EXPECT_NO_THROW(quant::verifyQuantizedModelFile(path_));
+}
+
+TEST_F(QuantSerializeTest, StaleSourceRejectedAndCounted)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::saveQuantizedModel(quant::quantizeModel(m, QuantMode::Int8),
+                              path_);
+
+    nn::LstmModel retrained = m;
+    retrained.layers()[0].uc.data()[0] += 1.0f;
+
+    obs::Observer obs;
+    try {
+        (void)quant::loadQuantizedModelFor(retrained, path_, {}, &obs);
+        FAIL() << "stale quantized artifact accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::Stale);
+    }
+    EXPECT_EQ(obs.metrics()
+                  .counter("artifact_load_rejected_total")
+                  .value(),
+              1.0);
+}
+
+TEST_F(QuantSerializeTest, MissingFileRejected)
+{
+    EXPECT_THROW((void)quant::loadQuantizedModel(path_),
+                 io::ArtifactError);
+    EXPECT_THROW(
+        quant::saveQuantizedModel(
+            quant::quantizeModel(nn::LstmModel(tinyConfig(), 1),
+                                 QuantMode::Int8),
+            "/nonexistent/dir/q.bin"),
+        std::runtime_error);
+}
+
+TEST_F(QuantSerializeTest, NonCanonicalInt8CodeRejected)
+{
+    // -128 is outside the symmetric range: quantize() never emits it,
+    // so a payload containing it cannot have come from this writer.
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::QuantizedModel q = quant::quantizeModel(m, QuantMode::Int8);
+    auto parts_scales = std::vector<float>(q.layers[0].uf.scales());
+    auto parts_payload =
+        std::vector<std::int8_t>(q.layers[0].uf.payload());
+    parts_payload[2] = std::numeric_limits<std::int8_t>::min();
+    q.layers[0].uf = tensor::QuantizedMatrix::fromParts(
+        q.layers[0].uf.rows(), q.layers[0].uf.cols(), QuantMode::Int8,
+        std::move(parts_scales), std::move(parts_payload));
+    quant::saveQuantizedModel(q, path_);
+    EXPECT_EQ(loadKind(path_), io::ErrorKind::Malformed);
+}
+
+TEST_F(QuantSerializeTest, NonFiniteScaleRejected)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::QuantizedModel q = quant::quantizeModel(m, QuantMode::Int8);
+    auto scales = std::vector<float>(q.layers[1].wo.scales());
+    scales[0] = std::numeric_limits<float>::quiet_NaN();
+    q.layers[1].wo = tensor::QuantizedMatrix::fromParts(
+        q.layers[1].wo.rows(), q.layers[1].wo.cols(), QuantMode::Int8,
+        std::move(scales),
+        std::vector<std::int8_t>(q.layers[1].wo.payload()));
+    quant::saveQuantizedModel(q, path_);
+    EXPECT_EQ(loadKind(path_), io::ErrorKind::NonFinite);
+}
+
+TEST_F(QuantSerializeTest, ZeroScaleRejected)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::QuantizedModel q = quant::quantizeModel(m, QuantMode::Int8);
+    auto scales = std::vector<float>(q.layers[0].ui.scales());
+    scales[1] = 0.0f;
+    q.layers[0].ui = tensor::QuantizedMatrix::fromParts(
+        q.layers[0].ui.rows(), q.layers[0].ui.cols(), QuantMode::Int8,
+        std::move(scales),
+        std::vector<std::int8_t>(q.layers[0].ui.payload()));
+    quant::saveQuantizedModel(q, path_);
+    EXPECT_EQ(loadKind(path_), io::ErrorKind::Malformed);
+}
+
+TEST_F(QuantSerializeTest, TruncationAtEveryPlausibleLengthRejected)
+{
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::saveQuantizedModel(quant::quantizeModel(m, QuantMode::Int4),
+                              path_);
+    const std::uintmax_t full = std::filesystem::file_size(path_);
+    for (std::uintmax_t len = 0; len < full; len += 7) {
+        quant::saveQuantizedModel(
+            quant::quantizeModel(m, QuantMode::Int4), path_);
+        std::filesystem::resize_file(path_, len);
+        EXPECT_THROW((void)quant::loadQuantizedModel(path_),
+                     io::ArtifactError)
+            << "truncation to " << len << " bytes parsed";
+    }
+}
+
+TEST_F(QuantSerializeTest, EverySingleBitFlipRejected)
+{
+    // The container CRCs cover every byte (header and chunks alike), so
+    // no single-bit flip of a quantized artifact may load.
+    const nn::LstmModel m(tinyConfig(), 17);
+    quant::saveQuantizedModel(quant::quantizeModel(m, QuantMode::Int8),
+                              path_);
+    std::vector<char> full;
+    {
+        std::ifstream is(path_, std::ios::binary);
+        full.assign((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_FALSE(full.empty());
+    for (std::size_t byte = 0; byte < full.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::vector<char> mutated = full;
+            mutated[byte] =
+                static_cast<char>(mutated[byte] ^ (1u << bit));
+            {
+                std::ofstream os(path_,
+                                 std::ios::binary | std::ios::trunc);
+                os.write(mutated.data(),
+                         static_cast<std::streamsize>(mutated.size()));
+            }
+            EXPECT_THROW((void)quant::loadQuantizedModel(path_),
+                         io::ArtifactError)
+                << "bit " << bit << " of byte " << byte
+                << " flipped undetected";
+        }
+    }
+}
+
+} // namespace

@@ -166,19 +166,43 @@ TEST(Lowering, DrsFlowMatchesAlgorithm3)
 {
     Lowering low(kCfg);
     ExecutionPlan plan;
-    plan.kind = PlanKind::IntraCellHw;
+    plan.kind = PlanKind::IntraCellSw;
     plan.intra = {{0.5}};
     gpu::KernelTrace trace;
     low.lowerLayer(layer512(), plan, 0, trace);
 
-    // 1 input Sgemm + per cell: Sgemv(U_o), ew, DRS, Sgemv(U_fic, R), ew.
+    // Software path, 1 input Sgemm + per cell: Sgemv(U_o), ew, DRS
+    // scan, Sgemv(U_fic, R), ew.
     ASSERT_EQ(trace.size(), 1u + 5u * 10u);
     EXPECT_EQ(trace[1].klass, gpu::KernelClass::Sgemv);
     EXPECT_EQ(trace[2].klass, gpu::KernelClass::ElementWise);
     EXPECT_EQ(trace[3].klass, gpu::KernelClass::Drs);
     EXPECT_EQ(trace[4].klass, gpu::KernelClass::Sgemv);
     EXPECT_TRUE(trace[4].hasRowSkipArg);
+    EXPECT_FALSE(trace[4].divergenceFactor == 1.0);
     EXPECT_EQ(trace[5].klass, gpu::KernelClass::ElementWise);
+}
+
+TEST(Lowering, CrmFlowFusesTheScanIntoTheGateEpilogue)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;
+    plan.kind = PlanKind::IntraCellHw;
+    plan.intra = {{0.5}};
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    // With the CRM the relevance flags come out of the U_o epilogue and
+    // are compacted in the dispatch stage: no scan kernel, one ew.
+    ASSERT_EQ(trace.size(), 1u + 3u * 10u);
+    EXPECT_EQ(trace[1].klass, gpu::KernelClass::Sgemv);
+    EXPECT_EQ(trace[1].name, "Sgemv(U_o, h)+flags");
+    EXPECT_EQ(trace[2].klass, gpu::KernelClass::Sgemv);
+    EXPECT_TRUE(trace[2].hasRowSkipArg);
+    EXPECT_DOUBLE_EQ(trace[2].divergenceFactor, 1.0);
+    EXPECT_EQ(trace[3].klass, gpu::KernelClass::ElementWise);
+    for (const gpu::KernelDesc &k : trace)
+        EXPECT_NE(k.klass, gpu::KernelClass::Drs);
 }
 
 TEST(Lowering, CombinedFlowSplitsTheTissueGemm)
@@ -194,19 +218,22 @@ TEST(Lowering, CombinedFlowSplitsTheTissueGemm)
     gpu::KernelTrace trace;
     low.lowerLayer({512, 512, 10}, plan, 0, trace);
 
-    // input Sgemm + relevance + 2 tissues x (gather, Sgemm(U_o), ew,
-    // DRS, Sgemm(U_fic,R), ew).
-    ASSERT_EQ(trace.size(), 2u + 2u * 6u);
+    // input Sgemm + relevance + 2 tissues x (gather, Sgemm(U_o)+flags,
+    // Sgemm(U_fic,R), ew): Combined always dispatches through the CRM,
+    // so the scan rides the U_o epilogue and no Drs kernel launches.
+    ASSERT_EQ(trace.size(), 2u + 2u * 4u);
     const gpu::KernelDesc &uo = trace[3];
-    const gpu::KernelDesc &fic = trace[6];
-    EXPECT_EQ(uo.name, "Sgemm(U_o, H_t)");
+    const gpu::KernelDesc &fic = trace[4];
+    EXPECT_EQ(uo.name, "Sgemm(U_o, H_t)+flags");
     EXPECT_EQ(fic.name, "Sgemm(U_fic, H_t, R)");
     EXPECT_FALSE(uo.hasRowSkipArg);
     EXPECT_TRUE(fic.hasRowSkipArg);
     // U_o is a quarter of the united matrix's work.
     EXPECT_NEAR(uo.flops / (uo.flops + fic.flops / 0.5 * 1.0), 0.25,
                 0.1);
-    EXPECT_EQ(trace[5].klass, gpu::KernelClass::Drs);
+    EXPECT_EQ(trace[5].klass, gpu::KernelClass::ElementWise);
+    for (const gpu::KernelDesc &k : trace)
+        EXPECT_NE(k.klass, gpu::KernelClass::Drs);
 }
 
 TEST(Lowering, CombinedWeightTrafficBelowInterAlone)
@@ -266,6 +293,99 @@ TEST(Lowering, ZeroPruningPaysDivergenceAndCoalescing)
     const RunReport rz = ex.run(shape, zp);
     // Fig. 16: zero-pruning *degrades* performance on the GPU.
     EXPECT_LT(speedup(rb, rz), 1.0);
+}
+
+TEST(Lowering, QuantizedPlanShrinksWeightTraffic)
+{
+    NetworkExecutor ex(kCfg);
+    const NetworkShape shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan fp32;
+    ExecutionPlan q8;
+    q8.quantMode = quant::QuantMode::Int8;
+    ExecutionPlan q4;
+    q4.quantMode = quant::QuantMode::Int4;
+
+    const RunReport rf = ex.run(shape, fp32);
+    const RunReport r8 = ex.run(shape, q8);
+    const RunReport r4 = ex.run(shape, q4);
+
+    // 4 B -> 1 B weights plus a 4 B/row scale stream shrink the
+    // footprint just under 4x; *traffic* compresses a little more than
+    // that because the smaller block also caches better in L2.
+    const double c8 = rf.result.weightDramBytes / r8.result.weightDramBytes;
+    const double c4 = rf.result.weightDramBytes / r4.result.weightDramBytes;
+    EXPECT_GT(c8, 3.0);
+    EXPECT_LT(c8, 8.0);
+    EXPECT_GT(c4, c8);
+
+    // Dequant work is accounted only for quantized runs.
+    EXPECT_EQ(rf.result.quantWeightElems, 0.0);
+    EXPECT_GT(r8.result.quantWeightElems, 0.0);
+
+    // The memory-bound Sgemv phases get faster, never slower.
+    EXPECT_LT(r8.result.timeUs, rf.result.timeUs);
+}
+
+TEST(Lowering, QuantizedKernelsAreTagged)
+{
+    Lowering low(kCfg);
+    ExecutionPlan plan;
+    plan.quantMode = quant::QuantMode::Int8;
+    gpu::KernelTrace trace;
+    low.lowerLayer(layer512(), plan, 0, trace);
+
+    bool tagged = false;
+    for (const gpu::KernelDesc &k : trace)
+        tagged = tagged || k.name.find("[int8]") != std::string::npos;
+    EXPECT_TRUE(tagged);
+}
+
+TEST(Lowering, ZeroPruningIgnoresQuantMode)
+{
+    // The CSR comparator is defined at fp32 (DESIGN.md §12): stamping a
+    // quant mode on a ZeroPruning plan must not change its traffic.
+    NetworkExecutor ex(kCfg);
+    const NetworkShape shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan zp;
+    zp.kind = PlanKind::ZeroPruning;
+    zp.pruneFraction = 0.37;
+    ExecutionPlan zp_q8 = zp;
+    zp_q8.quantMode = quant::QuantMode::Int8;
+
+    const RunReport rz = ex.run(shape, zp);
+    const RunReport rq = ex.run(shape, zp_q8);
+    EXPECT_DOUBLE_EQ(rq.result.weightDramBytes, rz.result.weightDramBytes);
+    EXPECT_DOUBLE_EQ(rq.result.timeUs, rz.result.timeUs);
+    EXPECT_EQ(rq.result.quantWeightElems, 0.0);
+}
+
+TEST(Lowering, QuantComposesWithCombinedPlan)
+{
+    // INT8 on top of tissues + DRS keeps shrinking the weight stream:
+    // the composition must beat both standalone techniques (the Fig. 16
+    // extension's acceptance gate, here at the lowering level).
+    NetworkExecutor ex(kCfg);
+    const NetworkShape shape = NetworkShape::stacked(512, 512, 1, 20);
+
+    ExecutionPlan base;
+    ExecutionPlan q8;
+    q8.quantMode = quant::QuantMode::Int8;
+    ExecutionPlan comb = uniformInterPlan(1, 20, 5);
+    comb.kind = PlanKind::Combined;
+    comb.intra = {{0.5}};
+    ExecutionPlan comb_q8 = comb;
+    comb_q8.quantMode = quant::QuantMode::Int8;
+
+    const RunReport rb = ex.run(shape, base);
+    const RunReport r8 = ex.run(shape, q8);
+    const RunReport rc = ex.run(shape, comb);
+    const RunReport rcq = ex.run(shape, comb_q8);
+
+    EXPECT_LT(rcq.result.weightDramBytes, rc.result.weightDramBytes);
+    EXPECT_GT(speedup(rb, rcq), speedup(rb, rc));
+    EXPECT_GT(speedup(rb, rcq), speedup(rb, r8));
 }
 
 TEST(Lowering, SharedBytesPerMacCalibration)

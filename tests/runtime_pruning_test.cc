@@ -96,6 +96,88 @@ TEST(Pruning, ApplyZeroPruningOnModel)
     EXPECT_NEAR(static_cast<double>(zeros) / total, 0.37, 0.03);
 }
 
+nn::LstmModel
+smallModel(std::uint64_t seed)
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 16;
+    cfg.embedSize = 8;
+    cfg.hiddenSize = 12;
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return nn::LstmModel(cfg, seed);
+}
+
+TEST(Pruning, ApplyFractionZeroIsIdentity)
+{
+    nn::LstmModel model = smallModel(3);
+    const nn::LstmModel before = model;
+    const PruningResult res = applyZeroPruning(model, 0.0);
+    EXPECT_DOUBLE_EQ(res.threshold, 0.0);
+    EXPECT_DOUBLE_EQ(res.prunedFraction, 0.0);
+    EXPECT_DOUBLE_EQ(res.compressionRatio, 0.0);
+    // No survivors removed: dense 4 B vs CSR 6 B per element.
+    EXPECT_NEAR(res.csrStorageRatio, 4.0 / 6.0, 1e-12);
+    for (std::size_t l = 0; l < model.layers().size(); ++l)
+        EXPECT_EQ(model.layers()[l].uf, before.layers()[l].uf);
+}
+
+TEST(Pruning, ApplyFractionOnePrunesEverySurvivor)
+{
+    nn::LstmModel model = smallModel(3);
+    const PruningResult res = applyZeroPruning(model, 1.0);
+    EXPECT_DOUBLE_EQ(res.prunedFraction, 1.0);
+    EXPECT_DOUBLE_EQ(res.compressionRatio, 1.0);
+    // Zero survivors: the guarded degenerate answer, not a division
+    // by zero.
+    EXPECT_DOUBLE_EQ(res.csrStorageRatio, 0.0);
+    for (const nn::LstmLayerParams &p : model.layers()) {
+        for (const tensor::Matrix *u : {&p.uf, &p.ui, &p.uc, &p.uo})
+            for (std::size_t i = 0; i < u->size(); ++i)
+                EXPECT_EQ(u->data()[i], 0.0f);
+    }
+}
+
+TEST(Pruning, ApplyRejectsBadFraction)
+{
+    nn::LstmModel model = smallModel(3);
+    EXPECT_THROW(applyZeroPruning(model, -0.01), std::invalid_argument);
+    EXPECT_THROW(applyZeroPruning(model, 1.01), std::invalid_argument);
+}
+
+TEST(Pruning, AllZeroMatrixIsAFixedPoint)
+{
+    // An already-zero weight set has nothing below any data-derived
+    // threshold (strict comparison), so nothing is "pruned" and the
+    // stats stay finite.
+    nn::LstmModel model = smallModel(3);
+    for (nn::LstmLayerParams &p : model.layers()) {
+        for (tensor::Matrix *u : {&p.uf, &p.ui, &p.uc, &p.uo})
+            for (std::size_t i = 0; i < u->size(); ++i)
+                u->data()[i] = 0.0f;
+    }
+    const PruningResult res = applyZeroPruning(model, 0.37);
+    EXPECT_DOUBLE_EQ(res.threshold, 0.0);
+    EXPECT_DOUBLE_EQ(res.prunedFraction, 0.0);
+    EXPECT_TRUE(std::isfinite(res.csrStorageRatio));
+
+    // But fraction 1.0 still sweeps the zeros out as "pruned".
+    const PruningResult all = applyZeroPruning(model, 1.0);
+    EXPECT_DOUBLE_EQ(all.prunedFraction, 1.0);
+    EXPECT_DOUBLE_EQ(all.csrStorageRatio, 0.0);
+}
+
+TEST(Pruning, CsrStorageRatioReflectsSurvivors)
+{
+    nn::LstmModel model = smallModel(7);
+    const PruningResult res = applyZeroPruning(model, 0.37);
+    // dense bytes / (survivors * 1.5 * 4 B): survivors = (1 - f) * total.
+    EXPECT_NEAR(res.csrStorageRatio,
+                1.0 / (1.5 * (1.0 - res.prunedFraction)), 1e-9);
+    EXPECT_GT(res.csrStorageRatio, 1.0);  // 37% pruning beats CSR overhead
+}
+
 TEST(Pruning, ModelOutputsChangeButRemainFinite)
 {
     nn::ModelConfig cfg;

@@ -237,4 +237,142 @@ TEST_F(WarmRestartTest, TruncatedStateFileRejected)
                  io::ArtifactError);
 }
 
+TEST_F(WarmRestartTest, QuantModesSurviveSaveLoad)
+{
+    // v2 state: the ladder's third coordinate and the per-plan
+    // precision both round-trip.
+    serve::EngineWarmState state;
+    state.modelWeightsCrc = 0x1234u;
+    state.plan = runtime::PlanKind::Combined;
+    state.shape.layers.push_back({8, 8, 4});
+    state.ladder.push_back({0.0, 0.0, quant::QuantMode::Fp32});
+    state.ladder.push_back({0.1, 0.2, quant::QuantMode::Int8});
+    state.ladder.push_back({0.3, 0.4, quant::QuantMode::Int4});
+    for (const core::ThresholdSet &set : state.ladder) {
+        runtime::ExecutionPlan plan;
+        plan.kind = runtime::PlanKind::Combined;
+        plan.quantMode = set.quant;
+        plan.inter.push_back({});
+        plan.inter[0].tissueSizes = {2, 2};
+        plan.intra.push_back({0.5});
+        state.plans.push_back(plan);
+    }
+    serve::saveEngineState(state, path_);
+
+    const serve::EngineWarmState loaded =
+        serve::loadEngineState(path_);
+    EXPECT_EQ(loaded.ladder, state.ladder);
+    ASSERT_EQ(loaded.plans.size(), 3u);
+    EXPECT_EQ(loaded.plans[1].quantMode, quant::QuantMode::Int8);
+    EXPECT_EQ(loaded.plans[2].quantMode, quant::QuantMode::Int4);
+    EXPECT_EQ(loaded.plans, state.plans);
+}
+
+TEST_F(WarmRestartTest, VersionOneStateLoadsWithFp32Defaults)
+{
+    // Handcrafted v1 container (pre-quantization layout: two f64 per
+    // ladder rung, no per-plan precision). It must still load, with
+    // every quant field defaulting to Fp32.
+    io::ArtifactWriter w(io::kSchemaEngineState, 1);
+    io::ByteWriter &f =
+        w.chunk(io::fourcc('E', 'F', 'P', 'R'));
+    f.u32(0xBEEFu);
+    f.u32(static_cast<std::uint32_t>(runtime::PlanKind::InterCell));
+    f.f64(0.0);
+    io::ByteWriter &s = w.chunk(io::fourcc('E', 'S', 'H', 'P'));
+    s.u64(1);
+    s.u64(8);
+    s.u64(8);
+    s.u64(4);
+    io::ByteWriter &l = w.chunk(io::fourcc('E', 'L', 'A', 'D'));
+    l.u64(2);
+    l.f64(0.0);
+    l.f64(0.0);
+    l.f64(0.25);
+    l.f64(0.5);
+    for (std::size_t i = 0; i < 2; ++i) {
+        io::ByteWriter &p = w.chunk(io::indexedTag('E', 'P', i));
+        p.u32(static_cast<std::uint32_t>(runtime::PlanKind::InterCell));
+        p.f64(0.0);           // pruneFraction
+        p.u64(1);             // one inter layer
+        const std::vector<std::uint64_t> tissues = {2, 2};
+        p.u64Array(tissues);
+        p.u64(0);             // no intra layers
+    }
+    w.commit(path_);
+
+    const serve::EngineWarmState state =
+        serve::loadEngineState(path_);
+    EXPECT_EQ(state.modelWeightsCrc, 0xBEEFu);
+    ASSERT_EQ(state.ladder.size(), 2u);
+    EXPECT_DOUBLE_EQ(state.ladder[1].alphaInter, 0.25);
+    for (const core::ThresholdSet &set : state.ladder)
+        EXPECT_EQ(set.quant, quant::QuantMode::Fp32);
+    for (const runtime::ExecutionPlan &plan : state.plans)
+        EXPECT_EQ(plan.quantMode, quant::QuantMode::Fp32);
+}
+
+TEST_F(WarmRestartTest, FutureSchemaVersionRejected)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    // Re-wrap the valid payload under a version this build predates.
+    const serve::EngineWarmState good = serve::loadEngineState(path_);
+    io::ArtifactWriter w(io::kSchemaEngineState, 3);
+    io::ByteWriter &f = w.chunk(io::fourcc('E', 'F', 'P', 'R'));
+    f.u32(good.modelWeightsCrc);
+    f.u32(static_cast<std::uint32_t>(good.plan));
+    f.f64(good.pruneFraction);
+    w.commit(path_);
+    try {
+        (void)serve::loadEngineState(path_);
+        FAIL() << "future schema version accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::BadVersion);
+    }
+}
+
+TEST_F(WarmRestartTest, UnknownQuantModeRejected)
+{
+    serve::EngineWarmState state;
+    state.modelWeightsCrc = 1;
+    state.plan = runtime::PlanKind::Baseline;
+    state.shape.layers.push_back({8, 8, 4});
+    state.ladder.push_back({0.0, 0.0, quant::QuantMode::Fp32});
+    state.plans.push_back({});
+    serve::saveEngineState(state, path_);
+
+    // Rewrite with an out-of-range mode in the ladder rung.
+    io::ArtifactWriter w(io::kSchemaEngineState, 2);
+    io::ByteWriter &f = w.chunk(io::fourcc('E', 'F', 'P', 'R'));
+    f.u32(1);
+    f.u32(static_cast<std::uint32_t>(runtime::PlanKind::Baseline));
+    f.f64(0.0);
+    io::ByteWriter &s = w.chunk(io::fourcc('E', 'S', 'H', 'P'));
+    s.u64(1);
+    s.u64(8);
+    s.u64(8);
+    s.u64(4);
+    io::ByteWriter &l = w.chunk(io::fourcc('E', 'L', 'A', 'D'));
+    l.u64(1);
+    l.f64(0.0);
+    l.f64(0.0);
+    l.u32(99);  // no such QuantMode
+    io::ByteWriter &p = w.chunk(io::indexedTag('E', 'P', 0));
+    p.u32(static_cast<std::uint32_t>(runtime::PlanKind::Baseline));
+    p.u32(0);
+    p.f64(0.0);
+    p.u64(0);
+    p.u64(0);
+    w.commit(path_);
+    try {
+        (void)serve::loadEngineState(path_);
+        FAIL() << "unknown quant mode accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::Malformed);
+    }
+}
+
 } // namespace

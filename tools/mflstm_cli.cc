@@ -14,6 +14,9 @@
  * Common options:
  *   --plan baseline|inter|intra-sw|intra-hw|combined|zero-pruning
  *   --set N            threshold ladder rung (0..10, default AO)
+ *   --quant MODE       fp32|int8|int4 weight precision (default fp32;
+ *                      ignored by --plan zero-pruning, whose CSR
+ *                      comparator is defined on fp32 weights)
  *   --gpu tx1|tx2      target GPU model (default tx1)
  *   --csv              emit one CSV row instead of the table
  *   --trace-csv FILE   dump the lowered kernel trace as CSV
@@ -71,6 +74,7 @@
 #include "io/fsck.hh"
 #include "nn/serialize.hh"
 #include "obs/observer.hh"
+#include "quant/serialize.hh"
 #include "runtime/report.hh"
 #include "serve/engine.hh"
 #include "serve/persist.hh"
@@ -86,6 +90,7 @@ struct Options
     std::string app = "IMDB";
     runtime::PlanKind plan = runtime::PlanKind::Combined;
     std::optional<std::size_t> set;
+    quant::QuantMode quantMode = quant::QuantMode::Fp32;
     std::string gpuName = "tx1";
     bool csv = false;
     std::string traceCsv;
@@ -130,6 +135,8 @@ printUsage(std::FILE *to)
         "  --plan KIND        baseline|inter|intra-sw|intra-hw|"
         "combined|zero-pruning\n"
         "  --set N            threshold ladder rung (default: AO)\n"
+        "  --quant MODE       fp32|int8|int4 weight precision "
+        "(default fp32)\n"
         "  --gpu tx1|tx2      target GPU model (default tx1)\n"
         "  --csv              emit one CSV row instead of the table\n"
         "  --trace-csv FILE   dump the lowered kernel trace as CSV\n"
@@ -253,7 +260,9 @@ cmdRun(const Options &opt)
         core::MemoryFriendlyLstm::Config{
             gpuFor(opt.gpuName), app.spec.timingShape(), obs});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
-    const auto ladder = mf->calibration().ladder();
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
 
     // Pick the rung: explicit --set, otherwise this plan's AO.
     std::size_t rung;
@@ -274,7 +283,8 @@ cmdRun(const Options &opt)
     probe.kind = opt.plan;
     mf->setThresholds(
         {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
-         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0});
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0,
+         opt.quantMode});
     double acc = 0.0;
     {
         auto ph = obs::Observer::phase(obs, "accuracy-eval");
@@ -306,8 +316,9 @@ cmdRun(const Options &opt)
         return 0;
     }
 
-    std::printf("%s (threshold set %zu, GPU %s)\n", opt.app.c_str(),
-                rung, mf->executor().config().name.c_str());
+    std::printf("%s (threshold set %zu, weights %s, GPU %s)\n",
+                opt.app.c_str(), rung, quant::toString(opt.quantMode),
+                mf->executor().config().name.c_str());
     std::printf("accuracy %.1f%% (baseline %.1f%%)\n\n", 100.0 * acc,
                 100.0 * app.baselineAccuracy);
     std::printf("%s\n",
@@ -333,7 +344,9 @@ cmdSweep(const Options &opt)
         core::MemoryFriendlyLstm::Config{
             gpuFor(opt.gpuName), app.spec.timingShape(), obs});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
-    const auto ladder = mf->calibration().ladder();
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
     const SchemeCurve curve =
         evaluateScheme(*mf, app, opt.plan, ladder);
 
@@ -412,6 +425,9 @@ deepVerifyArtifact(const std::string &path, std::uint32_t schema)
         break;
     case io::kSchemaEngineState:
         serve::verifyEngineStateFile(path);
+        break;
+    case io::kSchemaQuantModel:
+        quant::verifyQuantizedModelFile(path);
         break;
     default:
         throw io::ArtifactError(io::ErrorKind::BadSchema,
@@ -516,7 +532,9 @@ cmdServe(const Options &opt)
     }
     if (!warmCalibration)
         mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
-    const auto ladder = mf->calibration().ladder();
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
 
     // A mid-ladder rung keeps startup cheap (no AO sweep); override
     // with --set.
@@ -531,7 +549,8 @@ cmdServe(const Options &opt)
     probe.kind = opt.plan;
     mf->setThresholds(
         {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
-         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0});
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0,
+         opt.quantMode});
     // Populate the division/skip statistics the planner projects.
     evalAccuracy(*mf, app);
 
@@ -754,6 +773,16 @@ main(int argc, char **argv)
                 return usage();
             }
             opt.set = static_cast<std::size_t>(n);
+        } else if (arg == "--quant") {
+            const char *v = next();
+            const auto mode =
+                v ? quant::parseQuantMode(v) : std::nullopt;
+            if (!mode) {
+                std::fprintf(stderr, "bad --quant value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+            opt.quantMode = *mode;
         } else if (arg == "--gpu") {
             const char *v = next();
             if (!v || (std::strcmp(v, "tx1") != 0 &&
