@@ -32,6 +32,9 @@ main()
                 100.0 * app.baselineAccuracy);
     rule('=');
 
+    BenchReport rep("ablation");
+    rep.config("app", "IMDB");
+
     // ---- 1. DRS state policy ------------------------------------------
     const SchemeCurve hw = evaluateScheme(
         *mf, app, runtime::PlanKind::IntraCellHw, ladder);
@@ -140,5 +143,17 @@ main()
                 hw_out.speedup,
                 100.0 * (hw_out.speedup / sw_out.speedup - 1.0));
     rule();
+
+    rep.metric("drs.drop_recurrent_loss_pct",
+               100.0 * (app.baselineAccuracy - acc_drop));
+    rep.metric("drs.zero_state_loss_pct",
+               100.0 * (app.baselineAccuracy - acc_zero));
+    rep.metric("link.predicted_accuracy_pct", 100.0 * acc_pred);
+    rep.metric("link.naive_accuracy_pct", 100.0 * acc_naive);
+    rep.metric("tissue.formation_ms", time_plan(formed) / 1e3);
+    rep.metric("tissue.aligned_ms", time_plan(aligned) / 1e3);
+    rep.metric("crm.software_speedup", sw_out.speedup);
+    rep.metric("crm.hardware_speedup", hw_out.speedup);
+    rep.write();
     return 0;
 }

@@ -33,6 +33,8 @@ main()
                 "cycle", "ratio", "analytic", "cycle", "ratio");
     rule();
 
+    BenchReport rep("cycle_validation");
+    rep.config("gpu", cfg.name);
     for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
         const runtime::LstmLayerShape layer{
             spec.hiddenSize, spec.hiddenSize, spec.length};
@@ -58,8 +60,13 @@ main()
                     a2.cycles / cfg.cyclesPerUs(),
                     c2.cycles / cfg.cyclesPerUs(),
                     c2.cycles / a2.cycles);
+        rep.metric(spec.name + ".sgemv_cycle_ratio",
+                   c1.cycles / a1.cycles);
+        rep.metric(spec.name + ".tissue_cycle_ratio",
+                   c2.cycles / a2.cycles);
     }
     rule();
+    rep.write();
     std::printf("Both models must agree on the bottleneck; ratios near "
                 "1.0 validate the\nroofline timing used throughout the "
                 "evaluation. The cycle model's stall\nattribution is "

@@ -36,6 +36,9 @@ main()
                 "Sgemv%", "reload-x");
     rule();
 
+    BenchReport rep("fig04_stalls");
+    rep.config("gpu", cfg.name);
+
     runtime::NetworkExecutor ex(cfg);
     for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
         runtime::ExecutionPlan base;
@@ -67,8 +70,14 @@ main()
                     100.0 * stalls.other / tot,
                     100.0 * r.result.classShare(gpu::KernelClass::Sgemv),
                     sgemv_dram / u_bytes);
+        rep.metric(spec.name + ".offchip_stall_pct",
+                   100.0 * stalls.offChipMemory / tot);
+        rep.metric(spec.name + ".sgemv_runtime_share_pct",
+                   100.0 * r.result.classShare(gpu::KernelClass::Sgemv));
+        rep.metric(spec.name + ".weight_reload_x", sgemv_dram / u_bytes);
     }
     rule();
+    rep.write();
     std::printf("Paper shape: off-chip memory access is the major stall "
                 "contributor; Sgemv\ndominates (>90%%) the baseline "
                 "runtime; weights are re-streamed once per cell\n(the "

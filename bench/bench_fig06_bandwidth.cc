@@ -25,6 +25,8 @@ main()
     rule();
 
     const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    BenchReport rep("fig06_bandwidth");
+    rep.config("gpu", cfg.name);
     runtime::NetworkExecutor ex(cfg);
     for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
         runtime::ExecutionPlan base;
@@ -43,8 +45,13 @@ main()
         }
         std::printf("%-6s %17.1f%% %17.1f%%\n", spec.name.c_str(),
                     100.0 * dram_w / time, 100.0 * shared_w / time);
+        rep.metric(spec.name + ".offchip_util_pct",
+                   100.0 * dram_w / time);
+        rep.metric(spec.name + ".onchip_util_pct",
+                   100.0 * shared_w / time);
     }
     rule();
+    rep.write();
     std::printf("Paper shape: off-chip bandwidth is almost fully "
                 "utilised; on-chip bandwidth\nis lightly consumed.\n");
     return 0;

@@ -26,6 +26,9 @@ main()
     runtime::NetworkExecutor ex(gpu::GpuConfig::tegraX1());
     constexpr std::size_t kMaxK = 8;
 
+    BenchReport rep("fig09_tissue_size");
+    rep.config("max_tissue_size", std::to_string(kMaxK));
+
     std::printf("%-6s", "App");
     for (std::size_t k = 1; k <= kMaxK; ++k)
         std::printf("     k=%zu", k);
@@ -48,8 +51,14 @@ main()
         for (double u : res.sharedUtilization)
             std::printf(" %6.0f%%", 100.0 * u);
         std::printf("\n");
+
+        rep.metric(spec.name + ".mts",
+                   static_cast<double>(res.mts));
+        rep.metric(spec.name + ".mts_speedup",
+                   res.timesUs[0] / res.timesUs[res.mts - 1]);
     }
     rule();
+    rep.write();
     std::printf("Paper shape: performance rises with the tissue size, "
                 "peaks at MTS (6 for the\nsmall-hidden BABI/MR configs, "
                 "5 otherwise) where shared-memory utilisation\napproaches "

@@ -11,19 +11,18 @@
  *  - INT8 weight quantization (DESIGN.md §12), alone and composed with
  *    the combined scheme, rides along as two extra plans;
  *  - the full result set is also written to BENCH_overall.json in the
- *    working directory (per-app rows plus per-plan geomeans) so CI can
- *    archive and diff the numbers;
+ *    working directory (per-app rows plus per-plan geomeans, in the
+ *    shared BenchReport schema) so CI can archive and diff the
+ *    numbers with tools/bench_diff;
  *  - positional arguments filter the Table II applications by name or
  *    abbreviation (e.g. `bench_fig14_overall MR` for a quick slice).
  */
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 
 #include "harness.hh"
-#include "obs/json.hh"
 
 namespace {
 
@@ -38,54 +37,38 @@ struct PlanResult
     double accuracyLossPct = 0.0;
 };
 
-/// plan key (stable JSON field names) -> per-app results, app order
+/// plan key (stable metric path components) -> per-app results, app order
 using ResultTable =
     std::map<std::string, std::vector<PlanResult>>;
 
 void
-writeJson(const std::string &path, const std::vector<std::string> &apps,
-          const ResultTable &table)
+writeReport(const std::vector<std::string> &apps,
+            const ResultTable &table)
 {
-    std::ofstream os(path);
-    if (!os) {
-        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
-        return;
-    }
-    obs::JsonWriter w(os);
-    w.beginObject();
-    w.key("figure").value("fig14_overall");
-    w.key("apps").beginArray();
-    for (std::size_t i = 0; i < apps.size(); ++i) {
-        w.beginObject();
-        w.key("name").value(apps[i]);
-        w.key("plans").beginObject();
-        for (const auto &[plan, rows] : table) {
-            w.key(plan).beginObject();
-            w.key("speedup").value(rows[i].speedup);
-            w.key("energy_saving_pct").value(rows[i].energySavingPct);
-            w.key("accuracy_loss_pct").value(rows[i].accuracyLossPct);
-            w.endObject();
-        }
-        w.endObject();
-        w.endObject();
-    }
-    w.endArray();
-    w.key("geomean").beginObject();
+    // The filename stays BENCH_overall.json (CI archives that path).
+    BenchReport rep("overall");
+    std::string app_list;
+    for (const std::string &a : apps)
+        app_list += (app_list.empty() ? "" : ",") + a;
+    rep.config("apps", app_list);
+    rep.config("accuracy_budget_pct", "2");
+
     for (const auto &[plan, rows] : table) {
         std::vector<double> sp, en;
-        for (const PlanResult &r : rows) {
-            sp.push_back(r.speedup);
-            en.push_back(r.energySavingPct);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            rep.metric(apps[i] + "." + plan + ".speedup",
+                       rows[i].speedup);
+            rep.metric(apps[i] + "." + plan + ".energy_saving_pct",
+                       rows[i].energySavingPct);
+            rep.metric(apps[i] + "." + plan + ".accuracy_loss_pct",
+                       rows[i].accuracyLossPct);
+            sp.push_back(rows[i].speedup);
+            en.push_back(rows[i].energySavingPct);
         }
-        w.key(plan).beginObject();
-        w.key("speedup").value(geomean(sp));
-        w.key("mean_energy_saving_pct").value(mean(en));
-        w.endObject();
+        rep.metric("geomean." + plan + ".speedup", geomean(sp));
+        rep.metric("mean." + plan + ".energy_saving_pct", mean(en));
     }
-    w.endObject();
-    w.endObject();
-    std::fprintf(stderr, "machine-readable results written to %s\n",
-                 path.c_str());
+    rep.write();
 }
 
 } // anonymous namespace
@@ -234,6 +217,6 @@ main(int argc, char **argv)
                 "at 2%% loss. Expected shape: combined > each alone; "
                 "PTB (longest\nlayer, largest weights) benefits most.\n");
 
-    writeJson("BENCH_overall.json", app_names, table);
+    writeReport(app_names, table);
     return 0;
 }

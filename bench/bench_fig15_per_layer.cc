@@ -23,6 +23,7 @@ main()
                 "speedup", "energy", "break-rate", "sub-layers");
     rule();
 
+    BenchReport rep("fig15_per_layer");
     for (const AppContext &app : makeAllApps()) {
         if (app.spec.numLayers < 2)
             continue;  // the figure only shows multi-layer apps
@@ -57,9 +58,15 @@ main()
                         runtime::speedup(rb, ro),
                         runtime::energySavingPct(rb, ro),
                         st.breakRate(), st.avgSubLayers());
+            const std::string stem = app.spec.name + ".layer" +
+                                     std::to_string(l + 1);
+            rep.metric(stem + ".speedup", runtime::speedup(rb, ro));
+            rep.metric(stem + ".energy_saving_pct",
+                       runtime::energySavingPct(rb, ro));
         }
         rule();
     }
+    rep.write();
     std::printf("Paper shape: layers with more distinct context links "
                 "divide into more\nsub-layers and gain more; which "
                 "layers those are depends on where the trained\nmodel "

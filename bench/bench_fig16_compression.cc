@@ -52,6 +52,9 @@ main()
     };
     std::vector<QuantRow> qrows;
 
+    BenchReport rep("fig16_compression");
+    rep.config("prune_fraction", "0.37");
+
     for (const AppContext &app : makeAllApps()) {
         auto mf = makeCalibrated(app);
         const auto ladder = mf->calibration().ladder();
@@ -94,6 +97,12 @@ main()
                     zp.speedup, zp.energySavingPct, 100.0 * drs_compr,
                     sw.speedup, sw.energySavingPct, 100.0 * drs_compr,
                     hw.speedup, hw.energySavingPct);
+
+        rep.metric(app.spec.name + ".zero_pruning.speedup", zp.speedup);
+        rep.metric(app.spec.name + ".software_drs.speedup", sw.speedup);
+        rep.metric(app.spec.name + ".drs_crm.speedup", hw.speedup);
+        rep.metric(app.spec.name + ".drs.compression_pct",
+                   100.0 * drs_compr);
 
         c_zp.push_back(pr.compressionRatio);
         s_zp.push_back(zp.speedup);
@@ -142,6 +151,10 @@ main()
                      cmp_curve.points[cmp_ao].accuracy;
         qr.beatsBoth =
             qr.cmpSpeed > qr.q8Speed && qr.cmpSpeed > qr.drsSpeed;
+        rep.metric(app.spec.name + ".int8.speedup", qr.q8Speed);
+        rep.metric(app.spec.name + ".int8.weight_compression_x",
+                   qr.q8Compr);
+        rep.metric(app.spec.name + ".int8_drs_crm.speedup", qr.cmpSpeed);
         qrows.push_back(qr);
     }
     rule();
@@ -199,5 +212,12 @@ main()
                 mean(c_q8),
                 all_beat ? "every application"
                          : "SOME BUT NOT ALL applications");
+
+    rep.metric("geomean.zero_pruning.speedup", geomean(s_zp));
+    rep.metric("geomean.software_drs.speedup", geomean(s_sw));
+    rep.metric("geomean.drs_crm.speedup", geomean(s_hw));
+    rep.metric("geomean.int8.speedup", geomean(s_q8));
+    rep.metric("geomean.int8_drs_crm.speedup", geomean(s_cmp));
+    rep.write();
     return all_beat ? 0 : 1;
 }

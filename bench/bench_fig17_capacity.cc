@@ -16,7 +16,8 @@ using namespace mflstm;
 using namespace mflstm::bench;
 
 void
-sweepConfig(workloads::BenchmarkSpec spec, const char *tag)
+sweepConfig(workloads::BenchmarkSpec spec, const char *tag,
+            BenchReport &rep, const std::string &key)
 {
     const AppContext app = makeApp(spec);
     auto mf = makeCalibrated(app);
@@ -31,6 +32,11 @@ sweepConfig(workloads::BenchmarkSpec spec, const char *tag)
                              curve.points[i].accuracy));
     }
     std::printf("\n");
+
+    const core::OperatingPoint &last = curve.points.back();
+    rep.metric(key + ".final_speedup", last.speedup);
+    rep.metric(key + ".final_loss_pct",
+               100.0 * (app.baselineAccuracy - last.accuracy));
 }
 
 } // anonymous namespace
@@ -45,6 +51,8 @@ main()
 
     const workloads::BenchmarkSpec base =
         workloads::benchmarkByName("BABI");
+    mflstm::bench::BenchReport rep("fig17_capacity");
+    rep.config("app", "BABI");
 
     // The accuracy model scales with the capacity under study, as the
     // paper's do: larger hidden sizes carry more redundancy and tolerate
@@ -58,7 +66,8 @@ main()
         spec.modelHidden = model_hiddens[i];
         char tag[32];
         std::snprintf(tag, sizeof(tag), "H=%zu", hiddens[i]);
-        sweepConfig(spec, tag);
+        sweepConfig(spec, tag, rep,
+                    "BABI.H" + std::to_string(hiddens[i]));
     }
 
     std::printf("\n(b) input length (hidden size %zu)\n", base.hiddenSize);
@@ -70,10 +79,12 @@ main()
         spec.modelLength = model_lengths[i];
         char tag[32];
         std::snprintf(tag, sizeof(tag), "L=%zu", lengths[i]);
-        sweepConfig(spec, tag);
+        sweepConfig(spec, tag, rep,
+                    "BABI.L" + std::to_string(lengths[i]));
     }
 
     rule();
+    rep.write();
     std::printf("Paper shape: at the same accuracy requirement, larger "
                 "hidden sizes and longer\ninputs gain more speedup; at "
                 "small losses (<5%%) the capacity impact is mild.\n");

@@ -23,6 +23,7 @@ main()
                 "BPA", "UO");
     rule();
 
+    BenchReport rep("fig18_user_study");
     std::vector<double> base_s, ao_s, bpa_s, uo_s;
     for (const AppContext &app : makeAllApps()) {
         auto mf = makeCalibrated(app);
@@ -44,6 +45,15 @@ main()
                     res.score(study::Scheme::Bpa),
                     res.score(study::Scheme::Uo));
 
+        rep.metric(app.spec.name + ".baseline_score",
+                   res.score(study::Scheme::Baseline));
+        rep.metric(app.spec.name + ".ao_score",
+                   res.score(study::Scheme::Ao));
+        rep.metric(app.spec.name + ".bpa_score",
+                   res.score(study::Scheme::Bpa));
+        rep.metric(app.spec.name + ".uo_score",
+                   res.score(study::Scheme::Uo));
+
         base_s.push_back(res.score(study::Scheme::Baseline));
         ao_s.push_back(res.score(study::Scheme::Ao));
         bpa_s.push_back(res.score(study::Scheme::Bpa));
@@ -53,6 +63,11 @@ main()
     std::printf("%-6s %10.2f %10.2f %10.2f %10.2f\n", "mean",
                 mean(base_s), mean(ao_s), mean(bpa_s), mean(uo_s));
     rule();
+    rep.metric("mean.baseline_score", mean(base_s));
+    rep.metric("mean.ao_score", mean(ao_s));
+    rep.metric("mean.bpa_score", mean(bpa_s));
+    rep.metric("mean.uo_score", mean(uo_s));
+    rep.write();
     std::printf("Paper shape: AO > Baseline (faster, imperceptible "
                 "loss); BPA loses users to its\naccuracy cost; UO, tuned "
                 "per user, scores best.\n");

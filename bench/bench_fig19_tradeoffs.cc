@@ -21,6 +21,7 @@ main()
                 "B = BPA set)\n");
     rule('=');
 
+    BenchReport rep("fig19_tradeoffs");
     for (const AppContext &app : makeAllApps()) {
         auto mf = makeCalibrated(app);
         const auto ladder = mf->calibration().ladder();
@@ -30,6 +31,13 @@ main()
         const std::size_t ao =
             core::selectAo(curve.points, app.baselineAccuracy, 2.0);
         const std::size_t bpa = core::selectBpa(curve.points);
+
+        rep.metric(app.spec.name + ".ao_set", static_cast<double>(ao));
+        rep.metric(app.spec.name + ".ao_speedup",
+                   curve.points[ao].speedup);
+        rep.metric(app.spec.name + ".bpa_set", static_cast<double>(bpa));
+        rep.metric(app.spec.name + ".bpa_speedup",
+                   curve.points[bpa].speedup);
 
         std::printf("%s (baseline accuracy %.1f%%)\n",
                     app.spec.name.c_str(),
@@ -51,5 +59,6 @@ main()
     std::printf("Paper shape: higher threshold sets trade accuracy for "
                 "speedup; AO sits at the\nlast <=2%%-loss set, BPA at "
                 "the Speedup x Accuracy maximum.\n");
+    rep.write();
     return 0;
 }

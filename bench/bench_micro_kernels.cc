@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/approx.hh"
+#include "harness.hh"
 #include "nn/lstm.hh"
 #include "tensor/ops.hh"
 #include "tensor/rng.hh"
@@ -135,6 +136,44 @@ BM_DrsCellForward(benchmark::State &state)
 }
 BENCHMARK(BM_DrsCellForward)->Arg(64)->Arg(128)->Arg(256);
 
+/**
+ * Console reporter that also captures every per-iteration run into the
+ * shared BenchReport, so this binary emits BENCH_micro_kernels.json
+ * under the same schema as the figure benches. Wall-clock numbers are
+ * machine-dependent — the report is for archival/trend plots, not for
+ * the CI regression gate (which diffs the simulated benches only).
+ */
+class RecordingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit RecordingReporter(bench::BenchReport &rep) : rep_(rep) {}
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            rep_.metric(r.benchmark_name() + ".real_time_ns",
+                        r.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::BenchReport &rep_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    bench::BenchReport rep("micro_kernels");
+    RecordingReporter reporter(rep);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    rep.write();
+    return 0;
+}

@@ -31,6 +31,8 @@ main()
                 "power", "perf", "power", "perf", "power");
     rule();
 
+    BenchReport rep("overheads");
+    rep.config("gpu", cfg.name);
     std::vector<double> ip, iw, dp, dw, cp, cw;
 
     for (const AppContext &app : makeAllApps()) {
@@ -99,6 +101,13 @@ main()
         dw.push_back(intra_power);
         cp.push_back(crm_perf);
         cw.push_back(crm_power);
+
+        rep.metric(app.spec.name + ".inter.perf_overhead_pct",
+                   inter_perf);
+        rep.metric(app.spec.name + ".intra.perf_overhead_pct",
+                   intra_perf);
+        rep.metric(app.spec.name + ".crm.perf_overhead_pct", crm_perf);
+        rep.metric(app.spec.name + ".crm.power_overhead_pct", crm_power);
     }
     rule();
     std::printf("%-6s | %6.2f%% %6.2f%% | %6.2f%% %6.2f%% | "
@@ -112,5 +121,9 @@ main()
     std::printf("Paper: inter 2.23%% perf / 1.65%% power; intra 3.39%% / "
                 "3.21%%; CRM 1.47%% / <1%%.\nExpected shape: all "
                 "overheads are single-digit percentages.\n");
+    rep.metric("mean.inter.perf_overhead_pct", mean(ip));
+    rep.metric("mean.intra.perf_overhead_pct", mean(dp));
+    rep.metric("mean.crm.perf_overhead_pct", mean(cp));
+    rep.write();
     return 0;
 }

@@ -23,8 +23,11 @@ main()
                 "base acc");
     rule();
 
+    BenchReport rep("table2_benchmarks");
     for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
         const AppContext app = makeApp(spec);
+        rep.metric(spec.name + ".baseline_accuracy_pct",
+                   100.0 * app.baselineAccuracy);
         const char *family = "";
         switch (spec.family) {
           case workloads::TaskFamily::Sentiment:
@@ -52,5 +55,6 @@ main()
     std::printf("Accuracy models are trained at reduced hidden size "
                 "(DESIGN.md sec.2); the\nfull-size configurations above "
                 "drive the GPU timing simulation.\n");
+    rep.write();
     return 0;
 }

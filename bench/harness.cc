@@ -9,9 +9,62 @@
 #include <filesystem>
 
 #include "nn/serialize.hh"
+#include "obs/json.hh"
 
 namespace mflstm {
 namespace bench {
+
+void
+BenchReport::config(const std::string &key, const std::string &value)
+{
+    config_[key] = value;
+}
+
+void
+BenchReport::metric(const std::string &name, double value)
+{
+    metrics_[name] = value;
+}
+
+std::string
+BenchReport::path() const
+{
+    return "BENCH_" + name_ + ".json";
+}
+
+bool
+BenchReport::write() const
+{
+    const std::string file = path();
+    std::ofstream os(file);
+    if (!os) {
+        std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
+        return false;
+    }
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(kSchema);
+    w.key("version").value(kVersion);
+    w.key("name").value(name_);
+    w.key("config").beginObject();
+    for (const auto &[k, v] : config_)
+        w.key(k).value(v);
+    w.endObject();
+    w.key("metrics").beginObject();
+    for (const auto &[k, v] : metrics_)
+        w.key(k).value(v);
+    w.endObject();
+    w.endObject();
+    os << '\n';
+    if (!os) {
+        std::fprintf(stderr, "warning: short write to %s\n",
+                     file.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "machine-readable results written to %s\n",
+                 file.c_str());
+    return true;
+}
 
 namespace {
 

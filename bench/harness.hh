@@ -10,6 +10,7 @@
 #ifndef MFLSTM_BENCH_HARNESS_HH
 #define MFLSTM_BENCH_HARNESS_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +22,50 @@
 
 namespace mflstm {
 namespace bench {
+
+/**
+ * Machine-readable results of one bench binary, written as
+ * `BENCH_<name>.json` in the working directory under the one shared
+ * schema every bench emits (and `tools/bench_diff` consumes):
+ *
+ *   { "schema": "mflstm.bench", "version": 1, "name": "...",
+ *     "config": { "<key>": "<string>", ... },
+ *     "metrics": { "<metric>": <number>, ... } }
+ *
+ * Metric names are hierarchical dotted paths ("IMDB.combined.speedup",
+ * "geomean.inter.speedup") so diffs group naturally; config records
+ * the knobs that make two runs comparable (GPU, app filter, sizes).
+ * Keys are kept in sorted order, so byte-identical inputs produce
+ * byte-identical reports (the determinism `bench_diff` relies on).
+ */
+class BenchReport
+{
+  public:
+    static constexpr const char *kSchema = "mflstm.bench";
+    static constexpr int kVersion = 1;
+
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    void config(const std::string &key, const std::string &value);
+    void metric(const std::string &name, double value);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &metrics() const
+    {
+        return metrics_;
+    }
+
+    /** `BENCH_<name>.json` (relative, next to the printed tables). */
+    std::string path() const;
+
+    /** Write the report; warns on stderr and returns false on I/O error. */
+    bool write() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, std::string> config_;
+    std::map<std::string, double> metrics_;
+};
 
 /**
  * Process-wide observability sink shared by every facade the harness

@@ -23,5 +23,19 @@ toString(KernelClass k)
     return "Unknown";
 }
 
+const char *
+toString(WeightStream w)
+{
+    switch (w) {
+      case WeightStream::None:
+        return "none";
+      case WeightStream::W:
+        return "W";
+      case WeightStream::U:
+        return "U";
+    }
+    return "unknown";
+}
+
 } // namespace gpu
 } // namespace mflstm

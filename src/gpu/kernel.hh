@@ -29,6 +29,15 @@ enum class KernelClass {
 
 const char *toString(KernelClass k);
 
+/** Which weight matrix a kernel streams (attribution axis). */
+enum class WeightStream : std::uint8_t {
+    None,  ///< kernel streams no weight matrix
+    W,     ///< input projection W_{f,i,c,o}
+    U,     ///< recurrent U_{f,i,c,o}
+};
+
+const char *toString(WeightStream w);
+
 /** One GPU kernel launch, in aggregate-work form. */
 struct KernelDesc
 {
@@ -59,6 +68,21 @@ struct KernelDesc
      * of the DRAM bytes quantization saves.
      */
     double quantWeightElems = 0.0;
+
+    // --- Traffic attribution (DESIGN.md §13) ------------------------------
+    // Named sub-streams of dram{Read,Write}Bytes. The ledger charges the
+    // remainder to activations, so each must stay a subset of the total:
+    // the conservation tests reject any lowering change that breaks this.
+    /// which matrix dramWeightBytes belongs to
+    WeightStream weightStream = WeightStream::None;
+    /// per-row fp32 scale stream of a quantized matrix: the scale-
+    /// stream share *inside* dramWeightBytes (which keeps its existing
+    /// codes-plus-scales meaning for the serve amortisation report)
+    double dramScaleBytes = 0.0;
+    /// CRM relevance-flag traffic (fused flag writes / flag reads)
+    double dramCrmMetaBytes = 0.0;
+    /// L2-capacity spill traffic (element-wise state round trips)
+    double dramSpillBytes = 0.0;
 
     // --- Behaviour --------------------------------------------------------
     unsigned syncsPerCta = 0;

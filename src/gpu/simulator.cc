@@ -26,8 +26,8 @@ TraceResult::classShare(KernelClass k) const
 }
 
 Simulator::Simulator(const GpuConfig &cfg, bool crm_present,
-                     obs::Observer *obs)
-    : cfg_(cfg), gmu_(cfg_, crm_present), obs_(obs)
+                     obs::Observer *obs, obs::TrafficLedger *ledger)
+    : cfg_(cfg), gmu_(cfg_, crm_present), obs_(obs), ledger_(ledger)
 {
     if (obs_) {
         gmu_.setMetrics(&obs_->metrics());
@@ -147,6 +147,38 @@ Simulator::runTrace(const KernelTrace &trace)
 
         if (obs_)
             recordKernel(desc, t, t.crmCycles > 0.0);
+        if (ledger_) {
+            // Sub-streams live inside dram{Read,Write}Bytes before the
+            // coalescing inflation; scale them by the same factor so the
+            // sample decomposes t.dramBytes in one unit.
+            obs::TrafficSample s;
+            s.layer = desc.layer;
+            switch (desc.weightStream) {
+              case WeightStream::W:
+                s.matrix = obs::MatrixStream::W;
+                break;
+              case WeightStream::U:
+                s.matrix = obs::MatrixStream::U;
+                break;
+              case WeightStream::None:
+                s.matrix = obs::MatrixStream::None;
+                break;
+            }
+            s.kernel = desc.name;
+            s.kernelClass = toString(desc.klass);
+            s.totalDramBytes = t.dramBytes;
+            // dramWeightBytes covers codes + scales; the ledger wants
+            // them on separate axes.
+            s.weightBytes = (desc.dramWeightBytes - desc.dramScaleBytes) *
+                            desc.coalescingFactor;
+            s.scaleBytes = desc.dramScaleBytes * desc.coalescingFactor;
+            s.crmMetaBytes =
+                desc.dramCrmMetaBytes * desc.coalescingFactor;
+            s.spillBytes = desc.dramSpillBytes * desc.coalescingFactor;
+            s.timeUs = t.timeUs;
+            s.bottleneck = toString(t.boundBy);
+            ledger_->record(s);
+        }
 
         res.timeUs += t.timeUs;
         res.cycles += t.cycles;

@@ -24,6 +24,7 @@
 #include "gpu/gmu.hh"
 #include "gpu/kernel.hh"
 #include "gpu/sm.hh"
+#include "obs/ledger.hh"
 #include "obs/observer.hh"
 
 namespace mflstm {
@@ -76,13 +77,18 @@ class Simulator
      *                     reorganization hardware (Section V-B).
      * @param obs          optional observability sink; nullptr (the
      *                     default) disables all recording.
+     * @param ledger       optional traffic-attribution sink; every DRAM
+     *                     byte a trace charges is recorded against the
+     *                     (layer × matrix × kernel × cause) tree.
      */
     explicit Simulator(const GpuConfig &cfg, bool crm_present = true,
-                       obs::Observer *obs = nullptr);
+                       obs::Observer *obs = nullptr,
+                       obs::TrafficLedger *ledger = nullptr);
 
     const GpuConfig &config() const { return cfg_; }
     bool crmPresent() const { return gmu_.crmPresent(); }
     obs::Observer *observer() const { return obs_; }
+    obs::TrafficLedger *ledger() const { return ledger_; }
 
     /** Time one kernel, including GMU/CRM routing. */
     KernelTiming runKernel(const KernelDesc &desc);
@@ -97,6 +103,7 @@ class Simulator
     GpuConfig cfg_;
     GridManagementUnit gmu_;
     obs::Observer *obs_ = nullptr;
+    obs::TrafficLedger *ledger_ = nullptr;
 };
 
 } // namespace gpu

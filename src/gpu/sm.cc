@@ -6,6 +6,24 @@
 namespace mflstm {
 namespace gpu {
 
+const char *
+toString(KernelBound b)
+{
+    switch (b) {
+      case KernelBound::Compute:
+        return "compute";
+      case KernelBound::DequantIssue:
+        return "dequant-issue";
+      case KernelBound::Bandwidth:
+        return "bandwidth";
+      case KernelBound::Occupancy:
+        return "occupancy";
+      case KernelBound::L2:
+        return "l2";
+    }
+    return "unknown";
+}
+
 StallBreakdown &
 StallBreakdown::operator+=(const StallBreakdown &rhs)
 {
@@ -33,6 +51,7 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
         cfg.flopsPerCycle();
     t.computeCycles =
         (desc.flops / cfg.flopsPerCycle() + dequant_cycles) * divergence;
+    t.dequantCycles = dequant_cycles * divergence;
 
     t.dramBytes =
         (desc.dramReadBytes + desc.dramWriteBytes) * desc.coalescingFactor;
@@ -76,6 +95,21 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
         // demand stays legal; the extra threads and lost locality cost
         // a multiplicative slowdown (Section IV-C).
         exec_cycles = shared_cycles * cfg.reconfigPenalty;
+    }
+
+    // --- Bottleneck classification --------------------------------------
+    // Mirrors the max() above: the resource that set exec_cycles.
+    if (t.reconfigured) {
+        t.boundBy = KernelBound::Occupancy;
+    } else if (dram_cycles >= std::max({t.computeCycles, l2_cycles,
+                                        shared_cycles})) {
+        t.boundBy = KernelBound::Bandwidth;
+    } else if (t.computeCycles >= l2_cycles) {
+        t.boundBy = t.dequantCycles > 0.5 * t.computeCycles
+                        ? KernelBound::DequantIssue
+                        : KernelBound::Compute;
+    } else {
+        t.boundBy = KernelBound::L2;
     }
 
     t.crmCycles = 0.0;  // charged by the simulator's GMU model

@@ -35,12 +35,30 @@ struct StallBreakdown
     StallBreakdown &operator+=(const StallBreakdown &rhs);
 };
 
+/**
+ * The resource that set a kernel's duration. DequantIssue is split out
+ * of Compute because it is actionable in a different way: it prices the
+ * in-register int->fp converts quantized weights pay, i.e. the
+ * compute-side cost of the DRAM bytes quantization saved.
+ */
+enum class KernelBound : std::uint8_t {
+    Compute,       ///< FP issue bound, useful FLOPs dominant
+    DequantIssue,  ///< FP issue bound, dequant converts dominant
+    Bandwidth,     ///< off-chip DRAM bandwidth bound
+    Occupancy,     ///< shared-memory bound -> kernel reconfiguration
+    L2,            ///< on-chip L2 bandwidth bound
+};
+
+const char *toString(KernelBound b);
+
 /** Timing result for one kernel launch. */
 struct KernelTiming
 {
     double cycles = 0.0;        ///< on-GPU execution cycles
     double timeUs = 0.0;        ///< wall time incl. launch overhead
     double computeCycles = 0.0; ///< cycles retiring useful FP work
+    double dequantCycles = 0.0; ///< dequant-convert share of computeCycles
+    KernelBound boundBy = KernelBound::Compute;
 
     StallBreakdown stalls;
 

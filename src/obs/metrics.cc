@@ -221,6 +221,76 @@ MetricsRegistry::writeJson(std::ostream &os) const
     os << '\n';
 }
 
+namespace {
+
+/** Map an instrument name onto the Prometheus charset. */
+std::string
+promName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out.front() >= '0' && out.front() <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Prometheus renders numbers like Go's strconv: +Inf for infinity. */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0.0 ? "+Inf" : "-Inf";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+} // anonymous namespace
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    for (const auto &[name, c] : counters_) {
+        const std::string n = promName(name);
+        os << "# TYPE " << n << " counter\n";
+        os << n << " " << promNumber(c.value()) << "\n";
+    }
+    for (const auto &[name, g] : gauges_) {
+        const std::string n = promName(name);
+        os << "# TYPE " << n << " gauge\n";
+        os << n << " " << promNumber(g.value()) << "\n";
+    }
+    for (const auto &[name, h] : histograms_) {
+        const std::string n = promName(name);
+        const Histogram::Snapshot s = h.snapshot();
+        os << "# TYPE " << n << " histogram\n";
+        // Buckets are cumulative in the exposition format; the
+        // internal representation is per-bucket.
+        std::uint64_t cumulative = 0;
+        const std::vector<double> &edges = h.edges();
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            cumulative += s.buckets[i];
+            os << n << "_bucket{le=\"" << promNumber(edges[i]) << "\"} "
+               << cumulative << "\n";
+        }
+        cumulative += s.buckets.back();  // overflow bucket
+        os << n << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << n << "_sum " << promNumber(s.sum) << "\n";
+        os << n << "_count " << s.count << "\n";
+    }
+}
+
 std::string
 MetricsRegistry::formatTable() const
 {

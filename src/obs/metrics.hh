@@ -145,6 +145,15 @@ class MetricsRegistry
     /** Machine dump: {"counters":{...},"gauges":{...},"histograms":{...}} */
     void writeJson(std::ostream &os) const;
 
+    /**
+     * Prometheus text exposition format (version 0.0.4): counters and
+     * gauges as scalar samples, histograms as cumulative `_bucket`
+     * series with `le` labels plus `_sum`/`_count`. Instrument names
+     * are sanitised to the Prometheus charset ([a-zA-Z0-9_:], leading
+     * digits prefixed) — "serve.queue_ms" becomes "serve_queue_ms".
+     */
+    void writePrometheus(std::ostream &os) const;
+
     /** Human dump: one aligned line per instrument, sorted by name. */
     std::string formatTable() const;
 

@@ -1,0 +1,363 @@
+#include "obs/profile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace mflstm {
+namespace obs {
+
+std::string
+ProfileReport::KernelRow::dominantBottleneck() const
+{
+    std::string best;
+    std::uint64_t best_n = 0;
+    for (const auto &b : bottlenecks) {
+        if (b.second > best_n) {
+            best = b.first;
+            best_n = b.second;
+        }
+    }
+    return best;
+}
+
+ProfileReport
+ProfileReport::build(const TrafficLedger &ledger, double trace_dram_bytes,
+                     double trace_time_us)
+{
+    ProfileReport r;
+    r.traceTimeUs = trace_time_us;
+    r.traceDramBytes = trace_dram_bytes;
+    r.attributedDramBytes = ledger.attributedDramBytes();
+    r.samples = ledger.samples();
+    r.conservationErrors = ledger.verifyConservation(trace_dram_bytes);
+
+    for (const auto &node : ledger.traffic()) {
+        TrafficNode n;
+        n.layer = node.first.layer;
+        n.matrix = toString(node.first.matrix);
+        n.kernel = node.first.kernel;
+        n.cause = toString(node.first.cause);
+        n.bytes = node.second;
+        r.traffic.push_back(std::move(n));
+    }
+    for (const auto &k : ledger.kernels()) {
+        KernelRow row;
+        row.layer = k.first.layer;
+        row.kernel = k.first.kernel;
+        row.launches = k.second.launches;
+        row.timeUs = k.second.timeUs;
+        row.dramBytes = k.second.dramBytes;
+        for (const auto &b : k.second.bottlenecks)
+            row.bottlenecks.emplace_back(b.first, b.second);
+        r.kernels.push_back(std::move(row));
+    }
+    return r;
+}
+
+void
+ProfileReport::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value(kProfileSchema);
+    w.key("version").value(kProfileVersion);
+    w.key("app").value(app);
+    w.key("plan").value(plan);
+    w.key("quant").value(quant);
+    w.key("batch").value(static_cast<std::uint64_t>(batch));
+    w.key("trace_time_us").value(traceTimeUs);
+    w.key("trace_dram_bytes").value(traceDramBytes);
+    w.key("attributed_dram_bytes").value(attributedDramBytes);
+    w.key("samples").value(static_cast<std::uint64_t>(samples));
+    w.key("conserved").value(conserved());
+    w.key("conservation_errors").beginArray();
+    for (const auto &e : conservationErrors)
+        w.value(e);
+    w.endArray();
+    w.key("traffic").beginArray();
+    for (const auto &n : traffic) {
+        w.beginObject();
+        w.key("layer").value(n.layer);
+        w.key("matrix").value(n.matrix);
+        w.key("kernel").value(n.kernel);
+        w.key("cause").value(n.cause);
+        w.key("bytes").value(n.bytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("kernels").beginArray();
+    for (const auto &k : kernels) {
+        w.beginObject();
+        w.key("layer").value(k.layer);
+        w.key("kernel").value(k.kernel);
+        w.key("launches").value(static_cast<std::uint64_t>(k.launches));
+        w.key("time_us").value(k.timeUs);
+        w.key("dram_bytes").value(k.dramBytes);
+        w.key("bottlenecks").beginObject();
+        for (const auto &b : k.bottlenecks)
+            w.key(b.first).value(static_cast<std::uint64_t>(b.second));
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+namespace {
+
+double
+numberOr(const JsonValue *v, double fallback)
+{
+    return v && v->kind == JsonValue::Kind::Number ? v->number : fallback;
+}
+
+std::string
+stringOr(const JsonValue *v, const std::string &fallback)
+{
+    return v && v->kind == JsonValue::Kind::String ? v->str : fallback;
+}
+
+} // anonymous namespace
+
+ProfileReport
+ProfileReport::parseJsonText(const std::string &text)
+{
+    const auto doc = parseJson(text);
+    if (!doc || doc->kind != JsonValue::Kind::Object)
+        throw std::runtime_error("profile report: malformed JSON");
+    const JsonValue &root = *doc;
+    if (stringOr(root.find("schema"), "") != kProfileSchema)
+        throw std::runtime_error(
+            "profile report: wrong schema (want mflstm.profile)");
+    const int version =
+        static_cast<int>(numberOr(root.find("version"), -1));
+    if (version != kProfileVersion)
+        throw std::runtime_error(
+            "profile report: unsupported version " +
+            std::to_string(version));
+
+    ProfileReport r;
+    r.app = stringOr(root.find("app"), "");
+    r.plan = stringOr(root.find("plan"), "");
+    r.quant = stringOr(root.find("quant"), "");
+    r.batch = static_cast<std::uint64_t>(
+        numberOr(root.find("batch"), 1.0));
+    r.traceTimeUs = numberOr(root.find("trace_time_us"), 0.0);
+    r.traceDramBytes = numberOr(root.find("trace_dram_bytes"), 0.0);
+    r.attributedDramBytes =
+        numberOr(root.find("attributed_dram_bytes"), 0.0);
+    r.samples =
+        static_cast<std::uint64_t>(numberOr(root.find("samples"), 0.0));
+    if (const JsonValue *errs = root.find("conservation_errors");
+        errs && errs->kind == JsonValue::Kind::Array) {
+        for (const auto &e : errs->items)
+            if (e.kind == JsonValue::Kind::String)
+                r.conservationErrors.push_back(e.str);
+    }
+    if (const JsonValue *traffic = root.find("traffic");
+        traffic && traffic->kind == JsonValue::Kind::Array) {
+        for (const auto &item : traffic->items) {
+            if (item.kind != JsonValue::Kind::Object)
+                continue;
+            TrafficNode n;
+            n.layer = static_cast<int>(numberOr(item.find("layer"), -1));
+            n.matrix = stringOr(item.find("matrix"), "none");
+            n.kernel = stringOr(item.find("kernel"), "");
+            n.cause = stringOr(item.find("cause"), "");
+            n.bytes = numberOr(item.find("bytes"), 0.0);
+            r.traffic.push_back(std::move(n));
+        }
+    }
+    if (const JsonValue *kernels = root.find("kernels");
+        kernels && kernels->kind == JsonValue::Kind::Array) {
+        for (const auto &item : kernels->items) {
+            if (item.kind != JsonValue::Kind::Object)
+                continue;
+            KernelRow row;
+            row.layer =
+                static_cast<int>(numberOr(item.find("layer"), -1));
+            row.kernel = stringOr(item.find("kernel"), "");
+            row.launches = static_cast<std::uint64_t>(
+                numberOr(item.find("launches"), 0.0));
+            row.timeUs = numberOr(item.find("time_us"), 0.0);
+            row.dramBytes = numberOr(item.find("dram_bytes"), 0.0);
+            if (const JsonValue *b = item.find("bottlenecks");
+                b && b->kind == JsonValue::Kind::Object) {
+                for (const auto &member : b->members)
+                    row.bottlenecks.emplace_back(
+                        member.first, static_cast<std::uint64_t>(
+                                          member.second.number));
+            }
+            r.kernels.push_back(std::move(row));
+        }
+    }
+    return r;
+}
+
+namespace {
+
+std::string
+humanBytes(double b)
+{
+    std::ostringstream os;
+    os << std::fixed;
+    if (b >= 1e9)
+        os << std::setprecision(2) << b / 1e9 << " GB";
+    else if (b >= 1e6)
+        os << std::setprecision(2) << b / 1e6 << " MB";
+    else if (b >= 1e3)
+        os << std::setprecision(1) << b / 1e3 << " KB";
+    else
+        os << std::setprecision(0) << b << " B";
+    return os.str();
+}
+
+} // anonymous namespace
+
+std::string
+ProfileReport::formatTable(std::size_t max_rows) const
+{
+    std::ostringstream os;
+    os << "profile: " << app << " plan=" << plan << " quant=" << quant
+       << " batch=" << batch << "\n";
+    os << "  trace: " << std::fixed << std::setprecision(1) << traceTimeUs
+       << " us, " << humanBytes(traceDramBytes) << " DRAM, " << samples
+       << " kernel launches\n";
+    os << "  conservation: "
+       << (conserved() ? "OK (attributed == trace total)" : "BROKEN")
+       << "\n";
+    for (const auto &e : conservationErrors)
+        os << "    error: " << e << "\n";
+
+    std::vector<TrafficNode> sorted = traffic;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TrafficNode &a, const TrafficNode &b) {
+                  return a.bytes > b.bytes;
+              });
+    os << "  traffic (top " << std::min(max_rows, sorted.size())
+       << " of " << sorted.size() << " nodes):\n";
+    std::size_t shown = 0;
+    for (const auto &n : sorted) {
+        if (shown++ >= max_rows)
+            break;
+        const double pct =
+            traceDramBytes > 0.0 ? 100.0 * n.bytes / traceDramBytes : 0.0;
+        os << "    " << std::setw(5) << std::setprecision(1) << pct
+           << "%  " << std::setw(10) << humanBytes(n.bytes) << "  L"
+           << n.layer << " " << n.matrix << " " << n.kernel << " ["
+           << n.cause << "]\n";
+    }
+
+    std::vector<KernelRow> krows = kernels;
+    std::sort(krows.begin(), krows.end(),
+              [](const KernelRow &a, const KernelRow &b) {
+                  return a.timeUs > b.timeUs;
+              });
+    os << "  kernels (top " << std::min(max_rows, krows.size()) << " of "
+       << krows.size() << " by time):\n";
+    shown = 0;
+    for (const auto &k : krows) {
+        if (shown++ >= max_rows)
+            break;
+        const double pct =
+            traceTimeUs > 0.0 ? 100.0 * k.timeUs / traceTimeUs : 0.0;
+        os << "    " << std::setw(5) << std::setprecision(1) << pct
+           << "%  " << std::setw(9) << std::setprecision(1) << k.timeUs
+           << " us  x" << k.launches << "  L" << k.layer << " "
+           << k.kernel << "  bound:" << k.dominantBottleneck() << "\n";
+    }
+    return os.str();
+}
+
+std::vector<ProfileDelta>
+diffReports(const ProfileReport &baseline, const ProfileReport &current,
+            double tolerance_pct)
+{
+    const double tol = tolerance_pct / 100.0;
+    std::vector<ProfileDelta> out;
+
+    auto compare = [&](const std::string &node, double base, double cur) {
+        if (base == cur)
+            return;
+        ProfileDelta d;
+        d.node = node;
+        d.baseline = base;
+        d.current = cur;
+        d.ratio = base > 0.0 ? cur / base
+                             : (cur > 0.0 ? std::numeric_limits<
+                                                double>::infinity()
+                                          : 1.0);
+        // More bytes / more time than baseline is the bad direction.
+        d.regression = cur > base * (1.0 + tol) ||
+                       (base == 0.0 && cur > 0.0);
+        out.push_back(std::move(d));
+    };
+
+    std::map<std::string, double> base_traffic;
+    for (const auto &n : baseline.traffic)
+        base_traffic["L" + std::to_string(n.layer) + "/" + n.matrix +
+                     "/" + n.kernel + "/" + n.cause] = n.bytes;
+    std::map<std::string, double> cur_traffic;
+    for (const auto &n : current.traffic)
+        cur_traffic["L" + std::to_string(n.layer) + "/" + n.matrix +
+                    "/" + n.kernel + "/" + n.cause] = n.bytes;
+    for (const auto &b : base_traffic) {
+        const auto it = cur_traffic.find(b.first);
+        compare(b.first, b.second,
+                it == cur_traffic.end() ? 0.0 : it->second);
+    }
+    for (const auto &c : cur_traffic)
+        if (!base_traffic.count(c.first))
+            compare(c.first, 0.0, c.second);
+
+    std::map<std::string, double> base_time;
+    for (const auto &k : baseline.kernels)
+        base_time["time:L" + std::to_string(k.layer) + "/" + k.kernel] =
+            k.timeUs;
+    std::map<std::string, double> cur_time;
+    for (const auto &k : current.kernels)
+        cur_time["time:L" + std::to_string(k.layer) + "/" + k.kernel] =
+            k.timeUs;
+    for (const auto &b : base_time) {
+        const auto it = cur_time.find(b.first);
+        compare(b.first, b.second,
+                it == cur_time.end() ? 0.0 : it->second);
+    }
+    for (const auto &c : cur_time)
+        if (!base_time.count(c.first))
+            compare(c.first, 0.0, c.second);
+
+    return out;
+}
+
+std::string
+formatDeltas(const std::vector<ProfileDelta> &deltas)
+{
+    if (deltas.empty())
+        return "";
+    std::ostringstream os;
+    os << std::fixed;
+    for (const auto &d : deltas) {
+        os << (d.regression ? "  REGRESSION " : "  improvement ")
+           << d.node << ": " << std::setprecision(1) << d.baseline
+           << " -> " << d.current;
+        if (std::isfinite(d.ratio))
+            os << " (" << std::setprecision(3) << d.ratio << "x)";
+        else
+            os << " (new)";
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace obs
+} // namespace mflstm

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Attribution-report layer on top of the traffic ledger (DESIGN.md §13):
+ * a versioned JSON schema ("mflstm.profile" v1) that snapshots one run's
+ * attribution tree and per-kernel bottleneck view, plus the differential
+ * mode behind `mflstm profile --baseline` — per-node byte/time deltas
+ * with a relative threshold, so two builds of the same commit diff to
+ * zero and a lowering change that moves traffic is flagged at the node
+ * that moved.
+ */
+
+#ifndef MFLSTM_OBS_PROFILE_HH
+#define MFLSTM_OBS_PROFILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/ledger.hh"
+
+namespace mflstm {
+namespace obs {
+
+/** Schema identity of the attribution report. */
+constexpr const char *kProfileSchema = "mflstm.profile";
+constexpr int kProfileVersion = 1;
+
+/** One run's attribution report, in serialisable form. */
+struct ProfileReport
+{
+    /// run identity (app / plan / quant / batch), free-form strings
+    std::string app;
+    std::string plan;
+    std::string quant;
+    std::uint64_t batch = 1;
+
+    /// trace-level totals the ledger must conserve against
+    double traceTimeUs = 0.0;
+    double traceDramBytes = 0.0;
+    double attributedDramBytes = 0.0;
+    std::uint64_t samples = 0;
+
+    /// conservation status at build time
+    std::vector<std::string> conservationErrors;
+
+    struct TrafficNode
+    {
+        int layer = -1;
+        std::string matrix;  ///< toString(MatrixStream)
+        std::string kernel;
+        std::string cause;   ///< toString(TrafficCause)
+        double bytes = 0.0;
+    };
+    std::vector<TrafficNode> traffic;
+
+    struct KernelRow
+    {
+        int layer = -1;
+        std::string kernel;
+        std::uint64_t launches = 0;
+        double timeUs = 0.0;
+        double dramBytes = 0.0;
+        /// bottleneck class -> launches bound by it
+        std::vector<std::pair<std::string, std::uint64_t>> bottlenecks;
+
+        /** Modal bottleneck class ("" when empty). */
+        std::string dominantBottleneck() const;
+    };
+    std::vector<KernelRow> kernels;
+
+    bool conserved() const { return conservationErrors.empty(); }
+
+    /**
+     * Snapshot @p ledger into a report. @p trace_dram_bytes and
+     * @p trace_time_us are the simulator's own totals; conservation is
+     * verified here and the outcome embedded in the report.
+     */
+    static ProfileReport build(const TrafficLedger &ledger,
+                               double trace_dram_bytes,
+                               double trace_time_us);
+
+    /** Serialise as schema-versioned JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Parse a report written by writeJson. Throws std::runtime_error on
+     * malformed JSON, wrong schema name, or unsupported version.
+     */
+    static ProfileReport parseJsonText(const std::string &text);
+
+    /** Human-readable table (top nodes by bytes, kernel bottlenecks). */
+    std::string formatTable(std::size_t max_rows = 20) const;
+};
+
+/** One flagged difference between two reports. */
+struct ProfileDelta
+{
+    std::string node;     ///< "layer/matrix/kernel/cause" or kernel id
+    double baseline = 0.0;
+    double current = 0.0;
+    double ratio = 0.0;   ///< current / baseline
+    bool regression = false;  ///< beyond tolerance in the bad direction
+};
+
+/**
+ * Differential mode: compare per-node bytes and per-kernel time against
+ * @p baseline. A node is a regression when current exceeds baseline by
+ * more than @p tolerance_pct percent (new nodes regress from zero;
+ * vanished nodes are reported as improvements, not regressions).
+ */
+std::vector<ProfileDelta> diffReports(const ProfileReport &baseline,
+                                      const ProfileReport &current,
+                                      double tolerance_pct = 0.1);
+
+/** Render a delta list as a table; empty string when nothing changed. */
+std::string formatDeltas(const std::vector<ProfileDelta> &deltas);
+
+} // namespace obs
+} // namespace mflstm
+
+#endif // MFLSTM_OBS_PROFILE_HH

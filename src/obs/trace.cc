@@ -74,6 +74,16 @@ SpanTracer::writeChromeTrace(std::ostream &os) const
     };
     processName(kHostPid, "host");
     processName(kGpuPid, "GPU (simulated time)");
+    // The serve process only exists in traces that served requests;
+    // labelling it unconditionally would change every non-serving
+    // trace byte-for-byte.
+    bool has_serve = false;
+    for (const auto &[track, name] : trackNames_)
+        has_serve |= track.first == kServePid;
+    for (const TraceSpan &s : spans_)
+        has_serve |= s.pid == kServePid;
+    if (has_serve)
+        processName(kServePid, "serve (request lifecycle)");
 
     for (const auto &[track, name] : trackNames_) {
         w.beginObject();

@@ -48,6 +48,8 @@ class SpanTracer
   public:
     static constexpr int kHostPid = 0;
     static constexpr int kGpuPid = 1;
+    /// per-request lifecycle spans of the serving layer (wall clock)
+    static constexpr int kServePid = 2;
     /// safety valve against unbounded sweeps; further spans are counted
     /// but dropped
     static constexpr std::size_t kMaxSpans = 1u << 20;

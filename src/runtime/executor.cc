@@ -34,7 +34,7 @@ NetworkExecutor::run(const RunRequest &req) const
         preRunHook_(req);
 
     const char *kind = toString(req.plan.kind);
-    gpu::Simulator sim(cfg_, req.plan.usesCrmHardware(), obs_);
+    gpu::Simulator sim(cfg_, req.plan.usesCrmHardware(), obs_, ledger_);
     RunReport report;
     report.kind = req.plan.kind;
     report.batch = req.batch;

@@ -114,6 +114,16 @@ class NetworkExecutor
     using PreRunHook = std::function<void(const RunRequest &)>;
     void setPreRunHook(PreRunHook hook) { preRunHook_ = std::move(hook); }
 
+    /**
+     * Attach a traffic-attribution ledger: every subsequent run() feeds
+     * its simulated DRAM bytes into @p ledger (DESIGN.md §13). The
+     * ledger must outlive the executor; nullptr detaches. Unlike the
+     * observer, the ledger is mutable state shared across runs — attach
+     * a per-thread ledger before sharing the executor across threads.
+     */
+    void setLedger(obs::TrafficLedger *ledger) { ledger_ = ledger; }
+    obs::TrafficLedger *ledger() const { return ledger_; }
+
     /** Lower + simulate one descriptor (the common entry point). */
     RunReport run(const RunRequest &req) const;
 
@@ -130,6 +140,7 @@ class NetworkExecutor
     gpu::GpuConfig cfg_;
     Lowering lowering_;
     obs::Observer *obs_ = nullptr;
+    obs::TrafficLedger *ledger_ = nullptr;
     PreRunHook preRunHook_;
 };
 

@@ -53,6 +53,23 @@ weightFootprintBytes(double elems, double rows, quant::QuantMode qm)
     return elems * quant::bytesPerWeight(qm) + scale_bytes;
 }
 
+/**
+ * Scale-stream fraction of a quantized weight block's DRAM footprint.
+ * Streaming compression and row skipping shrink codes and scales
+ * together, so the share survives any proportional traffic reduction —
+ * which is exactly how the builders apply it to their (possibly
+ * compressed) dramWeightBytes for the attribution ledger.
+ */
+double
+scaleShare(double elems, double rows, quant::QuantMode qm)
+{
+    if (qm == quant::QuantMode::Fp32)
+        return 0.0;
+    const double scale_bytes = rows * kFloat;
+    return scale_bytes /
+           (elems * quant::bytesPerWeight(qm) + scale_bytes);
+}
+
 /** Quantized kernels tag the precision in their trace name. */
 void
 tagQuant(gpu::KernelDesc &k, quant::QuantMode qm)
@@ -122,6 +139,8 @@ Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch,
     k.flops = 2.0 * macs;
     k.dramReadBytes = w_bytes + in_bytes;
     k.dramWeightBytes = w_bytes;
+    k.weightStream = gpu::WeightStream::W;
+    k.dramScaleBytes = w_bytes * scaleShare(4.0 * h * e, 4.0 * h, qm);
     k.dramWriteBytes = out_bytes;
     k.l2AccessBytes = w_bytes + in_bytes + out_bytes;
     k.sharedBytes =
@@ -154,6 +173,9 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
     // The weight stream is fetched once and feeds every batch column.
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
+    k.weightStream = gpu::WeightStream::U;
+    k.dramScaleBytes =
+        dram_bytes_weights * scaleShare(4.0 * h * h, 4.0 * h, qm);
     k.dramWriteBytes = 4.0 * h * kFloat * b;
     k.l2AccessBytes =
         weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) + vec_bytes;
@@ -198,6 +220,9 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
     k.flops = 2.0 * macs * keep;
     k.dramReadBytes = weight_bytes + tk * h * kFloat * b;
     k.dramWeightBytes = weight_bytes;
+    k.weightStream = gpu::WeightStream::U;
+    k.dramScaleBytes =
+        weight_bytes * scaleShare(4.0 * h * h, 4.0 * h, qm);
     k.dramWriteBytes = tk * 4.0 * h * kFloat * b;
     k.l2AccessBytes = weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) +
                       tk * 5.0 * h * kFloat * b;
@@ -236,6 +261,7 @@ Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells,
     // still L2-resident; only spill traffic reaches DRAM.
     k.dramReadBytes = 0.1 * bytes;
     k.dramWriteBytes = 0.1 * bytes;
+    k.dramSpillBytes = k.dramReadBytes + k.dramWriteBytes;
     k.l2AccessBytes = bytes;
     k.sharedBytes = 0.0;
     k.threadsPerCta = kCta;
@@ -260,6 +286,8 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
     k.flops = 2.0 * macs;
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
+    k.weightStream = gpu::WeightStream::U;
+    k.dramScaleBytes = dram_bytes_weights * scaleShare(h * h, h, qm);
     k.dramWriteBytes = h * kFloat * b;
     k.l2AccessBytes = weightFootprintBytes(h * h, h, qm) +
                       2.0 * h * kFloat * b;
@@ -268,6 +296,7 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
         // out: noise next to the h^2 reduction.
         k.flops += 6.0 * h * b;
         k.dramWriteBytes += h * b;
+        k.dramCrmMetaBytes = h * b;
         k.l2AccessBytes += h * b;
     }
     if (qm != quant::QuantMode::Fp32)
@@ -349,6 +378,9 @@ Lowering::rowSkipSgemv(const LstmLayerShape &shape,
         k.sharedBytes = macs * keep * sgemvSharedBytesPerMac();
         k.divergenceFactor = 1.0 + 1.2 * skip_fraction;
     }
+    k.weightStream = gpu::WeightStream::U;
+    k.dramScaleBytes =
+        k.dramWeightBytes * scaleShare(3.0 * h * h, 3.0 * h, qm);
     k.dramWriteBytes = 3.0 * h * kFloat * b;
     k.l2AccessBytes =
         weightFootprintBytes(3.0 * h * h, 3.0 * h, qm) *
@@ -380,6 +412,9 @@ Lowering::relevanceKernel(const LstmLayerShape &shape,
     k.flops = 30.0 * h * n * b;
     k.dramReadBytes = 0.5 * n * 4.0 * h * kFloat * b;
     k.dramWriteBytes = n * kFloat * b;
+    // The per-cell relevance curve is metadata of the breakpoint
+    // search, not activation data the next kernel consumes.
+    k.dramCrmMetaBytes = k.dramWriteBytes;
     k.l2AccessBytes = (n * 4.0 * h * kFloat + 4.0 * h * kFloat) * b;
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(n * h * b / 32.0);
@@ -427,6 +462,8 @@ Lowering::prunedSgemv(const LstmLayerShape &shape,
     // CSR-encoded* footprint's streaming traffic; the caller sizes it.
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
+    // CSR values + column indices both stream the pruned U matrix.
+    k.weightStream = gpu::WeightStream::U;
     k.dramWriteBytes = 4.0 * h * kFloat * b;
     k.l2AccessBytes = 4.0 * h * h * kFloat * keep * 1.5 +
                       5.0 * h * kFloat * b;
@@ -526,12 +563,18 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                 uo.flops *= 0.25;
                 uo.dramReadBytes = traffic / tissues * 0.25;
                 uo.dramWeightBytes = uo.dramReadBytes;
+                // The builder saw zero weight traffic; re-derive the
+                // attribution sub-streams from the overridden figures
+                // or the ledger's conservation check trips.
+                uo.dramScaleBytes =
+                    uo.dramWeightBytes * scaleShare(h * h, h, qm);
                 uo.sharedBytes *= 0.25;
                 uo.l2AccessBytes *= 0.25;
                 uo.quantWeightElems *= 0.25;
                 uo.ctas = std::max(1u, uo.ctas / 4);
                 uo.flops += 6.0 * flag_elems;
                 uo.dramWriteBytes += flag_elems;
+                uo.dramCrmMetaBytes = flag_elems;
                 uo.l2AccessBytes += flag_elems;
                 push(std::move(uo), cell, ti);
 

@@ -31,6 +31,68 @@ wallMsSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Shared edges for every serve-side millisecond histogram. */
+std::vector<double>
+serveMsEdges()
+{
+    return obs::Histogram::exponentialEdges(1e-3, 1e5, 33);
+}
+
+/**
+ * Emit one request's lifecycle spans (queue → batch-wait → exec →
+ * complete) on the serve process track, laid out backwards from the
+ * completion instant so the three stages abut. Zero-duration stages
+ * (a shed request never executed) are skipped; the zero-length
+ * "complete" marker always lands and carries the terminal status.
+ */
+void
+recordLifecycle(obs::Observer *obs, int track, const Response &r)
+{
+    obs::SpanTracer &tracer = obs->tracer();
+    const double end_us = obs->wallNowUs();
+    const std::vector<std::pair<const char *, double>> stages = {
+        {"queue", r.queueMs * 1e3},
+        {"batch-wait", r.batchWaitMs * 1e3},
+        {"exec", r.execMs * 1e3},
+    };
+    double cursor = end_us;
+    for (const auto &s : stages)
+        cursor -= s.second;
+    for (const auto &s : stages) {
+        if (s.second <= 0.0) {
+            cursor += s.second;
+            continue;
+        }
+        obs::TraceSpan span;
+        span.name = s.first;
+        span.category = "request";
+        span.pid = obs::SpanTracer::kServePid;
+        span.tid = track;
+        span.startUs = cursor;
+        span.durUs = s.second;
+        span.numArgs = {
+            {"id", static_cast<double>(r.id)},
+            {"batch", static_cast<double>(r.batch)},
+            {"rung", static_cast<double>(r.rung)},
+            {"retries", static_cast<double>(r.retries)},
+        };
+        span.strArgs = {{"status", toString(r.status)}};
+        tracer.record(std::move(span));
+        cursor += s.second;
+    }
+    obs::TraceSpan done;
+    done.name = "complete";
+    done.category = "request";
+    done.pid = obs::SpanTracer::kServePid;
+    done.tid = track;
+    done.startUs = end_us;
+    done.durUs = 0.0;
+    done.numArgs = {{"id", static_cast<double>(r.id)},
+                    {"retries", static_cast<double>(r.retries)}};
+    done.strArgs = {{"status", toString(r.status)}};
+    tracer.record(std::move(done));
+}
+
 /**
  * The fault site the executor's pre-run hook consults. The worker
  * stamps it immediately before each executor_->run call, so the
@@ -192,11 +254,20 @@ InferenceEngine::finishInit(const core::MemoryFriendlyLstm &mf,
 
     // Touch the instruments once so quantile queries work even before
     // the first request completes.
-    obs_->metrics().histogram(
-        "serve.latency_ms",
-        obs::Histogram::exponentialEdges(1e-3, 1e5, 33));
+    obs_->metrics().histogram("serve.latency_ms", serveMsEdges());
+    obs_->metrics().histogram("serve.queue_ms", serveMsEdges());
+    obs_->metrics().histogram("serve.batch_wait_ms", serveMsEdges());
+    obs_->metrics().histogram("serve.exec_ms", serveMsEdges());
     obs_->metrics().histogram("serve.batch_size",
                               batchSizeEdges(opts_.maxBatch));
+
+    for (std::size_t w = 0; w < opts_.workers; ++w)
+        obs_->tracer().setTrackName(obs::SpanTracer::kServePid,
+                                    static_cast<int>(w),
+                                    "worker " + std::to_string(w));
+    obs_->tracer().setTrackName(obs::SpanTracer::kServePid,
+                                static_cast<int>(opts_.workers),
+                                "unserved");
 
     runners_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w)
@@ -358,6 +429,8 @@ InferenceEngine::resolveUnserved(QueuedRequest item, Status status)
     }
     completed_.fetch_add(1, std::memory_order_relaxed);
     m.counter("serve.responses").add();
+    m.histogram("serve.queue_ms", serveMsEdges()).observe(r.queueMs);
+    recordLifecycle(obs_, static_cast<int>(opts_.workers), r);
     item.promise.set_value(std::move(r));
 }
 
@@ -475,10 +548,17 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
                             batch_start - item.enqueued)
                             .count();
             r.latencyMs = wallMsSince(item.enqueued);
+            // The whole post-queue wait went to the failed timing run.
+            r.batchWaitMs = std::max(0.0, r.latencyMs - r.queueMs);
             failed_.fetch_add(1, std::memory_order_relaxed);
             m.counter("serve.failed").add();
             completed_.fetch_add(1, std::memory_order_relaxed);
             m.counter("serve.responses").add();
+            m.histogram("serve.queue_ms", serveMsEdges())
+                .observe(r.queueMs);
+            m.histogram("serve.batch_wait_ms", serveMsEdges())
+                .observe(r.batchWaitMs);
+            recordLifecycle(obs_, static_cast<int>(worker_index), r);
             item.promise.set_value(std::move(r));
         }
         return;
@@ -520,6 +600,10 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
         r.queueMs = std::chrono::duration<double, std::milli>(
                         batch_start - item.enqueued)
                         .count();
+        const auto func_start = std::chrono::steady_clock::now();
+        r.batchWaitMs = std::chrono::duration<double, std::milli>(
+                            func_start - batch_start)
+                            .count();
 
         bool run_failed = false;
         for (int attempt = 0; attempt <= opts_.maxRetries; ++attempt) {
@@ -552,6 +636,7 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
             break;
         }
 
+        r.execMs = wallMsSince(func_start);
         r.latencyMs = wallMsSince(item.enqueued);
         if (run_failed) {
             r.status = Status::Failed;
@@ -572,11 +657,15 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
             ok_.fetch_add(1, std::memory_order_relaxed);
         }
 
-        m.histogram("serve.latency_ms",
-                    obs::Histogram::exponentialEdges(1e-3, 1e5, 33))
+        m.histogram("serve.latency_ms", serveMsEdges())
             .observe(r.latencyMs);
+        m.histogram("serve.queue_ms", serveMsEdges()).observe(r.queueMs);
+        m.histogram("serve.batch_wait_ms", serveMsEdges())
+            .observe(r.batchWaitMs);
+        m.histogram("serve.exec_ms", serveMsEdges()).observe(r.execMs);
         completed_.fetch_add(1, std::memory_order_relaxed);
         m.counter("serve.responses").add();
+        recordLifecycle(obs_, static_cast<int>(worker_index), r);
         item.promise.set_value(std::move(r));
     }
 

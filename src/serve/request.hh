@@ -83,6 +83,11 @@ struct Response
     int retries = 0;
     /// wall ms spent queued before the batch started
     double queueMs = 0.0;
+    /// wall ms from batch start until this request's own functional
+    /// run began (the shared batched timing run + earlier siblings)
+    double batchWaitMs = 0.0;
+    /// wall ms of this request's own functional run (incl. retries)
+    double execMs = 0.0;
     /// wall ms from submit to completion
     double latencyMs = 0.0;
 

@@ -144,6 +144,47 @@ TEST(Metrics, JsonDumpParsesAndRoundTrips)
     EXPECT_EQ(os.str(), os2.str());
 }
 
+TEST(Metrics, PrometheusExpositionFormat)
+{
+    MetricsRegistry reg;
+    reg.counter("serve.requests").add(3.0);
+    reg.gauge("dram.row_hit_rate").set(0.25);
+    Histogram &h = reg.histogram("serve.exec_ms", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(100.0);  // lands in the +Inf overflow bucket
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // Instrument names are mapped onto the Prometheus charset.
+    EXPECT_NE(text.find("# TYPE serve_requests counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_requests 3\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE dram_row_hit_rate gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE serve_exec_ms histogram"),
+              std::string::npos);
+
+    // Buckets are cumulative ("le" upper bounds), closed by +Inf, and
+    // followed by _sum/_count — the 0.0.4 text exposition shape.
+    EXPECT_NE(text.find("serve_exec_ms_bucket{le=\"1\"} 1\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_exec_ms_bucket{le=\"10\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_exec_ms_bucket{le=\"+Inf\"} 3\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("serve_exec_ms_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("serve_exec_ms_sum 105.5\n"),
+              std::string::npos);
+
+    // Exposition is deterministic.
+    std::ostringstream os2;
+    reg.writePrometheus(os2);
+    EXPECT_EQ(text, os2.str());
+}
+
 TEST(Metrics, FormatTableMentionsEveryInstrument)
 {
     MetricsRegistry reg;

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the attribution-report layer: ProfileReport build from a
+ * ledger, the versioned JSON schema (write -> parse round trip, schema
+ * and version validation), the differential mode behind
+ * `mflstm profile --baseline`, and the human-readable tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+#include "obs/profile.hh"
+
+namespace {
+
+using namespace mflstm;
+using obs::MatrixStream;
+using obs::ProfileReport;
+using obs::TrafficLedger;
+using obs::TrafficSample;
+
+void
+fillLedgerWithTwoKernels(TrafficLedger &ledger)
+{
+    TrafficSample a;
+    a.layer = 0;
+    a.matrix = MatrixStream::W;
+    a.kernel = "Sgemm(W_fico, x)";
+    a.kernelClass = "Sgemm";
+    a.totalDramBytes = 800.0;
+    a.weightBytes = 500.0;
+    a.timeUs = 10.0;
+    a.bottleneck = "occupancy";
+    ledger.record(a);
+
+    TrafficSample b;
+    b.layer = 0;
+    b.matrix = MatrixStream::U;
+    b.kernel = "Sgemv(U_fic, h)";
+    b.kernelClass = "Sgemv";
+    b.totalDramBytes = 1200.0;
+    b.weightBytes = 900.0;
+    b.scaleBytes = 100.0;
+    b.timeUs = 30.0;
+    b.bottleneck = "bandwidth";
+    ledger.record(b);
+}
+
+ProfileReport
+reportFixture()
+{
+    TrafficLedger ledger;
+    fillLedgerWithTwoKernels(ledger);
+    ProfileReport rep = ProfileReport::build(ledger, 2000.0, 40.0);
+    rep.app = "IMDB";
+    rep.plan = "combined";
+    rep.quant = "int8";
+    rep.batch = 1;
+    return rep;
+}
+
+TEST(ProfileReport, BuildSnapshotsLedger)
+{
+    const ProfileReport rep = reportFixture();
+    EXPECT_TRUE(rep.conserved());
+    EXPECT_DOUBLE_EQ(rep.traceDramBytes, 2000.0);
+    EXPECT_DOUBLE_EQ(rep.attributedDramBytes, 2000.0);
+    EXPECT_EQ(rep.samples, 2u);
+    // W weight, W activation residual, U weight, U scale, U residual.
+    EXPECT_EQ(rep.traffic.size(), 5u);
+    ASSERT_EQ(rep.kernels.size(), 2u);
+    // Kernel rows carry the bottleneck classification.
+    EXPECT_EQ(rep.kernels[0].dominantBottleneck(), "occupancy");
+    EXPECT_EQ(rep.kernels[1].dominantBottleneck(), "bandwidth");
+}
+
+TEST(ProfileReport, BuildRecordsConservationFailure)
+{
+    TrafficLedger ledger;
+    fillLedgerWithTwoKernels(ledger);
+    const ProfileReport rep =
+        ProfileReport::build(ledger, 2000.0 + 1.0, 40.0);
+    EXPECT_FALSE(rep.conserved());
+    EXPECT_FALSE(rep.conservationErrors.empty());
+}
+
+TEST(ProfileReport, JsonRoundTripsThroughSchema)
+{
+    const ProfileReport rep = reportFixture();
+    std::ostringstream os;
+    rep.writeJson(os);
+
+    // The document carries its schema identity.
+    const auto doc = obs::parseJson(os.str());
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->find("schema"));
+    EXPECT_EQ(doc->find("schema")->str, obs::kProfileSchema);
+    ASSERT_TRUE(doc->find("version"));
+    EXPECT_EQ(doc->find("version")->number, obs::kProfileVersion);
+
+    const ProfileReport back = ProfileReport::parseJsonText(os.str());
+    EXPECT_EQ(back.app, rep.app);
+    EXPECT_EQ(back.plan, rep.plan);
+    EXPECT_EQ(back.quant, rep.quant);
+    EXPECT_EQ(back.batch, rep.batch);
+    EXPECT_DOUBLE_EQ(back.traceDramBytes, rep.traceDramBytes);
+    EXPECT_DOUBLE_EQ(back.attributedDramBytes, rep.attributedDramBytes);
+    ASSERT_EQ(back.traffic.size(), rep.traffic.size());
+    for (std::size_t i = 0; i < rep.traffic.size(); ++i) {
+        EXPECT_EQ(back.traffic[i].kernel, rep.traffic[i].kernel);
+        EXPECT_EQ(back.traffic[i].cause, rep.traffic[i].cause);
+        EXPECT_DOUBLE_EQ(back.traffic[i].bytes, rep.traffic[i].bytes);
+    }
+    ASSERT_EQ(back.kernels.size(), rep.kernels.size());
+    EXPECT_EQ(back.kernels[1].dominantBottleneck(), "bandwidth");
+}
+
+TEST(ProfileReport, ParseRejectsForeignDocuments)
+{
+    EXPECT_THROW(ProfileReport::parseJsonText("not json"),
+                 std::runtime_error);
+    EXPECT_THROW(ProfileReport::parseJsonText("{}"),
+                 std::runtime_error);
+    EXPECT_THROW(ProfileReport::parseJsonText(
+                     R"({"schema":"other.schema","version":1})"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        ProfileReport::parseJsonText(
+            R"({"schema":"mflstm.profile","version":999})"),
+        std::runtime_error);
+}
+
+TEST(ProfileDiff, IdenticalReportsProduceNoDeltas)
+{
+    const ProfileReport rep = reportFixture();
+    EXPECT_TRUE(obs::diffReports(rep, rep).empty());
+}
+
+TEST(ProfileDiff, FlagsByteRegressionAtTheNodeThatMoved)
+{
+    const ProfileReport base = reportFixture();
+    ProfileReport cur = base;
+    for (auto &node : cur.traffic) {
+        if (node.cause == "weight" && node.matrix == "U")
+            node.bytes *= 1.5;
+    }
+
+    const auto deltas = obs::diffReports(base, cur, 0.1);
+    ASSERT_FALSE(deltas.empty());
+    bool found = false;
+    for (const obs::ProfileDelta &d : deltas) {
+        if (d.node.find("Sgemv(U_fic, h)") != std::string::npos &&
+            d.node.find("weight") != std::string::npos) {
+            found = true;
+            EXPECT_TRUE(d.regression);
+            EXPECT_NEAR(d.ratio, 1.5, 1e-12);
+        }
+    }
+    EXPECT_TRUE(found);
+    // Rendered table mentions the node.
+    EXPECT_NE(obs::formatDeltas(deltas).find("Sgemv(U_fic, h)"),
+              std::string::npos);
+}
+
+TEST(ProfileDiff, NewNodeRegressesVanishedNodeDoesNot)
+{
+    const ProfileReport base = reportFixture();
+    ProfileReport cur = base;
+    ProfileReport::TrafficNode extra;
+    extra.layer = 2;
+    extra.matrix = "U";
+    extra.kernel = "Sgemv(U_new, h)";
+    extra.cause = "weight";
+    extra.bytes = 64.0;
+    cur.traffic.push_back(extra);
+
+    // New-from-zero traffic is a regression...
+    bool new_regresses = false;
+    for (const obs::ProfileDelta &d : obs::diffReports(base, cur)) {
+        if (d.node.find("Sgemv(U_new, h)") != std::string::npos)
+            new_regresses = d.regression;
+    }
+    EXPECT_TRUE(new_regresses);
+
+    // ...while traffic that vanished is an improvement.
+    for (const obs::ProfileDelta &d : obs::diffReports(cur, base)) {
+        if (d.node.find("Sgemv(U_new, h)") != std::string::npos) {
+            EXPECT_FALSE(d.regression);
+        }
+    }
+}
+
+TEST(ProfileDiff, FlagsKernelTimeRegressions)
+{
+    const ProfileReport base = reportFixture();
+    ProfileReport cur = base;
+    cur.kernels[1].timeUs *= 2.0;
+
+    bool found = false;
+    for (const obs::ProfileDelta &d : obs::diffReports(base, cur)) {
+        if (d.node.rfind("time:", 0) == 0 &&
+            d.node.find("Sgemv(U_fic, h)") != std::string::npos) {
+            found = true;
+            EXPECT_TRUE(d.regression);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ProfileReport, FormatTableShowsConservationAndBottlenecks)
+{
+    const std::string table = reportFixture().formatTable();
+    EXPECT_NE(table.find("conservation: OK"), std::string::npos);
+    EXPECT_NE(table.find("bandwidth"), std::string::npos);
+    EXPECT_NE(table.find("Sgemm(W_fico, x)"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Conservation property tests for the traffic-attribution ledger on the
+ * real lowering + simulator path (ISSUE 6 acceptance): for every Table
+ * II application, every plan kind and every quantization mode, the
+ * bytes the ledger attributes must equal the TraceResult DRAM total
+ * BIT-EXACTLY (EXPECT_EQ on the doubles, no epsilon), and no per-sample
+ * decomposition violation may be recorded. This is the automated
+ * replacement for the manual byte audit that found PR 5's CRM
+ * double-count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/ledger.hh"
+#include "runtime/executor.hh"
+#include "workloads/benchmarks.hh"
+
+namespace {
+
+using namespace mflstm;
+using runtime::ExecutionPlan;
+using runtime::PlanKind;
+
+const gpu::GpuConfig kCfg = gpu::GpuConfig::tegraX1();
+
+/**
+ * A synthetic but structurally complete plan for @p kind: aligned
+ * tissue schedules covering every cell, a DRS skip fraction in the
+ * regime the paper reports (~35%), and the comparator's prune level.
+ */
+ExecutionPlan
+planFor(PlanKind kind, const runtime::NetworkShape &shape,
+        quant::QuantMode qm)
+{
+    ExecutionPlan plan;
+    plan.kind = kind;
+    plan.quantMode = qm;
+    if (plan.usesInter()) {
+        for (const runtime::LstmLayerShape &layer : shape.layers) {
+            runtime::LayerInterPlan ip;
+            std::size_t left = layer.length;
+            while (left > 0) {
+                const std::size_t t = std::min<std::size_t>(4, left);
+                ip.tissueSizes.push_back(t);
+                left -= t;
+            }
+            plan.inter.push_back(std::move(ip));
+        }
+    }
+    if (plan.usesIntra())
+        plan.intra.assign(shape.layers.size(),
+                          runtime::LayerIntraPlan{0.35});
+    if (kind == PlanKind::ZeroPruning)
+        plan.pruneFraction = 0.3;
+    return plan;
+}
+
+void
+expectConserved(const runtime::NetworkShape &shape,
+                const ExecutionPlan &plan, std::size_t batch,
+                const std::string &label)
+{
+    obs::TrafficLedger ledger;
+    runtime::NetworkExecutor ex(kCfg);
+    ex.setLedger(&ledger);
+
+    const runtime::RunReport rep =
+        ex.run(runtime::RunRequest::network(shape, plan, batch));
+
+    // Bit-exact: the ledger accumulates sample totals in the same
+    // left-to-right order the simulator sums TraceResult::dramBytes.
+    EXPECT_EQ(ledger.attributedDramBytes(), rep.result.dramBytes)
+        << label;
+    EXPECT_EQ(ledger.samples(), rep.result.kernelCount) << label;
+
+    const auto errors = ledger.verifyConservation(rep.result.dramBytes);
+    EXPECT_TRUE(errors.empty()) << label << ": " << errors.front();
+
+    // The tree never invents traffic: per-cause sums stay within total.
+    double tree = 0.0;
+    for (const auto &node : ledger.traffic()) {
+        EXPECT_GE(node.second, 0.0) << label;
+        tree += node.second;
+    }
+    EXPECT_NEAR(tree, rep.result.dramBytes,
+                1e-9 * std::max(1.0, rep.result.dramBytes))
+        << label;
+}
+
+TEST(LedgerConservation, AllTableIIAppsAllPlanKindsAllQuantModes)
+{
+    const PlanKind kinds[] = {
+        PlanKind::Baseline,    PlanKind::InterCell,
+        PlanKind::IntraCellSw, PlanKind::IntraCellHw,
+        PlanKind::Combined,    PlanKind::ZeroPruning,
+    };
+    const quant::QuantMode modes[] = {
+        quant::QuantMode::Fp32,
+        quant::QuantMode::Int8,
+        quant::QuantMode::Int4,
+    };
+
+    for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
+        const runtime::NetworkShape shape = spec.timingShape();
+        for (PlanKind kind : kinds) {
+            for (quant::QuantMode qm : modes) {
+                const std::string label =
+                    spec.name + "/" + runtime::toString(kind) + "/qm" +
+                    std::to_string(static_cast<int>(qm));
+                expectConserved(shape, planFor(kind, shape, qm), 1,
+                                label);
+            }
+        }
+    }
+}
+
+TEST(LedgerConservation, HoldsAcrossBatchDimension)
+{
+    const runtime::NetworkShape shape =
+        runtime::NetworkShape::stacked(512, 512, 2, 20);
+    for (std::size_t batch : {1u, 3u, 8u}) {
+        for (PlanKind kind :
+             {PlanKind::Baseline, PlanKind::Combined}) {
+            expectConserved(
+                shape, planFor(kind, shape, quant::QuantMode::Int8),
+                batch,
+                "batch" + std::to_string(batch) + "/" +
+                    runtime::toString(kind));
+        }
+    }
+}
+
+TEST(LedgerConservation, LedgerAccumulatesAcrossRunsAndResets)
+{
+    const runtime::NetworkShape shape =
+        runtime::NetworkShape::stacked(256, 256, 1, 8);
+    obs::TrafficLedger ledger;
+    runtime::NetworkExecutor ex(kCfg);
+    ex.setLedger(&ledger);
+
+    const auto r1 = ex.run(runtime::RunRequest::network(
+        shape, planFor(PlanKind::Baseline, shape, quant::QuantMode::Fp32),
+        1));
+    const auto r2 = ex.run(runtime::RunRequest::network(
+        shape, planFor(PlanKind::Baseline, shape, quant::QuantMode::Fp32),
+        1));
+    // Two runs accumulate. Bit-exactness is an ordering guarantee, and
+    // (r1 + r2) sums per-run first while the ledger keeps one running
+    // sum across both — so across runs only ulp-level agreement holds.
+    EXPECT_NEAR(ledger.attributedDramBytes(),
+                r1.result.dramBytes + r2.result.dramBytes,
+                1e-12 * ledger.attributedDramBytes());
+
+    ledger.reset();
+    EXPECT_EQ(ledger.samples(), 0u);
+    const auto r3 = ex.run(runtime::RunRequest::network(
+        shape, planFor(PlanKind::Baseline, shape, quant::QuantMode::Fp32),
+        1));
+    EXPECT_TRUE(ledger.verifyConservation(r3.result.dramBytes).empty());
+}
+
+} // namespace

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Bench-report comparator: diffs two BENCH_<name>.json files (or two
+ * directories of them, matched by filename) produced by the shared
+ * bench::BenchReport writer, prints a per-metric delta table and gates
+ * on the geometric mean of the "goodness" ratios.
+ *
+ * Direction convention: a metric is lower-is-better when its dotted
+ * path ends in a cost suffix (_us, _ms, _ns, _bytes, _j, _cycles,
+ * _loss_pct, _overhead_pct); everything else — speedups, accuracies,
+ * scores, compression factors — is higher-is-better. Each comparable
+ * metric contributes the ratio current/baseline oriented so that >1
+ * means "got better"; the gate trips when the geomean of those ratios
+ * falls below 1 - tolerance (default 5%).
+ *
+ * Exit codes (PR 1 convention):
+ *   0  within tolerance
+ *   1  geomean regression beyond tolerance
+ *   2  usage error, unreadable input, or schema mismatch
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace {
+
+using namespace mflstm;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: bench_diff [--tolerance-pct P] <baseline> <current>\n"
+        "  <baseline>/<current>: a BENCH_*.json file, or a directory\n"
+        "  of them (matched pairwise by filename)\n"
+        "  --tolerance-pct P: allowed geomean regression, default 5\n");
+    std::exit(2);
+}
+
+/** One parsed BENCH_<name>.json: bench name -> metric -> value. */
+struct BenchFile
+{
+    std::string name;
+    std::map<std::string, double> metrics;
+};
+
+BenchFile
+loadBenchFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::fprintf(stderr, "bench_diff: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::optional<obs::JsonValue> doc = obs::parseJson(ss.str());
+    if (!doc || doc->kind != obs::JsonValue::Kind::Object) {
+        std::fprintf(stderr, "bench_diff: %s is not valid JSON\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    const obs::JsonValue *schema = doc->find("schema");
+    const obs::JsonValue *version = doc->find("version");
+    const obs::JsonValue *name = doc->find("name");
+    const obs::JsonValue *metrics = doc->find("metrics");
+    if (!schema || schema->str != "mflstm.bench" || !version ||
+        version->number != 1.0 || !name || !metrics ||
+        metrics->kind != obs::JsonValue::Kind::Object) {
+        std::fprintf(stderr,
+                     "bench_diff: %s is not a mflstm.bench v1 report\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    BenchFile f;
+    f.name = name->str;
+    for (const auto &[key, value] : metrics->members) {
+        if (value.kind == obs::JsonValue::Kind::Number)
+            f.metrics[key] = value.number;
+    }
+    return f;
+}
+
+/** Metric direction from the path suffix (see file comment). */
+bool
+lowerIsBetter(const std::string &metric)
+{
+    static const char *const kCostSuffixes[] = {
+        "_us",       "_ms",          "_ns",          "_bytes",
+        "_j",        "_cycles",      "_loss_pct",    "_overhead_pct",
+    };
+    for (const char *suffix : kCostSuffixes) {
+        const std::size_t n = std::strlen(suffix);
+        if (metric.size() >= n &&
+            metric.compare(metric.size() - n, n, suffix) == 0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+struct DiffStats
+{
+    std::vector<double> goodnessRatios;
+    std::size_t regressions = 0;
+    std::size_t compared = 0;
+};
+
+void
+diffOne(const std::string &label, const BenchFile &base,
+        const BenchFile &cur, double tolerance_pct, DiffStats &stats)
+{
+    std::printf("== %s ==\n", label.c_str());
+    std::printf("%-44s %14s %14s %9s\n", "metric", "baseline",
+                "current", "delta");
+
+    std::set<std::string> keys;
+    for (const auto &[k, v] : base.metrics)
+        keys.insert(k);
+    for (const auto &[k, v] : cur.metrics)
+        keys.insert(k);
+
+    for (const std::string &k : keys) {
+        const auto b = base.metrics.find(k);
+        const auto c = cur.metrics.find(k);
+        if (b == base.metrics.end()) {
+            std::printf("%-44s %14s %14.6g %9s\n", k.c_str(), "-",
+                        c->second, "new");
+            continue;
+        }
+        if (c == cur.metrics.end()) {
+            std::printf("%-44s %14.6g %14s %9s\n", k.c_str(),
+                        b->second, "-", "gone");
+            continue;
+        }
+        ++stats.compared;
+        const double bv = b->second, cv = c->second;
+        if (bv == 0.0 || cv == 0.0 || bv * cv < 0.0 ||
+            !std::isfinite(bv) || !std::isfinite(cv)) {
+            // No meaningful ratio (zero crossing / sign flip): print
+            // but leave it out of the geomean gate.
+            std::printf("%-44s %14.6g %14.6g %9s\n", k.c_str(), bv, cv,
+                        bv == cv ? "=" : "n/a");
+            continue;
+        }
+        const double delta_pct = 100.0 * (cv - bv) / std::fabs(bv);
+        const bool lower = lowerIsBetter(k);
+        const double goodness =
+            lower ? std::fabs(bv / cv) : std::fabs(cv / bv);
+        stats.goodnessRatios.push_back(goodness);
+        const bool worse = goodness < 1.0 - tolerance_pct / 100.0;
+        if (worse)
+            ++stats.regressions;
+        std::printf("%-44s %14.6g %14.6g %+8.2f%%%s\n", k.c_str(), bv,
+                    cv, delta_pct, worse ? "  <-- worse" : "");
+    }
+    std::printf("\n");
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+/** BENCH_*.json files directly inside @p dir, sorted by filename. */
+std::vector<std::string>
+benchFilesIn(const std::string &dir)
+{
+    std::vector<std::string> names;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string fn = entry.path().filename().string();
+        if (fn.rfind("BENCH_", 0) == 0 &&
+            fn.size() > 5 + 5 &&  // "BENCH_" ... ".json"
+            fn.compare(fn.size() - 5, 5, ".json") == 0) {
+            names.push_back(fn);
+        }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    double tolerance_pct = 5.0;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tolerance-pct") {
+            if (i + 1 >= argc)
+                usage();
+            char *end = nullptr;
+            tolerance_pct = std::strtod(argv[++i], &end);
+            if (end == nullptr || *end != '\0' || tolerance_pct < 0.0)
+                usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        usage();
+
+    const bool base_dir = std::filesystem::is_directory(paths[0]);
+    const bool cur_dir = std::filesystem::is_directory(paths[1]);
+    if (base_dir != cur_dir) {
+        std::fprintf(stderr,
+                     "bench_diff: %s and %s must both be files or both "
+                     "be directories\n",
+                     paths[0].c_str(), paths[1].c_str());
+        return 2;
+    }
+
+    DiffStats stats;
+    if (!base_dir) {
+        diffOne(paths[1], loadBenchFile(paths[0]),
+                loadBenchFile(paths[1]), tolerance_pct, stats);
+    } else {
+        const std::vector<std::string> base_files =
+            benchFilesIn(paths[0]);
+        const std::vector<std::string> cur_files = benchFilesIn(paths[1]);
+        std::size_t matched = 0;
+        for (const std::string &fn : base_files) {
+            if (std::find(cur_files.begin(), cur_files.end(), fn) ==
+                cur_files.end()) {
+                std::fprintf(stderr,
+                             "bench_diff: %s only in baseline dir\n",
+                             fn.c_str());
+                continue;
+            }
+            ++matched;
+            diffOne(fn, loadBenchFile(paths[0] + "/" + fn),
+                    loadBenchFile(paths[1] + "/" + fn), tolerance_pct,
+                    stats);
+        }
+        for (const std::string &fn : cur_files) {
+            if (std::find(base_files.begin(), base_files.end(), fn) ==
+                base_files.end()) {
+                std::fprintf(stderr,
+                             "bench_diff: %s only in current dir\n",
+                             fn.c_str());
+            }
+        }
+        if (matched == 0) {
+            std::fprintf(stderr,
+                         "bench_diff: no BENCH_*.json pair matched\n");
+            return 2;
+        }
+    }
+
+    const double gm = geomean(stats.goodnessRatios);
+    const bool gate = gm < 1.0 - tolerance_pct / 100.0;
+    std::printf("%zu metrics compared, %zu beyond tolerance; goodness "
+                "geomean %.4f (gate: < %.4f fails)\n",
+                stats.compared, stats.regressions, gm,
+                1.0 - tolerance_pct / 100.0);
+    if (gate) {
+        std::printf("REGRESSION: geomean worsened by more than %.1f%%\n",
+                    tolerance_pct);
+        return 1;
+    }
+    std::printf("OK\n");
+    return 0;
+}

@@ -8,6 +8,8 @@
  *   sweep --app NAME [options]   sweep the full threshold ladder
  *   mts   --app NAME             the Fig. 9 tissue-size sweep
  *   serve --app NAME [options]   batched serving demo (DESIGN.md §9)
+ *   profile --app NAME [options] byte-ledger attribution profile
+ *                                (DESIGN.md §13)
  *   fsck  [--cache-dir DIR]      verify every artifact in a cache dir
  *   help                         print usage
  *
@@ -22,8 +24,17 @@
  *   --trace-csv FILE   dump the lowered kernel trace as CSV
  *   --trace-out FILE   write a Chrome trace-event JSON timeline
  *                      (open in Perfetto / chrome://tracing)
- *   --metrics-out FILE write the metrics registry as JSON
+ *   --metrics-out FILE write the metrics registry (see --metrics-format)
+ *   --metrics-format F json (default) or prom (Prometheus text
+ *                      exposition) for --metrics-out
  *   --help             print usage and exit
+ *
+ * profile options:
+ *   --out FILE         write the attribution report JSON
+ *   --baseline FILE    differential mode: diff this run against a
+ *                      previously written report; per-node regressions
+ *                      beyond --tolerance-pct exit 1
+ *   --tolerance-pct X  regression threshold, percent (default 0.1)
  *
  * serve options (synthetic open-loop workload):
  *   --requests N       requests to submit (default 64)
@@ -66,6 +77,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -73,7 +85,9 @@
 #include "harness.hh"
 #include "io/fsck.hh"
 #include "nn/serialize.hh"
+#include "obs/ledger.hh"
 #include "obs/observer.hh"
+#include "obs/profile.hh"
 #include "quant/serialize.hh"
 #include "runtime/report.hh"
 #include "serve/engine.hh"
@@ -96,6 +110,12 @@ struct Options
     std::string traceCsv;
     std::string traceOut;
     std::string metricsOut;
+    std::string metricsFormat = "json";
+
+    // profile
+    std::string profileOut;
+    std::string baselinePath;
+    double tolerancePct = 0.1;
 
     // serve
     std::size_t requests = 64;
@@ -127,7 +147,7 @@ printUsage(std::FILE *to)
 {
     std::fprintf(
         to,
-        "usage: mflstm_cli <list|run|sweep|mts|serve|fsck|help> "
+        "usage: mflstm_cli <list|run|sweep|mts|serve|profile|fsck|help> "
         "[options]\n"
         "\n"
         "options:\n"
@@ -141,8 +161,17 @@ printUsage(std::FILE *to)
         "  --csv              emit one CSV row instead of the table\n"
         "  --trace-csv FILE   dump the lowered kernel trace as CSV\n"
         "  --trace-out FILE   write a Chrome trace-event JSON timeline\n"
-        "  --metrics-out FILE write the metrics registry as JSON\n"
+        "  --metrics-out FILE write the metrics registry (see "
+        "--metrics-format)\n"
+        "  --metrics-format F json (default) | prom for --metrics-out\n"
         "  --help             print this message and exit\n"
+        "\n"
+        "profile options:\n"
+        "  --out FILE         write the attribution report JSON\n"
+        "  --baseline FILE    diff against a saved report; regressions\n"
+        "                     beyond --tolerance-pct exit 1\n"
+        "  --tolerance-pct X  regression threshold, percent "
+        "(default 0.1)\n"
         "\n"
         "serve options (synthetic open-loop workload):\n"
         "  --requests N       requests to submit (default 64)\n"
@@ -222,9 +251,12 @@ writeObserverOutputs(const Options &opt, const obs::Observer &observer)
                          opt.metricsOut.c_str());
             return 2;
         }
-        observer.metrics().writeJson(os);
-        std::fprintf(stderr, "metrics written to %s\n",
-                     opt.metricsOut.c_str());
+        if (opt.metricsFormat == "prom")
+            observer.metrics().writePrometheus(os);
+        else
+            observer.metrics().writeJson(os);
+        std::fprintf(stderr, "metrics written to %s (%s)\n",
+                     opt.metricsOut.c_str(), opt.metricsFormat.c_str());
     }
     return 0;
 }
@@ -402,6 +434,123 @@ cmdMts(const Options &opt)
                     res.timesUs[k - 1] / 1e3,
                     100.0 * res.sharedUtilization[k - 1],
                     k == res.mts ? "<- MTS" : "");
+    }
+    return 0;
+}
+
+int
+cmdProfile(const Options &opt)
+{
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
+
+    // A mid-ladder rung keeps the profile cheap (no AO sweep);
+    // override with --set. Matches the serve default, so a profile
+    // explains what serve runs.
+    const std::size_t rung = opt.set ? *opt.set : ladder.size() / 2;
+    if (rung >= ladder.size()) {
+        std::fprintf(stderr, "error: --set must be 0..%zu\n",
+                     ladder.size() - 1);
+        return 2;
+    }
+    runtime::ExecutionPlan probe;
+    probe.kind = opt.plan;
+    mf->setThresholds(
+        {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0,
+         opt.quantMode});
+    // Populate the division/skip statistics the planner projects.
+    evalAccuracy(*mf, app);
+    const core::TimingOutcome out = mf->evaluateTiming(opt.plan);
+
+    // Re-run the planned trace with the ledger attached: attribution
+    // is a pure relabeling, so timing is identical to evaluateTiming.
+    runtime::NetworkExecutor ex(gpuFor(opt.gpuName), obs);
+    obs::TrafficLedger ledger;
+    ex.setLedger(&ledger);
+    const runtime::RunReport rep =
+        ex.run(mf->config().timingShape, out.plan);
+
+    obs::ProfileReport report = obs::ProfileReport::build(
+        ledger, rep.result.dramBytes, rep.result.timeUs);
+    report.app = opt.app;
+    report.plan = runtime::toString(opt.plan);
+    report.quant = quant::toString(opt.quantMode);
+    report.batch = 1;
+
+    std::printf("%s", report.formatTable().c_str());
+
+    if (!opt.profileOut.empty()) {
+        std::ofstream os(opt.profileOut);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.profileOut.c_str());
+            return 2;
+        }
+        report.writeJson(os);
+        std::fprintf(stderr, "profile report written to %s\n",
+                     opt.profileOut.c_str());
+    }
+
+    if (const int rc = writeObserverOutputs(opt, observer))
+        return rc;
+
+    if (!report.conserved()) {
+        std::fprintf(stderr,
+                     "error: conservation invariant broken (see "
+                     "table)\n");
+        return 1;
+    }
+
+    if (!opt.baselinePath.empty()) {
+        std::ifstream is(opt.baselinePath);
+        if (!is) {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         opt.baselinePath.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << is.rdbuf();
+        obs::ProfileReport base;
+        try {
+            base = obs::ProfileReport::parseJsonText(text.str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s: %s\n",
+                         opt.baselinePath.c_str(), e.what());
+            return 2;
+        }
+        const std::vector<obs::ProfileDelta> deltas =
+            obs::diffReports(base, report, opt.tolerancePct);
+        std::size_t regressions = 0;
+        for (const auto &d : deltas)
+            if (d.regression)
+                ++regressions;
+        if (deltas.empty()) {
+            std::printf("\nbaseline %s: no per-node differences\n",
+                        opt.baselinePath.c_str());
+        } else {
+            std::printf("\nbaseline %s: %zu node(s) changed, %zu "
+                        "regression(s) beyond %.2f%%\n%s",
+                        opt.baselinePath.c_str(), deltas.size(),
+                        regressions, opt.tolerancePct,
+                        obs::formatDeltas(deltas).c_str());
+        }
+        if (regressions)
+            return 1;
     }
     return 0;
 }
@@ -675,6 +824,24 @@ cmdServe(const Options &opt)
                 engine->latencyQuantileMs(0.90),
                 engine->latencyQuantileMs(0.99));
 
+    // Lifecycle decomposition from the per-request histograms.
+    const auto stage_q = [&](const char *name, double q) {
+        const obs::Histogram *h =
+            engine->observer().metrics().findHistogram(name);
+        return h ? h->quantile(q) : 0.0;
+    };
+    std::printf("\nrequest lifecycle (ms):\n");
+    std::printf("%-12s %10s %10s\n", "stage", "p50", "p95");
+    std::printf("%-12s %10.3f %10.3f\n", "queue",
+                stage_q("serve.queue_ms", 0.50),
+                stage_q("serve.queue_ms", 0.95));
+    std::printf("%-12s %10.3f %10.3f\n", "batch-wait",
+                stage_q("serve.batch_wait_ms", 0.50),
+                stage_q("serve.batch_wait_ms", 0.95));
+    std::printf("%-12s %10.3f %10.3f\n", "exec",
+                stage_q("serve.exec_ms", 0.50),
+                stage_q("serve.exec_ms", 0.95));
+
     std::printf("\nstatus distribution:\n");
     for (const auto &[status, n] : by_status)
         std::printf("  %-18s %llu\n", serve::toString(status),
@@ -734,7 +901,8 @@ main(int argc, char **argv)
     }
     if (opt.command != "list" && opt.command != "run" &&
         opt.command != "sweep" && opt.command != "mts" &&
-        opt.command != "serve" && opt.command != "fsck") {
+        opt.command != "serve" && opt.command != "profile" &&
+        opt.command != "fsck") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -881,6 +1049,35 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             opt.metricsOut = v;
+        } else if (arg == "--metrics-format") {
+            const char *v = next();
+            if (!v || (std::strcmp(v, "json") != 0 &&
+                       std::strcmp(v, "prom") != 0)) {
+                std::fprintf(stderr, "bad --metrics-format value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+            opt.metricsFormat = v;
+        } else if (arg == "--out") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.profileOut = v;
+        } else if (arg == "--baseline") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.baselinePath = v;
+        } else if (arg == "--tolerance-pct") {
+            const char *v = next();
+            char *end = nullptr;
+            const double x = v ? std::strtod(v, &end) : 0.0;
+            if (!v || end == v || *end != '\0' || x < 0.0) {
+                std::fprintf(stderr, "bad --tolerance-pct value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+            opt.tolerancePct = x;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return usage();
@@ -896,6 +1093,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
         if (opt.command == "serve")
             return cmdServe(opt);
+        if (opt.command == "profile")
+            return cmdProfile(opt);
         if (opt.command == "fsck")
             return cmdFsck(opt);
         return cmdMts(opt);
