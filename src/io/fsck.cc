@@ -16,6 +16,7 @@ schemaName(std::uint32_t kind)
     case kSchemaCalibration: return "container/calibration";
     case kSchemaEngineState: return "container/engine-state";
     case kSchemaQuantModel: return "container/quant-model";
+    case kSchemaTunedPlan: return "container/tuned-plan";
     default: return "container/unknown-schema";
     }
 }

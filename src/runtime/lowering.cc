@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -120,10 +121,11 @@ Lowering::layerWeightTraffic(double footprint_bytes, double sweeps) const
 }
 
 gpu::KernelDesc
-Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch,
-                     quant::QuantMode qm) const
+Lowering::inputSgemm(const LstmLayerShape &shape,
+                     const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double e = static_cast<double>(shape.inputSize);
     const double n = static_cast<double>(shape.length);
@@ -145,23 +147,24 @@ Lowering::inputSgemm(const LstmLayerShape &shape, std::size_t batch,
     k.l2AccessBytes = w_bytes + in_bytes + out_bytes;
     k.sharedBytes =
         macs * sgemmSharedBytesPerMac(shape.hiddenSize,
-                                      shape.length * batch);
+                                      shape.length * ctx.batch);
     if (qm != quant::QuantMode::Fp32)
         k.quantWeightElems = 4.0 * h * e;
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * n * b);
     k.syncsPerCta = 4;
     tagQuant(k, qm);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::cellSgemv(const LstmLayerShape &shape,
-                    double dram_bytes_weights, std::size_t batch,
-                    quant::QuantMode qm) const
+                    double dram_bytes_weights,
+                    const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double macs = 4.0 * h * h * b;
     const double vec_bytes = 5.0 * h * kFloat * b;  // h in, 4H out
@@ -184,23 +187,24 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
     // With B > 1 the kernel widens into a narrow Sgemm over the B
     // h-columns and inherits its shared-memory behaviour.
     k.sharedBytes =
-        batch > 1
-            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, batch)
+        ctx.batch > 1
+            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, ctx.batch)
             : macs * sgemvSharedBytesPerMac();
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * b);
     k.syncsPerCta = 2;
     tagQuant(k, qm);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
                       double dram_bytes_weights, double skip_fraction,
-                      std::size_t batch, quant::QuantMode qm) const
+                      const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double tk = static_cast<double>(tissue_size);
     const double keep = 1.0 - skip_fraction;
@@ -228,7 +232,7 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
                       tk * 5.0 * h * kFloat * b;
     k.sharedBytes = macs * keep *
                     sgemmSharedBytesPerMac(shape.hiddenSize,
-                                           tissue_size * batch);
+                                           tissue_size * ctx.batch);
     if (qm != quant::QuantMode::Fp32)
         k.quantWeightElems = 4.0 * h * h * (1.0 - 0.75 * all_skip);
     k.threadsPerCta = kCta;
@@ -240,15 +244,15 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
             skip_fraction * 3.0 * h * tk * b);
     }
     tagQuant(k, qm);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells,
-                      std::size_t batch) const
+                      const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double elems = h * static_cast<double>(cells) * b;
     const double bytes = 7.0 * elems * kFloat;  // gates + c in/out + h
@@ -267,21 +271,22 @@ Lowering::elementWise(const LstmLayerShape &shape, std::size_t cells,
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(elems);
     k.syncsPerCta = 0;
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::outputGateSgemv(const LstmLayerShape &shape,
-                          double dram_bytes_weights, std::size_t batch,
-                          quant::QuantMode qm, bool fused_flags) const
+                          double dram_bytes_weights,
+                          const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double macs = h * h * b;
 
     gpu::KernelDesc k;
-    k.name = fused_flags ? "Sgemv(U_o, h)+flags" : "Sgemv(U_o, h)";
+    k.name = ctx.fusedFlags ? "Sgemv(U_o, h)+flags" : "Sgemv(U_o, h)";
     k.klass = gpu::KernelClass::Sgemv;
     k.flops = 2.0 * macs;
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
@@ -291,7 +296,7 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
     k.dramWriteBytes = h * kFloat * b;
     k.l2AccessBytes = weightFootprintBytes(h * h, h, qm) +
                       2.0 * h * kFloat * b;
-    if (fused_flags) {
+    if (ctx.fusedFlags) {
         // sigma(o) + compare against alpha per element, one flag byte
         // out: noise next to the h^2 reduction.
         k.flops += 6.0 * h * b;
@@ -302,21 +307,22 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
     if (qm != quant::QuantMode::Fp32)
         k.quantWeightElems = h * h;
     k.sharedBytes =
-        batch > 1
-            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, batch)
+        ctx.batch > 1
+            ? macs * sgemmSharedBytesPerMac(shape.hiddenSize, ctx.batch)
             : macs * sgemvSharedBytesPerMac();
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(h * b);
     k.syncsPerCta = 2;
     tagQuant(k, qm);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
-Lowering::drsScan(const LstmLayerShape &shape, std::size_t batch) const
+Lowering::drsScan(const LstmLayerShape &shape,
+                  const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
 
     gpu::KernelDesc k;
@@ -329,27 +335,27 @@ Lowering::drsScan(const LstmLayerShape &shape, std::size_t batch) const
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(h * b);
     k.syncsPerCta = 1;
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::rowSkipSgemv(const LstmLayerShape &shape,
                        double dram_bytes_weights, double skip_fraction,
-                       bool hw_compacted, std::size_t batch,
-                       quant::QuantMode qm) const
+                       bool hw_compacted, const KernelBuildCtx &ctx) const
 {
     if (skip_fraction < 0.0 || skip_fraction > 1.0)
         throw std::invalid_argument("rowSkipSgemv: bad skip fraction");
 
-    const double b = checkedBatch(batch);
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double keep = 1.0 - skip_fraction;
     const double macs = 3.0 * h * h * b;
     // A weight row stays on the bus unless every sequence in the batch
     // skips it (each sequence computes its own R from its own o_t).
     const double all_skip =
-        batch > 1 ? std::pow(skip_fraction, b) : skip_fraction;
+        ctx.batch > 1 ? std::pow(skip_fraction, b) : skip_fraction;
 
     gpu::KernelDesc k;
     k.name = "Sgemv(U_fic, h, R)";
@@ -391,15 +397,15 @@ Lowering::rowSkipSgemv(const LstmLayerShape &shape,
     if (qm != quant::QuantMode::Fp32)
         k.quantWeightElems = 3.0 * h * h * keep;
     tagQuant(k, qm);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::relevanceKernel(const LstmLayerShape &shape,
-                          std::size_t batch) const
+                          const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double n = static_cast<double>(shape.length);
 
@@ -419,15 +425,16 @@ Lowering::relevanceKernel(const LstmLayerShape &shape,
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(n * h * b / 32.0);
     k.syncsPerCta = 1;
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::tissueGather(const LstmLayerShape &shape,
-                       std::size_t tissue_size, std::size_t batch) const
+                       std::size_t tissue_size,
+                       const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double tk = static_cast<double>(tissue_size);
 
@@ -440,16 +447,16 @@ Lowering::tissueGather(const LstmLayerShape &shape,
     k.dramWriteBytes = 0.0;
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(tk * h * b);
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
 gpu::KernelDesc
 Lowering::prunedSgemv(const LstmLayerShape &shape,
                       double dram_bytes_weights, double prune_fraction,
-                      std::size_t batch) const
+                      const KernelBuildCtx &ctx) const
 {
-    const double b = checkedBatch(batch);
+    const double b = checkedBatch(ctx.batch);
     const double h = static_cast<double>(shape.hiddenSize);
     const double keep = 1.0 - prune_fraction;
     const double macs = 4.0 * h * h * b;
@@ -473,7 +480,7 @@ Lowering::prunedSgemv(const LstmLayerShape &shape,
     k.threadsPerCta = kCta;
     k.ctas = ctasFor(4.0 * h * b);
     k.syncsPerCta = 2;
-    tagBatch(k, batch);
+    tagBatch(k, ctx.batch);
     return k;
 }
 
@@ -483,14 +490,22 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                      gpu::KernelTrace &out, std::size_t batch) const
 {
     checkedBatch(batch);
+
+    // Resolve the plan to this layer's explicit schedule (canonical
+    // preset derivation when the plan carries no decisions) and emit
+    // from it alone — the single dispatch path of DESIGN.md §14.
+    LayerSchedule ls = plan.layerSchedule(layer_index);
+    ls.validate();
+    const std::size_t eff_batch = ls.batch ? ls.batch : batch;
+    checkedBatch(eff_batch);
+
+    const quant::QuantMode qm = ls.quant;
+    const KernelBuildCtx ctx{eff_batch, qm, false};
     const double h = static_cast<double>(shape.hiddenSize);
     const double n = static_cast<double>(shape.length);
-    // The U footprint that actually crosses the bus: quantized plans
-    // stream integer codes plus the per-row fp32 scales (ZeroPruning's
-    // CSR comparator always stays fp32, see ExecutionPlan::quantMode).
-    const quant::QuantMode qm = plan.kind == PlanKind::ZeroPruning
-                                    ? quant::QuantMode::Fp32
-                                    : plan.quantMode;
+    // The U footprint that actually crosses the bus: quantized layers
+    // stream integer codes plus the per-row fp32 scales (the CSR
+    // comparator always stays fp32, enforced by LayerSchedule).
     const double u_bytes = weightFootprintBytes(4.0 * h * h, 4.0 * h, qm);
 
     // Provenance tags consumed by the observability timeline.
@@ -503,63 +518,55 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
         out.push_back(std::move(k));
     };
 
-    push(inputSgemm(shape, batch, qm));
+    push(inputSgemm(shape, ctx));
 
-    // A layer the breakpoint search could not divide (all tissues of
-    // size 1) gains nothing from the tissue flow but would pay its
-    // per-tissue kernel overheads; fall back to the per-cell flow.
-    const bool inter = plan.usesInter() &&
-                       layer_index < plan.inter.size() &&
-                       !plan.inter[layer_index].tissueSizes.empty() &&
-                       plan.inter[layer_index].maxTissue() > 1;
-    const bool intra = plan.usesIntra() &&
-                       layer_index < plan.intra.size();
-    const double skip =
-        intra ? plan.intra[layer_index].skipFraction : 0.0;
-
-    if (plan.kind == PlanKind::ZeroPruning) {
+    if (ls.prunedCsr) {
         // CSR storage: surviving values + 4 B column indices (1.5x the
         // surviving value bytes).
         const double pruned_footprint =
-            u_bytes * (1.0 - plan.pruneFraction) * 1.5;
+            u_bytes * (1.0 - ls.pruneFraction) * 1.5;
         const double traffic = layerWeightTraffic(pruned_footprint, n);
         for (std::size_t t = 0; t < shape.length; ++t) {
             const int ts = static_cast<int>(t);
-            push(prunedSgemv(shape, traffic / n, plan.pruneFraction,
-                             batch),
+            push(prunedSgemv(shape, traffic / n, ls.pruneFraction, ctx),
                  ts);
-            push(elementWise(shape, 1, batch), ts);
+            push(elementWise(shape, 1, ctx), ts);
         }
         return;
     }
 
-    if (inter) {
-        const LayerInterPlan &ip = plan.inter[layer_index];
-        if (ip.totalCells() != shape.length)
+    // A layer the breakpoint search could not divide (all tissues of
+    // size 1) gains nothing from the tissue flow but would pay its
+    // per-tissue kernel overheads; usesTissues() falls back to the
+    // per-cell flow.
+    if (ls.usesTissues()) {
+        const std::vector<std::size_t> &sizes = ls.tissueSizes;
+        if (std::accumulate(sizes.begin(), sizes.end(),
+                            std::size_t{0}) != shape.length)
             throw std::invalid_argument(
                 "lowerLayer: tissue sizes do not cover the layer");
 
-        push(relevanceKernel(shape, batch));
+        push(relevanceKernel(shape, ctx));
 
-        const double tissues = static_cast<double>(ip.tissueSizes.size());
+        const double tissues = static_cast<double>(sizes.size());
         const double traffic = layerWeightTraffic(u_bytes, tissues);
         int cell = 0;
         int ti = 0;
-        for (std::size_t tissue : ip.tissueSizes) {
-            push(tissueGather(shape, tissue, batch), cell, ti);
-            if (intra && skip > 0.0) {
+        for (std::size_t tissue : sizes) {
+            push(tissueGather(shape, tissue, ctx), cell, ti);
+            if (ls.skipActive()) {
                 // Combined flow: per-tissue U_o Sgemm (whose epilogue
-                // applies sigma and emits relevance flags -- Combined
-                // always dispatches through the CRM, which compacts
-                // them in hardware), then the row-skipped U_fic Sgemm.
-                const double h = static_cast<double>(shape.hiddenSize);
+                // applies sigma and emits relevance flags -- DRS inside
+                // a tissue always dispatches through the CRM, which
+                // compacts them in hardware), then the row-skipped
+                // U_fic Sgemm.
                 const double flag_elems =
-                    h * static_cast<double>(tissue * batch);
+                    h * static_cast<double>(tissue * eff_batch);
                 gpu::KernelDesc uo =
-                    tissueSgemm(shape, tissue, 0.0, 0.0, batch, qm);
+                    tissueSgemm(shape, tissue, 0.0, 0.0, ctx);
                 uo.name = "Sgemm(U_o, H_t)+flags";
                 tagQuant(uo, qm);
-                tagBatch(uo, batch);
+                tagBatch(uo, eff_batch);
                 uo.flops *= 0.25;
                 uo.dramReadBytes = traffic / tissues * 0.25;
                 uo.dramWeightBytes = uo.dramReadBytes;
@@ -580,10 +587,10 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
 
                 gpu::KernelDesc fic =
                     tissueSgemm(shape, tissue, traffic / tissues * 0.75,
-                                skip, batch, qm);
+                                ls.skipFraction, ctx);
                 fic.name = "Sgemm(U_fic, H_t, R)";
                 tagQuant(fic, qm);
-                tagBatch(fic, batch);
+                tagBatch(fic, eff_batch);
                 fic.flops *= 0.75;
                 fic.sharedBytes *= 0.75;
                 fic.l2AccessBytes *= 0.75;
@@ -591,46 +598,48 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                 push(std::move(fic), cell, ti);
             } else {
                 push(tissueSgemm(shape, tissue, traffic / tissues, 0.0,
-                                 batch, qm),
+                                 ctx),
                      cell, ti);
             }
-            push(elementWise(shape, tissue, batch), cell, ti);
+            push(elementWise(shape, tissue, ctx), cell, ti);
             cell += static_cast<int>(tissue);
             ++ti;
         }
         return;
     }
 
-    if (intra && skip > 0.0) {
+    if (ls.skipActive()) {
         // Algorithm 3, per cell.
-        const bool hw = plan.usesCrmHardware();
+        const bool hw = ls.skipPath == SkipPath::HwCrm;
+        const bool fused = ls.flagFusion == FlagFusion::FusedEpilogue;
         const double uo_traffic = layerWeightTraffic(u_bytes * 0.25, n);
         const double fic_traffic = layerWeightTraffic(u_bytes * 0.75, n);
+        KernelBuildCtx fctx = ctx;
+        fctx.fusedFlags = true;
         for (std::size_t t = 0; t < shape.length; ++t) {
             const int ts = static_cast<int>(t);
-            if (hw) {
-                // CRM dataflow (Section V-B): the U_o epilogue applies
-                // sigma and writes raw relevance flags; the CRM's
-                // prefix-sum datapath compacts them in the dispatch
-                // stage (priced as crmCycles by the GMU model), so the
-                // software scan kernel and its extra element-wise pass
-                // never launch.
-                push(outputGateSgemv(shape, uo_traffic / n, batch, qm,
-                                     true),
+            if (fused) {
+                // Fused flag epilogue (Section V-B for hw-crm; on the
+                // software path a searched fusion): the U_o epilogue
+                // applies sigma and writes raw relevance flags, so the
+                // standalone scan kernel and its extra element-wise
+                // pass never launch. With the CRM the prefix-sum
+                // datapath compacts the flags in the dispatch stage
+                // (priced as crmCycles by the GMU model); the software
+                // path keeps its divergent warps.
+                push(outputGateSgemv(shape, uo_traffic / n, fctx), ts);
+                push(rowSkipSgemv(shape, fic_traffic / n,
+                                  ls.skipFraction, hw, ctx),
                      ts);
-                push(rowSkipSgemv(shape, fic_traffic / n, skip, hw,
-                                  batch, qm),
-                     ts);
-                push(elementWise(shape, 1, batch), ts);
+                push(elementWise(shape, 1, ctx), ts);
             } else {
-                push(outputGateSgemv(shape, uo_traffic / n, batch, qm),
+                push(outputGateSgemv(shape, uo_traffic / n, ctx), ts);
+                push(elementWise(shape, 1, ctx), ts);
+                push(drsScan(shape, ctx), ts);
+                push(rowSkipSgemv(shape, fic_traffic / n,
+                                  ls.skipFraction, hw, ctx),
                      ts);
-                push(elementWise(shape, 1, batch), ts);
-                push(drsScan(shape, batch), ts);
-                push(rowSkipSgemv(shape, fic_traffic / n, skip, hw,
-                                  batch, qm),
-                     ts);
-                push(elementWise(shape, 1, batch), ts);
+                push(elementWise(shape, 1, ctx), ts);
             }
         }
         return;
@@ -640,8 +649,8 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
     const double traffic = layerWeightTraffic(u_bytes, n);
     for (std::size_t t = 0; t < shape.length; ++t) {
         const int ts = static_cast<int>(t);
-        push(cellSgemv(shape, traffic / n, batch, qm), ts);
-        push(elementWise(shape, 1, batch), ts);
+        push(cellSgemv(shape, traffic / n, ctx), ts);
+        push(elementWise(shape, 1, ctx), ts);
     }
 }
 

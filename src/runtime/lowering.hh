@@ -16,6 +16,13 @@
  *
  * plus the zero-pruning comparator of Section VI-B2.
  *
+ * Dispatch is decision-driven (DESIGN.md §14): lowerLayer resolves the
+ * plan to a per-layer LayerSchedule (explicit decisions, or the
+ * canonical preset derivation) and emits from that alone — the legacy
+ * PlanKind presets lower bit-identically through this path, and the
+ * src/sched search can compose points the enum never named (software
+ * skip with a fused flag epilogue, per-layer precision).
+ *
  * Traffic calibration (see DESIGN.md §5): Sgemv stages the input vector
  * in shared memory (4 B/MAC of on-chip traffic) and streams weights from
  * DRAM through the L2; Sgemm stages both operand tiles in shared memory
@@ -63,6 +70,30 @@ double sgemvSharedBytesPerMac();
  */
 double swSkipCoalescedSaving();
 
+/**
+ * Common knobs of every kernel builder, collapsed into one options
+ * struct (the old trailing `(batch, quantMode, ...)` parameter tails).
+ * Default-constructed it yields the unbatched fp32 kernel. New
+ * backend/persistent-kernel knobs belong here, not as another defaulted
+ * parameter on ten builders.
+ */
+struct KernelBuildCtx
+{
+    /// sequences sharing every weight fetch (>= 1)
+    std::size_t batch = 1;
+    /// weight precision priced into the DRAM/L2 terms (DESIGN.md §12)
+    quant::QuantMode quant = quant::QuantMode::Fp32;
+    /**
+     * outputGateSgemv only: the epilogue also applies sigma and emits
+     * the relevance flag per output element (the CRM dataflow — the
+     * hardware consumes raw flags in the dispatch stage, so no
+     * standalone scan kernel runs).
+     */
+    bool fusedFlags = false;
+
+    bool operator==(const KernelBuildCtx &) const = default;
+};
+
 /** Lowers network shapes + plans into kernel traces for one GPU. */
 class Lowering
 {
@@ -71,7 +102,10 @@ class Lowering
 
     /**
      * Lower one layer; appends kernels to @p out. @p batch sequences
-     * share every weight fetch (1 = the single-sequence flow).
+     * share every weight fetch (1 = the single-sequence flow). The
+     * layer's LayerSchedule (plan.layerSchedule(layer_index)) decides
+     * every emission choice; it is validated before anything is
+     * emitted.
      */
     void lowerLayer(const LstmLayerShape &shape,
                     const ExecutionPlan &plan, std::size_t layer_index,
@@ -87,16 +121,16 @@ class Lowering
                            std::size_t first_layer_index = 0) const;
 
     // --- Individual kernel builders (exposed for tests/benches) --------
-    // Every builder takes the batch dimension and then the weight
-    // precision last; omitting them yields the unbatched fp32 kernel.
-    // A quantized mode shrinks the weight-side DRAM/L2 terms by
-    // quant::bytesPerWeight (plus a 4 B/row scale stream) and sets
-    // KernelDesc::quantWeightElems for the in-register dequant cost.
+    // Every builder takes a KernelBuildCtx last; omitting it yields the
+    // unbatched fp32 kernel. A quantized ctx shrinks the weight-side
+    // DRAM/L2 terms by quant::bytesPerWeight (plus a 4 B/row scale
+    // stream) and sets KernelDesc::quantWeightElems for the in-register
+    // dequant cost. The positional (batch, quantMode, ...) overloads
+    // are deprecated forwarding shims kept for one PR.
 
     /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
-    gpu::KernelDesc
-    inputSgemm(const LstmLayerShape &shape, std::size_t batch = 1,
-               quant::QuantMode qm = quant::QuantMode::Fp32) const;
+    gpu::KernelDesc inputSgemm(const LstmLayerShape &shape,
+                               const KernelBuildCtx &ctx = {}) const;
 
     /**
      * Baseline per-cell Sgemv(U_{f,i,c,o}, h_{t-1}); with a batch it
@@ -105,38 +139,34 @@ class Lowering
      *        weight-streaming DRAM traffic (cache model applied at layer
      *        granularity).
      */
-    gpu::KernelDesc
-    cellSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
-              std::size_t batch = 1,
-              quant::QuantMode qm = quant::QuantMode::Fp32) const;
+    gpu::KernelDesc cellSgemv(const LstmLayerShape &shape,
+                              double dram_bytes_weights,
+                              const KernelBuildCtx &ctx = {}) const;
 
     /** Per-tissue Sgemm(U_{f,i,c,o}, H_t) over @p tissue_size cells. */
-    gpu::KernelDesc
-    tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
-                double dram_bytes_weights, double skip_fraction,
-                std::size_t batch = 1,
-                quant::QuantMode qm = quant::QuantMode::Fp32) const;
+    gpu::KernelDesc tissueSgemm(const LstmLayerShape &shape,
+                                std::size_t tissue_size,
+                                double dram_bytes_weights,
+                                double skip_fraction,
+                                const KernelBuildCtx &ctx = {}) const;
 
     /** Element-wise kernel over @p cells cells' gate vectors. */
     gpu::KernelDesc elementWise(const LstmLayerShape &shape,
                                 std::size_t cells,
-                                std::size_t batch = 1) const;
+                                const KernelBuildCtx &ctx = {}) const;
 
     /**
-     * DRS split kernel 1: Sgemv(U_o, h_{t-1}). With @p fused_flags the
+     * DRS split kernel 1: Sgemv(U_o, h_{t-1}). With ctx.fusedFlags the
      * epilogue also applies sigma and emits the relevance flag per
-     * output element (the CRM dataflow: the hardware consumes raw flags
-     * in the dispatch stage, so no standalone scan kernel runs).
+     * output element.
      */
-    gpu::KernelDesc
-    outputGateSgemv(const LstmLayerShape &shape,
-                    double dram_bytes_weights, std::size_t batch = 1,
-                    quant::QuantMode qm = quant::QuantMode::Fp32,
-                    bool fused_flags = false) const;
+    gpu::KernelDesc outputGateSgemv(const LstmLayerShape &shape,
+                                    double dram_bytes_weights,
+                                    const KernelBuildCtx &ctx = {}) const;
 
     /** DRS threshold/scan kernel (Algorithm 3 line 6). */
     gpu::KernelDesc drsScan(const LstmLayerShape &shape,
-                            std::size_t batch = 1) const;
+                            const KernelBuildCtx &ctx = {}) const;
 
     /**
      * DRS split kernel 2: Sgemv(U_{f,i,c}, h, R) with @p skip_fraction of
@@ -146,26 +176,107 @@ class Lowering
      * saved weight traffic shrinks as skip^batch (the cross-sequence
      * analogue of the Section VI-B3 overlap).
      */
-    gpu::KernelDesc
-    rowSkipSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
-                 double skip_fraction, bool hw_compacted,
-                 std::size_t batch = 1,
-                 quant::QuantMode qm = quant::QuantMode::Fp32) const;
+    gpu::KernelDesc rowSkipSgemv(const LstmLayerShape &shape,
+                                 double dram_bytes_weights,
+                                 double skip_fraction, bool hw_compacted,
+                                 const KernelBuildCtx &ctx = {}) const;
 
     /** Inter-cell breakpoint search + link prediction (runtime ops). */
     gpu::KernelDesc relevanceKernel(const LstmLayerShape &shape,
-                                    std::size_t batch = 1) const;
+                                    const KernelBuildCtx &ctx = {}) const;
 
     /** Gathers h/c vectors of a tissue into the batched H_t/C_t. */
     gpu::KernelDesc tissueGather(const LstmLayerShape &shape,
                                  std::size_t tissue_size,
-                                 std::size_t batch = 1) const;
+                                 const KernelBuildCtx &ctx = {}) const;
 
     /** Sparse (zero-pruned) per-cell Sgemv of the comparator scheme. */
     gpu::KernelDesc prunedSgemv(const LstmLayerShape &shape,
                                 double dram_bytes_weights,
                                 double prune_fraction,
-                                std::size_t batch = 1) const;
+                                const KernelBuildCtx &ctx = {}) const;
+
+    // --- Deprecated positional forwarding overloads (one PR) -----------
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    inputSgemm(const LstmLayerShape &shape, std::size_t batch,
+               quant::QuantMode qm = quant::QuantMode::Fp32) const
+    {
+        return inputSgemm(shape, KernelBuildCtx{batch, qm, false});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    cellSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
+              std::size_t batch,
+              quant::QuantMode qm = quant::QuantMode::Fp32) const
+    {
+        return cellSgemv(shape, dram_bytes_weights,
+                         KernelBuildCtx{batch, qm, false});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
+                double dram_bytes_weights, double skip_fraction,
+                std::size_t batch,
+                quant::QuantMode qm = quant::QuantMode::Fp32) const
+    {
+        return tissueSgemm(shape, tissue_size, dram_bytes_weights,
+                           skip_fraction, KernelBuildCtx{batch, qm, false});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    elementWise(const LstmLayerShape &shape, std::size_t cells,
+                std::size_t batch) const
+    {
+        return elementWise(shape, cells, KernelBuildCtx{batch});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    outputGateSgemv(const LstmLayerShape &shape,
+                    double dram_bytes_weights, std::size_t batch,
+                    quant::QuantMode qm = quant::QuantMode::Fp32,
+                    bool fused_flags = false) const
+    {
+        return outputGateSgemv(shape, dram_bytes_weights,
+                               KernelBuildCtx{batch, qm, fused_flags});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    drsScan(const LstmLayerShape &shape, std::size_t batch) const
+    {
+        return drsScan(shape, KernelBuildCtx{batch});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    rowSkipSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
+                 double skip_fraction, bool hw_compacted,
+                 std::size_t batch,
+                 quant::QuantMode qm = quant::QuantMode::Fp32) const
+    {
+        return rowSkipSgemv(shape, dram_bytes_weights, skip_fraction,
+                            hw_compacted, KernelBuildCtx{batch, qm, false});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    relevanceKernel(const LstmLayerShape &shape, std::size_t batch) const
+    {
+        return relevanceKernel(shape, KernelBuildCtx{batch});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    tissueGather(const LstmLayerShape &shape, std::size_t tissue_size,
+                 std::size_t batch) const
+    {
+        return tissueGather(shape, tissue_size, KernelBuildCtx{batch});
+    }
+
+    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
+    prunedSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
+                double prune_fraction, std::size_t batch) const
+    {
+        return prunedSgemv(shape, dram_bytes_weights, prune_fraction,
+                           KernelBuildCtx{batch});
+    }
 
     /** Per-layer weight-streaming DRAM traffic (cache model). */
     double layerWeightTraffic(double footprint_bytes,

@@ -23,8 +23,30 @@ toString(PlanKind kind)
         return "combined";
       case PlanKind::ZeroPruning:
         return "zero-pruning";
+      case PlanKind::Tuned:
+        return "tuned";
     }
     return "unknown";
+}
+
+std::optional<PlanKind>
+planKindFromString(const std::string &s)
+{
+    if (s == "baseline")
+        return PlanKind::Baseline;
+    if (s == "inter-cell" || s == "inter")
+        return PlanKind::InterCell;
+    if (s == "intra-cell-sw" || s == "intra-sw")
+        return PlanKind::IntraCellSw;
+    if (s == "intra-cell-hw" || s == "intra-hw")
+        return PlanKind::IntraCellHw;
+    if (s == "combined")
+        return PlanKind::Combined;
+    if (s == "zero-pruning")
+        return PlanKind::ZeroPruning;
+    if (s == "tuned")
+        return PlanKind::Tuned;
+    return std::nullopt;
 }
 
 NetworkShape
@@ -56,6 +78,66 @@ LayerInterPlan::maxTissue() const
     return tissueSizes.empty()
                ? 0
                : *std::max_element(tissueSizes.begin(), tissueSizes.end());
+}
+
+LayerSchedule
+ExecutionPlan::layerSchedule(std::size_t layer_index) const
+{
+    LayerSchedule ls;
+    if (hasExplicitDecisions()) {
+        if (layer_index < decisions.layers.size())
+            return decisions.layers[layer_index];
+        ls.quant = quantMode;
+        return ls;
+    }
+
+    // Canonical preset derivation: exactly the conventions the lowering
+    // hard-coded before the decisions existed.
+    ls.quant = kind == PlanKind::ZeroPruning ? quant::QuantMode::Fp32
+                                             : quantMode;
+    if (kind == PlanKind::ZeroPruning) {
+        ls.prunedCsr = true;
+        ls.pruneFraction = pruneFraction;
+        return ls;
+    }
+    if (usesInter() && layer_index < inter.size())
+        ls.tissueSizes = inter[layer_index].tissueSizes;
+    if (usesIntra() && layer_index < intra.size()) {
+        ls.skipFraction = intra[layer_index].skipFraction;
+        ls.skipPath = usesCrmHardware() ? SkipPath::HwCrm
+                                        : SkipPath::Software;
+        ls.flagFusion = usesCrmHardware() ? FlagFusion::FusedEpilogue
+                                          : FlagFusion::Standalone;
+    }
+    return ls;
+}
+
+ScheduleDecisions
+ExecutionPlan::explicitDecisions(std::size_t num_layers) const
+{
+    ScheduleDecisions d;
+    d.layers.reserve(num_layers);
+    for (std::size_t l = 0; l < num_layers; ++l)
+        d.layers.push_back(layerSchedule(l));
+    return d;
+}
+
+ExecutionPlan
+ExecutionPlan::fromDecisions(ScheduleDecisions d)
+{
+    d.validate();
+
+    ExecutionPlan plan;
+    plan.kind = PlanKind::Tuned;
+    if (!d.layers.empty()) {
+        const quant::QuantMode q0 = d.layers.front().quant;
+        const bool uniform = std::all_of(
+            d.layers.begin(), d.layers.end(),
+            [&](const LayerSchedule &l) { return l.quant == q0; });
+        plan.quantMode = uniform ? q0 : quant::QuantMode::Fp32;
+    }
+    plan.decisions = std::move(d);
+    return plan;
 }
 
 } // namespace runtime

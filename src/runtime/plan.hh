@@ -3,17 +3,29 @@
  * Execution plans: which dataflow the runtime lowers an LSTM network
  * onto. A plan is pure schedule/approximation metadata — the decisions
  * themselves (where to break context links, how many rows to skip) are
- * produced by the optimisation passes in src/core and recorded here.
+ * produced by the optimisation passes in src/core (or searched by
+ * src/sched) and recorded here.
+ *
+ * Two equivalent surfaces coexist (DESIGN.md §14): the legacy preset
+ * fields (kind + inter/intra/pruneFraction/quantMode) that every
+ * existing call site and artifact schema speaks, and the explicit
+ * per-layer ScheduleDecisions the lowering actually consumes. When
+ * `decisions` is empty, layerSchedule() canonicalises the preset
+ * fields on the fly — presets therefore lower bit-identically through
+ * the decision path. A tuned plan (fromDecisions) carries explicit
+ * decisions and reports PlanKind::Tuned.
  */
 
 #ifndef MFLSTM_RUNTIME_PLAN_HH
 #define MFLSTM_RUNTIME_PLAN_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "quant/qformat.hh"
+#include "runtime/schedule.hh"
 
 namespace mflstm {
 namespace runtime {
@@ -26,9 +38,17 @@ enum class PlanKind {
     IntraCellHw,  ///< Section V DRS with the CRM hardware
     Combined,     ///< inter + intra(HW) together
     ZeroPruning,  ///< element-level magnitude pruning comparator [31]
+    Tuned,        ///< explicit searched ScheduleDecisions (src/sched)
 };
 
 const char *toString(PlanKind kind);
+
+/**
+ * Parse a plan-kind spelling; nullopt on anything unknown. Accepts the
+ * canonical toString() names plus the historical CLI short forms
+ * ("inter", "intra-sw", "intra-hw") so reports and flags round-trip.
+ */
+std::optional<PlanKind> planKindFromString(const std::string &s);
 
 /** Static shape of one LSTM layer on the device. */
 struct LstmLayerShape
@@ -96,16 +116,69 @@ struct ExecutionPlan
      * Weight precision the lowered kernels stream (DESIGN.md §12).
      * Orthogonal to the dataflow kinds above: every kind except
      * ZeroPruning (whose CSR comparator stays fp32) prices its
-     * W/U traffic at quant::bytesPerWeight(quantMode).
+     * W/U traffic at quant::bytesPerWeight(quantMode). For a plan with
+     * explicit per-layer decisions this is a reporting label (the
+     * uniform layer precision, Fp32 when layers disagree); the
+     * lowering reads LayerSchedule::quant.
      */
     quant::QuantMode quantMode = quant::QuantMode::Fp32;
+    /**
+     * Explicit per-layer schedule (DESIGN.md §14). Empty on preset
+     * plans: layerSchedule() then derives the canonical decisions from
+     * the legacy fields above. Non-empty decisions take precedence
+     * over the legacy fields everywhere (lowering and the predicate
+     * helpers below).
+     */
+    ScheduleDecisions decisions;
+
+    /** True when this plan carries explicit per-layer decisions. */
+    bool hasExplicitDecisions() const { return !decisions.empty(); }
+
+    /**
+     * The schedule the lowering executes for @p layer_index: the
+     * explicit decision when present (a dense layer at the plan's
+     * quantMode beyond the decision vector), else the canonical preset
+     * derivation of the legacy fields — exactly the conventions the
+     * pre-§14 lowering hard-coded, including the ZeroPruning fp32
+     * override and the skip path / flag fusion each kind implies.
+     */
+    LayerSchedule layerSchedule(std::size_t layer_index) const;
+
+    /**
+     * Compatibility constructor for searched schedules: wraps explicit
+     * @p d into a plan reporting PlanKind::Tuned. quantMode is set to
+     * the layers' uniform precision (Fp32 when mixed) as a display
+     * label. @throws std::invalid_argument via d.validate().
+     */
+    static ExecutionPlan fromDecisions(ScheduleDecisions d);
+
+    /**
+     * Materialise this plan's schedule for @p num_layers layers as
+     * explicit decisions (layerSchedule() per layer). Lowering the
+     * result via fromDecisions() is bit-identical to lowering this
+     * plan — how the tuner freezes a winning preset into the tuned-plan
+     * artifact.
+     */
+    ScheduleDecisions explicitDecisions(std::size_t num_layers) const;
 
     bool usesInter() const
     {
+        if (hasExplicitDecisions()) {
+            for (const LayerSchedule &l : decisions.layers)
+                if (l.usesTissues())
+                    return true;
+            return false;
+        }
         return kind == PlanKind::InterCell || kind == PlanKind::Combined;
     }
     bool usesIntra() const
     {
+        if (hasExplicitDecisions()) {
+            for (const LayerSchedule &l : decisions.layers)
+                if (l.skipPath != SkipPath::Off)
+                    return true;
+            return false;
+        }
         return kind == PlanKind::IntraCellSw ||
                kind == PlanKind::IntraCellHw ||
                kind == PlanKind::Combined;
@@ -113,6 +186,12 @@ struct ExecutionPlan
     /** Lowering emits HW-compacted row-skip kernels (CRM available). */
     bool usesCrmHardware() const
     {
+        if (hasExplicitDecisions()) {
+            for (const LayerSchedule &l : decisions.layers)
+                if (l.skipPath == SkipPath::HwCrm)
+                    return true;
+            return false;
+        }
         return kind == PlanKind::IntraCellHw ||
                kind == PlanKind::Combined;
     }

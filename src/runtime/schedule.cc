@@ -1,0 +1,116 @@
+#include "runtime/schedule.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mflstm {
+namespace runtime {
+
+const char *
+toString(SkipPath path)
+{
+    switch (path) {
+      case SkipPath::Off:
+        return "off";
+      case SkipPath::Software:
+        return "sw";
+      case SkipPath::HwCrm:
+        return "hw-crm";
+    }
+    return "unknown";
+}
+
+const char *
+toString(FlagFusion fusion)
+{
+    switch (fusion) {
+      case FlagFusion::Standalone:
+        return "standalone";
+      case FlagFusion::FusedEpilogue:
+        return "fused-epilogue";
+    }
+    return "unknown";
+}
+
+std::optional<SkipPath>
+parseSkipPath(const std::string &s)
+{
+    if (s == "off")
+        return SkipPath::Off;
+    if (s == "sw")
+        return SkipPath::Software;
+    if (s == "hw-crm")
+        return SkipPath::HwCrm;
+    return std::nullopt;
+}
+
+std::optional<FlagFusion>
+parseFlagFusion(const std::string &s)
+{
+    if (s == "standalone")
+        return FlagFusion::Standalone;
+    if (s == "fused-epilogue")
+        return FlagFusion::FusedEpilogue;
+    return std::nullopt;
+}
+
+bool
+LayerSchedule::usesTissues() const
+{
+    if (tissueSizes.empty())
+        return false;
+    return *std::max_element(tissueSizes.begin(), tissueSizes.end()) > 1;
+}
+
+void
+LayerSchedule::validate() const
+{
+    if (!std::isfinite(skipFraction) || skipFraction < 0.0 ||
+        skipFraction > 1.0)
+        throw std::invalid_argument(
+            "LayerSchedule: skipFraction outside [0, 1]");
+    if (!std::isfinite(pruneFraction) || pruneFraction < 0.0 ||
+        pruneFraction > 1.0)
+        throw std::invalid_argument(
+            "LayerSchedule: pruneFraction outside [0, 1]");
+    if (skipPath == SkipPath::HwCrm &&
+        flagFusion != FlagFusion::FusedEpilogue)
+        throw std::invalid_argument(
+            "LayerSchedule: the CRM consumes raw flags from the fused "
+            "U_o epilogue (hw-crm requires fused-epilogue)");
+    if (usesTissues() && skipActive() && skipPath != SkipPath::HwCrm)
+        throw std::invalid_argument(
+            "LayerSchedule: DRS inside a tissue dispatches through the "
+            "CRM (tissues + skip require hw-crm)");
+    if (prunedCsr) {
+        if (!tissueSizes.empty() || skipPath != SkipPath::Off)
+            throw std::invalid_argument(
+                "LayerSchedule: the CSR comparator flow composes with "
+                "neither tissues nor DRS");
+        if (quant != quant::QuantMode::Fp32)
+            throw std::invalid_argument(
+                "LayerSchedule: the CSR comparator is defined on fp32 "
+                "weights");
+    } else if (pruneFraction != 0.0) {
+        throw std::invalid_argument(
+            "LayerSchedule: pruneFraction without the prunedCsr flow");
+    }
+}
+
+void
+ScheduleDecisions::validate() const
+{
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+        try {
+            layers[l].validate();
+        } catch (const std::invalid_argument &e) {
+            throw std::invalid_argument(
+                "ScheduleDecisions: layer " + std::to_string(l) + ": " +
+                e.what());
+        }
+    }
+}
+
+} // namespace runtime
+} // namespace mflstm

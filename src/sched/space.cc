@@ -1,0 +1,107 @@
+#include "sched/space.hh"
+
+#include <stdexcept>
+
+namespace mflstm {
+namespace sched {
+
+void
+TuneRequest::validate() const
+{
+    if (shape.layers.empty())
+        throw std::invalid_argument("TuneRequest: empty network shape");
+    if (stats.size() != shape.layers.size())
+        throw std::invalid_argument(
+            "TuneRequest: stats/layer count mismatch");
+    if (!modelHidden)
+        throw std::invalid_argument("TuneRequest: zero modelHidden");
+    if (!mts)
+        throw std::invalid_argument("TuneRequest: zero mts");
+    if (!batch)
+        throw std::invalid_argument("TuneRequest: zero batch");
+    if (!maxLayerCandidates)
+        throw std::invalid_argument(
+            "TuneRequest: zero maxLayerCandidates");
+    if (pruneFraction < 0.0 || pruneFraction > 1.0)
+        throw std::invalid_argument(
+            "TuneRequest: pruneFraction outside [0, 1]");
+}
+
+std::vector<LayerOption>
+enumerateLayerOptions(const TuneRequest &req, std::size_t layer_index,
+                      const std::vector<runtime::LayerInterPlan> &inter,
+                      const std::vector<runtime::LayerInterPlan>
+                          &combined_inter)
+{
+    const double skip =
+        req.stats[layer_index].skipFraction(req.modelHidden);
+
+    std::vector<LayerOption> options;
+    const auto add = [&](std::string label,
+                         runtime::LayerSchedule ls) {
+        ls.validate();
+        // The rules can converge on the same point (e.g. a tissue
+        // schedule of all ones equals dense); keep one copy so the
+        // simulated candidate table stays readable.
+        for (const LayerOption &o : options)
+            if (o.schedule == ls)
+                return;
+        options.push_back({std::move(label), std::move(ls)});
+    };
+
+    runtime::LayerSchedule dense;
+    dense.quant = req.quant;
+    add("dense", dense);
+
+    if (skip > 0.0) {
+        runtime::LayerSchedule sw = dense;
+        sw.skipPath = runtime::SkipPath::Software;
+        sw.skipFraction = skip;
+        add("skip-sw", sw);
+
+        // A point the PlanKind enum never named: software row skip fed
+        // by the fused U_o flag epilogue — drops the standalone scan
+        // kernel and one element-wise pass per cell while keeping the
+        // divergent software grid.
+        runtime::LayerSchedule swf = sw;
+        swf.flagFusion = runtime::FlagFusion::FusedEpilogue;
+        add("skip-sw-fused", swf);
+
+        runtime::LayerSchedule hw = sw;
+        hw.skipPath = runtime::SkipPath::HwCrm;
+        hw.flagFusion = runtime::FlagFusion::FusedEpilogue;
+        add("skip-hw", hw);
+    }
+
+    if (layer_index < inter.size()) {
+        const auto &sizes = inter[layer_index].tissueSizes;
+        if (inter[layer_index].maxTissue() > 1) {
+            runtime::LayerSchedule tis = dense;
+            tis.tissueSizes = sizes;
+            add("tissues", tis);
+        }
+    }
+    if (skip > 0.0 && layer_index < combined_inter.size()) {
+        const auto &sizes = combined_inter[layer_index].tissueSizes;
+        if (combined_inter[layer_index].maxTissue() > 1) {
+            runtime::LayerSchedule both = dense;
+            both.tissueSizes = sizes;
+            both.skipPath = runtime::SkipPath::HwCrm;
+            both.skipFraction = skip;
+            both.flagFusion = runtime::FlagFusion::FusedEpilogue;
+            add("tissues+skip", both);
+        }
+    }
+
+    if (req.pruneFraction > 0.0 && req.pruneFraction < 1.0) {
+        runtime::LayerSchedule csr;  // comparator stays fp32
+        csr.prunedCsr = true;
+        csr.pruneFraction = req.pruneFraction;
+        add("pruned-csr", csr);
+    }
+
+    return options;
+}
+
+} // namespace sched
+} // namespace mflstm

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
 #include "core/persist.hh"
+#include "sched/persist.hh"
 #include "serve/persist.hh"
 
 namespace mflstm {
@@ -141,6 +143,42 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
         }
     }
 
+    // Tuned serving (§14): replace each rung's preset plan with the
+    // searched one for that rung's statistics and precision. The tuner's
+    // dominance gate guarantees the swap never regresses simulated time
+    // or DRAM bytes against the preset the rung would otherwise serve.
+    if (opts_.tunePlans) {
+        if (!mf.runner().calibrated())
+            throw std::logic_error(
+                "InferenceEngine: Options::tunePlans needs a calibrated "
+                "facade (run calibrate() first)");
+        const std::uint32_t weights_crc =
+            core::modelWeightsCrc(mf.runner().model());
+        if (!opts_.tuneCacheDir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(opts_.tuneCacheDir, ec);
+        }
+        for (std::size_t r = 0; r < ladder_.size(); ++r) {
+            sched::TuneRequest treq;
+            treq.shape = shape_;
+            treq.stats = base_runners[r].stats();
+            treq.mts = mf.calibration().mts;
+            treq.modelHidden = mf.runner().model().config().hiddenSize;
+            treq.quant = ladder_[r].quant;
+            treq.pruneFraction = opts_.pruneFraction;
+            treq.batch = opts_.maxBatch;
+            const sched::TuneResult tuned =
+                opts_.tuneCacheDir.empty()
+                    ? sched::tune(mf.executor(), treq)
+                    : sched::tuneCached(
+                          mf.executor(), treq, weights_crc,
+                          opts_.tuneCacheDir + "/tuned_plan_rung" +
+                              std::to_string(r),
+                          {}, obs_);
+            plans_[r] = tuned.chosen.plan;
+        }
+    }
+
     finishInit(mf, std::move(base_runners));
 }
 
@@ -184,6 +222,11 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
             ErrorKind::Stale,
             "InferenceEngine: warm state was saved under different "
             "plan options");
+    if (warm.tunedPlans != opts_.tunePlans)
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state tuning mode does not match "
+            "Options::tunePlans");
     if (!opts_.governorLadder.empty() &&
         !(warm.ladder == opts_.governorLadder))
         throw ArtifactError(
@@ -348,6 +391,7 @@ InferenceEngine::exportWarmState() const
     s.shape = shape_;
     s.modelWeightsCrc =
         core::modelWeightsCrc(runners_.front().front().model());
+    s.tunedPlans = opts_.tunePlans;
     s.ladder = ladder_;
     s.plans = plans_;
     return s;

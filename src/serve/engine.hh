@@ -66,6 +66,9 @@ struct EngineWarmState
     runtime::NetworkShape shape;
     /// core::modelWeightsCrc of the model the state was computed on
     std::uint32_t modelWeightsCrc = 0;
+    /// whether the saved plans came from the sched tuner (Options::
+    /// tunePlans); a mismatch with the restarting engine is Stale
+    bool tunedPlans = false;
     std::vector<core::ThresholdSet> ladder;
     std::vector<runtime::ExecutionPlan> plans;
 };
@@ -83,6 +86,20 @@ class InferenceEngine
         runtime::PlanKind plan = runtime::PlanKind::Combined;
         /// forwarded to plan building (ZeroPruning only)
         double pruneFraction = 0.37;
+        /**
+         * Replace every rung's preset plan with a sched-searched one
+         * (DESIGN.md §14): after the normal rung snapshots, the engine
+         * runs sched::tune per rung at that rung's quant mode and
+         * serves the dominating plan — never worse than the preset on
+         * simulated time or DRAM bytes. Requires a calibrated facade.
+         */
+        bool tunePlans = false;
+        /**
+         * With tunePlans, a directory for tuned-plan artifacts
+         * (tuned_plan_rung<N>): hits skip the search, corrupt files
+         * are quarantined and re-tuned. Empty: tune in-memory only.
+         */
+        std::string tuneCacheDir;
         /**
          * Observability sink (latency histograms, batch spans, sim
          * counters). nullptr: the engine owns a private Observer so

@@ -15,10 +15,13 @@ using io::ErrorKind;
 /**
  * v1: thresholds are (alphaInter, alphaIntra) and plans carry no
  *     precision (everything implicitly fp32);
- * v2: adds a u32 QuantMode per ladder rung and per plan. v1 files stay
- *     loadable — their quant fields default to Fp32.
+ * v2: adds a u32 QuantMode per ladder rung and per plan;
+ * v3: plans may carry explicit ScheduleDecisions (PlanKind::Tuned,
+ *     DESIGN.md §14) and the fingerprint records whether the engine
+ *     was built with Options::tunePlans. v1/v2 files stay loadable —
+ *     their plans carry no decisions and tunedPlans defaults to false.
  */
-constexpr std::uint32_t kEngineSchemaVersion = 2;
+constexpr std::uint32_t kEngineSchemaVersion = 3;
 
 constexpr std::uint32_t kMaxQuantMode =
     static_cast<std::uint32_t>(quant::QuantMode::Int4);
@@ -38,8 +41,14 @@ constexpr std::uint32_t kChunkFingerprint = io::fourcc('E', 'F', 'P', 'R');
 constexpr std::uint32_t kChunkShape = io::fourcc('E', 'S', 'H', 'P');
 constexpr std::uint32_t kChunkLadder = io::fourcc('E', 'L', 'A', 'D');
 
-constexpr std::uint32_t kMaxPlanKind =
-    static_cast<std::uint32_t>(runtime::PlanKind::ZeroPruning);
+/** The newest plan kind each schema version can legitimately carry. */
+std::uint32_t
+maxPlanKindFor(std::uint32_t version)
+{
+    return static_cast<std::uint32_t>(
+        version >= 3 ? runtime::PlanKind::Tuned
+                     : runtime::PlanKind::ZeroPruning);
+}
 
 std::uint32_t
 rungPlanTag(std::size_t rung)
@@ -71,6 +80,80 @@ writePlan(io::ByteWriter &w, const runtime::ExecutionPlan &plan)
     w.u64(plan.intra.size());
     for (const runtime::LayerIntraPlan &p : plan.intra)
         w.f64(p.skipFraction);
+    // v3: explicit per-layer decisions (empty marker for preset plans).
+    w.u32(plan.hasExplicitDecisions() ? 1 : 0);
+    if (plan.hasExplicitDecisions()) {
+        w.u64(plan.decisions.layers.size());
+        for (const runtime::LayerSchedule &ls : plan.decisions.layers) {
+            std::vector<std::uint64_t> sizes(ls.tissueSizes.begin(),
+                                             ls.tissueSizes.end());
+            w.u64Array(sizes);
+            w.u32(static_cast<std::uint32_t>(ls.skipPath));
+            w.f64(ls.skipFraction);
+            w.u32(static_cast<std::uint32_t>(ls.flagFusion));
+            w.u32(static_cast<std::uint32_t>(ls.quant));
+            w.u32(ls.prunedCsr ? 1 : 0);
+            w.f64(ls.pruneFraction);
+            w.u64(ls.batch);
+        }
+    }
+}
+
+runtime::ScheduleDecisions
+readDecisions(io::ByteReader &r, const io::ArtifactLimits &limits,
+              const std::string &path)
+{
+    runtime::ScheduleDecisions decisions;
+    const std::uint64_t layers = r.u64();
+    if (layers == 0 || layers > limits.maxDim)
+        throw ArtifactError(ErrorKind::LimitExceeded,
+                            "loadEngineState: " + path +
+                                ": absurd decision layer count");
+    for (std::uint64_t l = 0; l < layers; ++l) {
+        runtime::LayerSchedule ls;
+        for (std::uint64_t s : r.u64Array()) {
+            if (s > limits.maxDim)
+                throw ArtifactError(ErrorKind::LimitExceeded,
+                                    "loadEngineState: " + path +
+                                        ": absurd tissue size");
+            ls.tissueSizes.push_back(static_cast<std::size_t>(s));
+        }
+        const std::uint32_t skip_path = r.u32();
+        if (skip_path >
+            static_cast<std::uint32_t>(runtime::SkipPath::HwCrm))
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": unknown skip path");
+        ls.skipPath = static_cast<runtime::SkipPath>(skip_path);
+        ls.skipFraction = r.f64();
+        requireFinite(ls.skipFraction, "skipFraction", path);
+        const std::uint32_t fusion = r.u32();
+        if (fusion > static_cast<std::uint32_t>(
+                         runtime::FlagFusion::FusedEpilogue))
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": unknown flag fusion");
+        ls.flagFusion = static_cast<runtime::FlagFusion>(fusion);
+        ls.quant = readQuantMode(r, path);
+        ls.prunedCsr = r.u32() != 0;
+        ls.pruneFraction = r.f64();
+        requireFinite(ls.pruneFraction, "pruneFraction", path);
+        const std::uint64_t batch = r.u64();
+        if (batch > limits.maxDim)
+            throw ArtifactError(ErrorKind::LimitExceeded,
+                                "loadEngineState: " + path +
+                                    ": absurd layer batch");
+        ls.batch = static_cast<std::size_t>(batch);
+        decisions.layers.push_back(std::move(ls));
+    }
+    try {
+        decisions.validate();
+    } catch (const std::exception &e) {
+        throw ArtifactError(ErrorKind::Malformed,
+                            "loadEngineState: " + path + ": " +
+                                e.what());
+    }
+    return decisions;
 }
 
 runtime::ExecutionPlan
@@ -79,7 +162,7 @@ readPlan(io::ByteReader &r, std::uint32_t version,
 {
     runtime::ExecutionPlan plan;
     const std::uint32_t kind = r.u32();
-    if (kind > kMaxPlanKind)
+    if (kind > maxPlanKindFor(version))
         throw ArtifactError(ErrorKind::Malformed,
                             "loadEngineState: " + path +
                                 ": unknown plan kind " +
@@ -124,6 +207,15 @@ readPlan(io::ByteReader &r, std::uint32_t version,
                                     ": skipFraction outside [0, 1]");
         plan.intra.push_back(p);
     }
+    if (version >= 3) {
+        const std::uint32_t has_decisions = r.u32();
+        if (has_decisions > 1)
+            throw ArtifactError(ErrorKind::Malformed,
+                                "loadEngineState: " + path +
+                                    ": bad decisions marker");
+        if (has_decisions)
+            plan.decisions = readDecisions(r, limits, path);
+    }
     r.expectEnd();
     return plan;
 }
@@ -145,13 +237,21 @@ parseState(const io::ArtifactReader &reader,
         io::ByteReader r = reader.chunk(kChunkFingerprint);
         state.modelWeightsCrc = r.u32();
         const std::uint32_t kind = r.u32();
-        if (kind > kMaxPlanKind)
+        if (kind > maxPlanKindFor(version))
             throw ArtifactError(ErrorKind::Malformed,
                                 "loadEngineState: " + path +
                                     ": unknown plan kind");
         state.plan = static_cast<runtime::PlanKind>(kind);
         state.pruneFraction = r.f64();
         requireFinite(state.pruneFraction, "pruneFraction", path);
+        if (version >= 3) {
+            const std::uint32_t tuned = r.u32();
+            if (tuned > 1)
+                throw ArtifactError(ErrorKind::Malformed,
+                                    "loadEngineState: " + path +
+                                        ": bad tunedPlans flag");
+            state.tunedPlans = tuned != 0;
+        }
         r.expectEnd();
     }
     {
@@ -221,6 +321,7 @@ saveEngineState(const EngineWarmState &state, const std::string &path)
     f.u32(state.modelWeightsCrc);
     f.u32(static_cast<std::uint32_t>(state.plan));
     f.f64(state.pruneFraction);
+    f.u32(state.tunedPlans ? 1 : 0);
 
     io::ByteWriter &s = w.chunk(kChunkShape);
     s.u64(state.shape.layers.size());

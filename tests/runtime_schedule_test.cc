@@ -1,0 +1,392 @@
+/**
+ * ScheduleDecisions API (DESIGN.md §14): parser round-trips, the
+ * per-layer validation rules, the preset -> explicit-decision
+ * bit-identity guarantee the whole redesign rests on, the new
+ * searchable software+fused point, and the deprecated positional
+ * builder overloads forwarding to KernelBuildCtx.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "gpu/config.hh"
+#include "runtime/lowering.hh"
+#include "runtime/plan.hh"
+#include "runtime/schedule.hh"
+
+namespace mflstm {
+namespace runtime {
+namespace {
+
+// ---------------------------------------------------------------------
+// Parser round-trips
+
+TEST(PlanKindParse, RoundTripsEveryKind)
+{
+    const PlanKind kinds[] = {
+        PlanKind::Baseline,    PlanKind::InterCell,
+        PlanKind::IntraCellSw, PlanKind::IntraCellHw,
+        PlanKind::Combined,    PlanKind::ZeroPruning,
+        PlanKind::Tuned,
+    };
+    for (PlanKind k : kinds) {
+        const auto parsed = planKindFromString(toString(k));
+        ASSERT_TRUE(parsed.has_value()) << toString(k);
+        EXPECT_EQ(*parsed, k);
+    }
+}
+
+TEST(PlanKindParse, AcceptsHistoricalCliAliases)
+{
+    EXPECT_EQ(planKindFromString("inter"), PlanKind::InterCell);
+    EXPECT_EQ(planKindFromString("intra-sw"), PlanKind::IntraCellSw);
+    EXPECT_EQ(planKindFromString("intra-hw"), PlanKind::IntraCellHw);
+}
+
+TEST(PlanKindParse, RejectsUnknownSpellings)
+{
+    EXPECT_FALSE(planKindFromString("").has_value());
+    EXPECT_FALSE(planKindFromString("Combined").has_value());
+    EXPECT_FALSE(planKindFromString("turbo").has_value());
+}
+
+TEST(ScheduleEnumParse, RoundTripsSkipPathAndFlagFusion)
+{
+    for (SkipPath p :
+         {SkipPath::Off, SkipPath::Software, SkipPath::HwCrm}) {
+        const auto parsed = parseSkipPath(toString(p));
+        ASSERT_TRUE(parsed.has_value()) << toString(p);
+        EXPECT_EQ(*parsed, p);
+    }
+    for (FlagFusion f :
+         {FlagFusion::Standalone, FlagFusion::FusedEpilogue}) {
+        const auto parsed = parseFlagFusion(toString(f));
+        ASSERT_TRUE(parsed.has_value()) << toString(f);
+        EXPECT_EQ(*parsed, f);
+    }
+    EXPECT_FALSE(parseSkipPath("warp").has_value());
+    EXPECT_FALSE(parseFlagFusion("inline").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Validation rules
+
+TEST(LayerScheduleValidate, AcceptsEveryCanonicalPresetPoint)
+{
+    LayerSchedule dense;
+    EXPECT_NO_THROW(dense.validate());
+
+    LayerSchedule sw;
+    sw.skipPath = SkipPath::Software;
+    sw.skipFraction = 0.3;
+    EXPECT_NO_THROW(sw.validate());
+
+    LayerSchedule hw = sw;
+    hw.skipPath = SkipPath::HwCrm;
+    hw.flagFusion = FlagFusion::FusedEpilogue;
+    EXPECT_NO_THROW(hw.validate());
+
+    LayerSchedule both = hw;
+    both.tissueSizes = {4, 3, 3};
+    EXPECT_NO_THROW(both.validate());
+
+    LayerSchedule csr;
+    csr.prunedCsr = true;
+    csr.pruneFraction = 0.37;
+    EXPECT_NO_THROW(csr.validate());
+}
+
+TEST(LayerScheduleValidate, RejectsHwCrmWithoutFusedEpilogue)
+{
+    LayerSchedule ls;
+    ls.skipPath = SkipPath::HwCrm;
+    ls.skipFraction = 0.3;
+    ls.flagFusion = FlagFusion::Standalone;
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+}
+
+TEST(LayerScheduleValidate, RejectsTissuesWithSoftwareSkip)
+{
+    LayerSchedule ls;
+    ls.tissueSizes = {4, 3, 3};
+    ls.skipPath = SkipPath::Software;
+    ls.skipFraction = 0.3;
+    ls.flagFusion = FlagFusion::FusedEpilogue;
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+}
+
+TEST(LayerScheduleValidate, RejectsBadFractions)
+{
+    LayerSchedule ls;
+    ls.skipPath = SkipPath::Software;
+    ls.skipFraction = 1.5;
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+    ls.skipFraction = -0.1;
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+    ls.skipFraction = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+}
+
+TEST(LayerScheduleValidate, RejectsCsrComposedWithAnything)
+{
+    LayerSchedule ls;
+    ls.prunedCsr = true;
+    ls.pruneFraction = 0.37;
+
+    LayerSchedule with_tissues = ls;
+    with_tissues.tissueSizes = {4, 3, 3};
+    EXPECT_THROW(with_tissues.validate(), std::invalid_argument);
+
+    LayerSchedule with_skip = ls;
+    with_skip.skipPath = SkipPath::Software;
+    with_skip.skipFraction = 0.3;
+    EXPECT_THROW(with_skip.validate(), std::invalid_argument);
+
+    LayerSchedule quantized = ls;
+    quantized.quant = quant::QuantMode::Int8;
+    EXPECT_THROW(quantized.validate(), std::invalid_argument);
+}
+
+TEST(LayerScheduleValidate, RejectsPruneFractionWithoutCsr)
+{
+    LayerSchedule ls;
+    ls.pruneFraction = 0.37;
+    EXPECT_THROW(ls.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleDecisionsValidate, NamesTheOffendingLayer)
+{
+    ScheduleDecisions d;
+    d.layers.resize(2);
+    d.layers[1].skipPath = SkipPath::HwCrm;
+    d.layers[1].skipFraction = 0.3;
+    try {
+        d.validate();
+        FAIL() << "expected invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("layer 1"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Preset <-> decision bit-identity
+
+void
+expectKernelEqual(const gpu::KernelDesc &a, const gpu::KernelDesc &b,
+                  std::size_t i)
+{
+    SCOPED_TRACE("kernel " + std::to_string(i) + ": " + a.name);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.klass, b.klass);
+    EXPECT_EQ(a.ctas, b.ctas);
+    EXPECT_EQ(a.threadsPerCta, b.threadsPerCta);
+    EXPECT_EQ(a.flops, b.flops);
+    EXPECT_EQ(a.dramReadBytes, b.dramReadBytes);
+    EXPECT_EQ(a.dramWriteBytes, b.dramWriteBytes);
+    EXPECT_EQ(a.l2AccessBytes, b.l2AccessBytes);
+    EXPECT_EQ(a.sharedBytes, b.sharedBytes);
+    EXPECT_EQ(a.dramWeightBytes, b.dramWeightBytes);
+    EXPECT_EQ(a.quantWeightElems, b.quantWeightElems);
+    EXPECT_EQ(a.weightStream, b.weightStream);
+    EXPECT_EQ(a.dramScaleBytes, b.dramScaleBytes);
+    EXPECT_EQ(a.dramCrmMetaBytes, b.dramCrmMetaBytes);
+    EXPECT_EQ(a.dramSpillBytes, b.dramSpillBytes);
+    EXPECT_EQ(a.syncsPerCta, b.syncsPerCta);
+    EXPECT_EQ(a.divergenceFactor, b.divergenceFactor);
+    EXPECT_EQ(a.coalescingFactor, b.coalescingFactor);
+    EXPECT_EQ(a.layer, b.layer);
+    EXPECT_EQ(a.timestep, b.timestep);
+    EXPECT_EQ(a.tissue, b.tissue);
+    EXPECT_EQ(a.hasRowSkipArg, b.hasRowSkipArg);
+    EXPECT_EQ(a.disabledThreads, b.disabledThreads);
+}
+
+void
+expectTraceEqual(const gpu::KernelTrace &a, const gpu::KernelTrace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectKernelEqual(a[i], b[i], i);
+}
+
+/** A representative preset plan of @p kind for a 2-layer network. */
+ExecutionPlan
+presetFor(PlanKind kind, quant::QuantMode qm)
+{
+    ExecutionPlan plan;
+    plan.kind = kind;
+    plan.quantMode = qm;
+    if (plan.usesInter()) {
+        plan.inter.push_back({{4, 3, 3}});
+        plan.inter.push_back({{5, 5}});
+    }
+    if (plan.usesIntra())
+        plan.intra = {{0.3}, {0.45}};
+    if (kind == PlanKind::ZeroPruning)
+        plan.pruneFraction = 0.37;
+    return plan;
+}
+
+TEST(ScheduleBitIdentity, PresetsLowerIdenticallyAsExplicitDecisions)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    const NetworkShape shape = NetworkShape::stacked(32, 64, 2, 10);
+
+    const PlanKind kinds[] = {
+        PlanKind::Baseline,    PlanKind::InterCell,
+        PlanKind::IntraCellSw, PlanKind::IntraCellHw,
+        PlanKind::Combined,    PlanKind::ZeroPruning,
+    };
+    const quant::QuantMode modes[] = {quant::QuantMode::Fp32,
+                                      quant::QuantMode::Int8,
+                                      quant::QuantMode::Int4};
+    for (PlanKind kind : kinds) {
+        for (quant::QuantMode qm : modes) {
+            for (std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+                SCOPED_TRACE(std::string(toString(kind)) + "/" +
+                             quant::toString(qm) + "/b" +
+                             std::to_string(batch));
+                const ExecutionPlan preset = presetFor(kind, qm);
+                const ExecutionPlan tuned = ExecutionPlan::fromDecisions(
+                    preset.explicitDecisions(shape.layers.size()));
+                EXPECT_EQ(tuned.kind, PlanKind::Tuned);
+                expectTraceEqual(lowering.lower(shape, preset, batch),
+                                 lowering.lower(shape, tuned, batch));
+            }
+        }
+    }
+}
+
+TEST(ScheduleBitIdentity, ExplicitDecisionsMatchLayerSchedule)
+{
+    const ExecutionPlan plan = presetFor(PlanKind::Combined,
+                                         quant::QuantMode::Int8);
+    const ScheduleDecisions d = plan.explicitDecisions(3);
+    ASSERT_EQ(d.layers.size(), 3u);
+    for (std::size_t l = 0; l < 3; ++l)
+        EXPECT_EQ(d.layers[l], plan.layerSchedule(l));
+    // Beyond the preset vectors the derivation is a dense layer at the
+    // plan's quant mode.
+    EXPECT_FALSE(d.layers[2].usesTissues());
+    EXPECT_EQ(d.layers[2].quant, quant::QuantMode::Int8);
+}
+
+TEST(ScheduleBitIdentity, ZeroPruningForcesFp32Csr)
+{
+    const ExecutionPlan plan = presetFor(PlanKind::ZeroPruning,
+                                         quant::QuantMode::Int8);
+    const LayerSchedule ls = plan.layerSchedule(0);
+    EXPECT_TRUE(ls.prunedCsr);
+    EXPECT_EQ(ls.quant, quant::QuantMode::Fp32);
+    EXPECT_EQ(ls.pruneFraction, 0.37);
+}
+
+// ---------------------------------------------------------------------
+// The point the PlanKind enum never named: software skip + fused flags
+
+TEST(ScheduleNewPoints, SoftwareSkipWithFusedEpilogueDropsScanKernel)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    const NetworkShape shape = NetworkShape::stacked(32, 64, 1, 10);
+
+    ScheduleDecisions d;
+    LayerSchedule ls;
+    ls.skipPath = SkipPath::Software;
+    ls.skipFraction = 0.3;
+    ls.flagFusion = FlagFusion::FusedEpilogue;
+    d.layers = {ls};
+    const ExecutionPlan plan = ExecutionPlan::fromDecisions(d);
+
+    const gpu::KernelTrace trace = lowering.lower(shape, plan);
+    // inputSgemm + (fused U_o, row-skip U_fic, lstm_ew) per cell: the
+    // standalone DRS scan and its extra element-wise pass never launch.
+    EXPECT_EQ(trace.size(), 1 + 3 * shape.layers[0].length);
+    for (const gpu::KernelDesc &k : trace)
+        EXPECT_NE(k.klass, gpu::KernelClass::Drs) << k.name;
+
+    // The software grid stays divergent (that is what distinguishes it
+    // from the hw-crm point) and the U_o epilogue carries flag traffic.
+    bool saw_fused = false, saw_divergent = false;
+    for (const gpu::KernelDesc &k : trace) {
+        if (k.name.find("+flags") != std::string::npos)
+            saw_fused = true;
+        if (k.divergenceFactor > 1.0)
+            saw_divergent = true;
+    }
+    EXPECT_TRUE(saw_fused);
+    EXPECT_TRUE(saw_divergent);
+}
+
+TEST(ScheduleNewPoints, PerLayerBatchOverrideInheritsWhenZero)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    const NetworkShape shape = NetworkShape::stacked(32, 64, 1, 4);
+
+    ScheduleDecisions d;
+    d.layers.resize(1);
+    d.layers[0].batch = 2;
+    const ExecutionPlan pinned = ExecutionPlan::fromDecisions(d);
+
+    ExecutionPlan inherit;
+    inherit.kind = PlanKind::Baseline;
+
+    // batch=2 pinned in the decision == batch=2 via the run request.
+    expectTraceEqual(lowering.lower(shape, pinned, 1),
+                     lowering.lower(shape, inherit, 2));
+}
+
+// ---------------------------------------------------------------------
+// Deprecated positional overloads forward to the ctx builders
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(KernelBuildCtx, DeprecatedOverloadsForwardExactly)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lw(cfg);
+    const LstmLayerShape shape{32, 64, 10};
+    const KernelBuildCtx ctx{4, quant::QuantMode::Int8, false};
+
+    expectKernelEqual(lw.inputSgemm(shape, 4, quant::QuantMode::Int8),
+                      lw.inputSgemm(shape, ctx), 0);
+    expectKernelEqual(
+        lw.cellSgemv(shape, 1e4, 4, quant::QuantMode::Int8),
+        lw.cellSgemv(shape, 1e4, ctx), 1);
+    expectKernelEqual(
+        lw.tissueSgemm(shape, 5, 1e4, 0.3, 4, quant::QuantMode::Int8),
+        lw.tissueSgemm(shape, 5, 1e4, 0.3, ctx), 2);
+    expectKernelEqual(lw.elementWise(shape, 5, 4),
+                      lw.elementWise(shape, 5, KernelBuildCtx{4}), 3);
+    expectKernelEqual(
+        lw.outputGateSgemv(shape, 1e4, 4, quant::QuantMode::Int8, true),
+        lw.outputGateSgemv(shape, 1e4,
+                           KernelBuildCtx{4, quant::QuantMode::Int8,
+                                          true}),
+        4);
+    expectKernelEqual(lw.drsScan(shape, 4),
+                      lw.drsScan(shape, KernelBuildCtx{4}), 5);
+    expectKernelEqual(
+        lw.rowSkipSgemv(shape, 1e4, 0.3, true, 4,
+                        quant::QuantMode::Int8),
+        lw.rowSkipSgemv(shape, 1e4, 0.3, true, ctx), 6);
+    expectKernelEqual(lw.relevanceKernel(shape, 4),
+                      lw.relevanceKernel(shape, KernelBuildCtx{4}), 7);
+    expectKernelEqual(lw.tissueGather(shape, 5, 4),
+                      lw.tissueGather(shape, 5, KernelBuildCtx{4}), 8);
+    expectKernelEqual(lw.prunedSgemv(shape, 1e4, 0.37, 4),
+                      lw.prunedSgemv(shape, 1e4, 0.37,
+                                     KernelBuildCtx{4}),
+                      9);
+}
+#pragma GCC diagnostic pop
+
+} // namespace
+} // namespace runtime
+} // namespace mflstm

@@ -312,6 +312,59 @@ TEST_F(WarmRestartTest, VersionOneStateLoadsWithFp32Defaults)
         EXPECT_EQ(plan.quantMode, quant::QuantMode::Fp32);
 }
 
+TEST_F(WarmRestartTest, TunedPlansAndDecisionsSurviveSaveLoad)
+{
+    // v3 state: the tuning-mode flag and a plan carrying explicit
+    // per-layer ScheduleDecisions (a searched schedule) round-trip.
+    serve::EngineWarmState state;
+    state.modelWeightsCrc = 0x5678u;
+    state.plan = runtime::PlanKind::Combined;
+    state.tunedPlans = true;
+    state.shape.layers.push_back({8, 8, 4});
+    state.ladder.push_back({0.1, 0.2, quant::QuantMode::Int8});
+
+    runtime::ScheduleDecisions d;
+    runtime::LayerSchedule ls;
+    ls.skipPath = runtime::SkipPath::Software;
+    ls.skipFraction = 0.3;
+    ls.flagFusion = runtime::FlagFusion::FusedEpilogue;
+    ls.quant = quant::QuantMode::Int8;
+    d.layers.push_back(ls);
+    state.plans.push_back(runtime::ExecutionPlan::fromDecisions(d));
+    serve::saveEngineState(state, path_);
+
+    const serve::EngineWarmState loaded =
+        serve::loadEngineState(path_);
+    EXPECT_TRUE(loaded.tunedPlans);
+    ASSERT_EQ(loaded.plans.size(), 1u);
+    EXPECT_EQ(loaded.plans[0].kind, runtime::PlanKind::Tuned);
+    ASSERT_TRUE(loaded.plans[0].hasExplicitDecisions());
+    EXPECT_EQ(loaded.plans[0].decisions.layers, d.layers);
+    EXPECT_EQ(loaded.plans, state.plans);
+    EXPECT_NO_THROW(serve::verifyEngineStateFile(path_));
+}
+
+TEST_F(WarmRestartTest, TuningModeMismatchRejectedAsStale)
+{
+    {
+        serve::InferenceEngine engine(mf, engineOptions());
+        serve::saveEngineState(engine, path_);
+    }
+    const serve::EngineWarmState warm = serve::loadEngineState(path_);
+    EXPECT_FALSE(warm.tunedPlans);
+
+    // Untuned warm state must not be adopted by an engine asked to
+    // serve searched plans (and vice versa): reject as Stale, retune.
+    serve::InferenceEngine::Options opts = engineOptions();
+    opts.tunePlans = true;
+    try {
+        serve::InferenceEngine engine(mf, opts, warm);
+        FAIL() << "tuning-mode mismatch accepted";
+    } catch (const io::ArtifactError &e) {
+        EXPECT_EQ(e.kind(), io::ErrorKind::Stale);
+    }
+}
+
 TEST_F(WarmRestartTest, FutureSchemaVersionRejected)
 {
     {
@@ -320,7 +373,7 @@ TEST_F(WarmRestartTest, FutureSchemaVersionRejected)
     }
     // Re-wrap the valid payload under a version this build predates.
     const serve::EngineWarmState good = serve::loadEngineState(path_);
-    io::ArtifactWriter w(io::kSchemaEngineState, 3);
+    io::ArtifactWriter w(io::kSchemaEngineState, 4);
     io::ByteWriter &f = w.chunk(io::fourcc('E', 'F', 'P', 'R'));
     f.u32(good.modelWeightsCrc);
     f.u32(static_cast<std::uint32_t>(good.plan));

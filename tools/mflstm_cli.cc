@@ -10,6 +10,8 @@
  *   serve --app NAME [options]   batched serving demo (DESIGN.md §9)
  *   profile --app NAME [options] byte-ledger attribution profile
  *                                (DESIGN.md §13)
+ *   tune  --app NAME [options]   search per-layer schedules and cache
+ *                                the dominating plan (DESIGN.md §14)
  *   fsck  [--cache-dir DIR]      verify every artifact in a cache dir
  *   help                         print usage
  *
@@ -36,7 +38,20 @@
  *                      beyond --tolerance-pct exit 1
  *   --tolerance-pct X  regression threshold, percent (default 0.1)
  *
+ * tune options:
+ *   --out FILE         write the tune report JSON ("mflstm.tune")
+ *   --cache-dir DIR    tuned-plan artifact cache (default
+ *                      mflstm_model_cache); a valid cached plan skips
+ *                      the search, a corrupt one is quarantined
+ *   --force            ignore (and rewrite) the cached plan
+ *   --batch N          batch the plan is tuned for (default 8,
+ *                      matching serve)
+ *
  * serve options (synthetic open-loop workload):
+ *   --tuned            serve sched-searched plans instead of the
+ *                      --plan preset on every rung (never worse on
+ *                      simulated time or DRAM bytes); with
+ *                      --state-dir the tuned plans are cached there
  *   --requests N       requests to submit (default 64)
  *   --batch N          max sequences per batched run (default 8)
  *   --workers N        engine worker threads (default 2)
@@ -88,8 +103,10 @@
 #include "obs/ledger.hh"
 #include "obs/observer.hh"
 #include "obs/profile.hh"
+#include "obs/json.hh"
 #include "quant/serialize.hh"
 #include "runtime/report.hh"
+#include "sched/persist.hh"
 #include "serve/engine.hh"
 #include "serve/persist.hh"
 
@@ -129,7 +146,11 @@ struct Options
     double faultRate = 0.0;
     int retries = 2;
     bool governor = false;
+    bool tuned = false;
     std::string stateDir;
+
+    // tune
+    bool forceTune = false;
 
     // fsck
     std::string cacheDir = "mflstm_model_cache";
@@ -147,7 +168,8 @@ printUsage(std::FILE *to)
 {
     std::fprintf(
         to,
-        "usage: mflstm_cli <list|run|sweep|mts|serve|profile|fsck|help> "
+        "usage: mflstm_cli "
+        "<list|run|sweep|mts|serve|profile|tune|fsck|help> "
         "[options]\n"
         "\n"
         "options:\n"
@@ -173,7 +195,15 @@ printUsage(std::FILE *to)
         "  --tolerance-pct X  regression threshold, percent "
         "(default 0.1)\n"
         "\n"
+        "tune options:\n"
+        "  --out FILE         write the tune report JSON\n"
+        "  --cache-dir DIR    tuned-plan cache (default "
+        "mflstm_model_cache)\n"
+        "  --force            ignore (and rewrite) the cached plan\n"
+        "  --batch N          batch the plan is tuned for (default 8)\n"
+        "\n"
         "serve options (synthetic open-loop workload):\n"
+        "  --tuned            serve sched-searched plans per rung\n"
         "  --requests N       requests to submit (default 64)\n"
         "  --batch N          max sequences per batched run (default 8)\n"
         "  --workers N        engine worker threads (default 2)\n"
@@ -206,18 +236,10 @@ usage()
 std::optional<runtime::PlanKind>
 parsePlan(const std::string &s)
 {
-    static const std::map<std::string, runtime::PlanKind> kinds = {
-        {"baseline", runtime::PlanKind::Baseline},
-        {"inter", runtime::PlanKind::InterCell},
-        {"intra-sw", runtime::PlanKind::IntraCellSw},
-        {"intra-hw", runtime::PlanKind::IntraCellHw},
-        {"combined", runtime::PlanKind::Combined},
-        {"zero-pruning", runtime::PlanKind::ZeroPruning},
-    };
-    const auto it = kinds.find(s);
-    if (it == kinds.end())
-        return std::nullopt;
-    return it->second;
+    // The round-trip parser owns the alias table; Tuned is not a
+    // requestable preset (it only exists as a search *result*), so a
+    // --plan tuned is redirected to the tune subcommand.
+    return runtime::planKindFromString(s);
 }
 
 gpu::GpuConfig
@@ -533,6 +555,21 @@ cmdProfile(const Options &opt)
                          opt.baselinePath.c_str(), e.what());
             return 2;
         }
+        // Round-trip the baseline's plan/quant strings through the
+        // canonical parsers so a hand-edited or foreign report fails
+        // loudly instead of diffing apples against oranges.
+        if (!base.plan.empty() &&
+            !runtime::planKindFromString(base.plan)) {
+            std::fprintf(stderr, "error: %s: unknown plan \"%s\"\n",
+                         opt.baselinePath.c_str(), base.plan.c_str());
+            return 2;
+        }
+        if (!base.quant.empty() &&
+            !quant::parseQuantMode(base.quant)) {
+            std::fprintf(stderr, "error: %s: unknown quant \"%s\"\n",
+                         opt.baselinePath.c_str(), base.quant.c_str());
+            return 2;
+        }
         const std::vector<obs::ProfileDelta> deltas =
             obs::diffReports(base, report, opt.tolerancePct);
         std::size_t regressions = 0;
@@ -553,6 +590,145 @@ cmdProfile(const Options &opt)
             return 1;
     }
     return 0;
+}
+
+int
+cmdTune(const Options &opt)
+{
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
+
+    // A mid-ladder rung keeps the tune cheap (no AO sweep); override
+    // with --set. Both thresholds are applied so the statistics feed
+    // every searchable path (tissues and row skip).
+    const std::size_t rung = opt.set ? *opt.set : ladder.size() / 2;
+    if (rung >= ladder.size()) {
+        std::fprintf(stderr, "error: --set must be 0..%zu\n",
+                     ladder.size() - 1);
+        return 2;
+    }
+    mf->setThresholds({ladder[rung].alphaInter,
+                       ladder[rung].alphaIntra, opt.quantMode});
+    // Populate the division/skip statistics the search projects from.
+    evalAccuracy(*mf, app);
+
+    sched::TuneRequest treq;
+    treq.shape = mf->config().timingShape;
+    treq.stats = mf->runner().stats();
+    treq.mts = mf->calibration().mts;
+    treq.modelHidden = mf->runner().model().config().hiddenSize;
+    treq.quant = opt.quantMode;
+    treq.batch = opt.batch;
+    const std::uint32_t weights_crc =
+        core::modelWeightsCrc(mf->runner().model());
+
+    std::error_code ec;
+    std::filesystem::create_directories(opt.cacheDir, ec);
+    const std::string cachePath =
+        opt.cacheDir + "/tuned_plan_" + opt.app + "_" + opt.gpuName +
+        "_" + quant::toString(opt.quantMode) + "_set" +
+        std::to_string(rung) + ".bin";
+
+    sched::TuneResult res;
+    {
+        auto ph = obs::Observer::phase(obs, "tune");
+        res = sched::tuneCached(mf->executor(), treq, weights_crc,
+                                cachePath, {}, obs, opt.forceTune);
+    }
+
+    std::printf("%s on %s (threshold set %zu, weights %s, batch %zu)\n",
+                opt.app.c_str(), mf->executor().config().name.c_str(),
+                rung, quant::toString(opt.quantMode), treq.batch);
+    std::printf("tuned plan cache: %s (%s)\n\n", cachePath.c_str(),
+                res.fromCache ? "hit, search skipped"
+                              : "miss, searched");
+
+    std::printf("%-22s %12s %12s\n", "candidate", "time (ms)",
+                "DRAM (MB)");
+    for (const sched::Candidate &c : res.candidates) {
+        std::printf("%-22s %12.3f %12.3f%s%s\n", c.label.c_str(),
+                    c.timeUs / 1e3, c.dramBytes / 1e6,
+                    c.label == res.chosen.label ? "  <- chosen" : "",
+                    c.label == res.referenceLabel ? "  <- reference"
+                                                  : "");
+    }
+
+    std::printf("\nchosen: %s (%.3f ms, %.3f MB)\n",
+                res.chosen.label.c_str(), res.chosen.timeUs / 1e3,
+                res.chosen.dramBytes / 1e6);
+    for (std::size_t l = 0; l < res.chosenLayerLabels.size(); ++l)
+        std::printf("  layer %zu: %s\n", l,
+                    res.chosenLayerLabels[l].c_str());
+    std::printf("reference: %s (%.3f ms, %.3f MB)\n",
+                res.referenceLabel.c_str(), res.referenceTimeUs / 1e3,
+                res.referenceDramBytes / 1e6);
+    std::printf("dominates reference: %s\n",
+                res.dominatesReference ? "yes" : "NO");
+
+    if (!opt.profileOut.empty()) {
+        std::ofstream os(opt.profileOut);
+        if (!os) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         opt.profileOut.c_str());
+            return 2;
+        }
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.key("schema").value("mflstm.tune");
+        w.key("version").value(std::uint64_t{1});
+        w.key("app").value(opt.app);
+        w.key("gpu").value(mf->executor().config().name);
+        w.key("quant").value(quant::toString(opt.quantMode));
+        w.key("batch").value(static_cast<std::uint64_t>(treq.batch));
+        w.key("set").value(static_cast<std::uint64_t>(rung));
+        w.key("from_cache").value(res.fromCache);
+        w.key("chosen").beginObject();
+        w.key("label").value(res.chosen.label);
+        w.key("time_us").value(res.chosen.timeUs);
+        w.key("dram_bytes").value(res.chosen.dramBytes);
+        w.key("layers").beginArray();
+        for (const std::string &l : res.chosenLayerLabels)
+            w.value(l);
+        w.endArray();
+        w.endObject();
+        w.key("reference").beginObject();
+        w.key("label").value(res.referenceLabel);
+        w.key("time_us").value(res.referenceTimeUs);
+        w.key("dram_bytes").value(res.referenceDramBytes);
+        w.endObject();
+        w.key("dominates_reference").value(res.dominatesReference);
+        w.key("candidates").beginArray();
+        for (const sched::Candidate &c : res.candidates) {
+            w.beginObject();
+            w.key("label").value(c.label);
+            w.key("time_us").value(c.timeUs);
+            w.key("dram_bytes").value(c.dramBytes);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        std::fprintf(stderr, "tune report written to %s\n",
+                     opt.profileOut.c_str());
+    }
+
+    if (const int rc = writeObserverOutputs(opt, observer))
+        return rc;
+    return res.dominatesReference ? 0 : 1;
 }
 
 /**
@@ -577,6 +753,9 @@ deepVerifyArtifact(const std::string &path, std::uint32_t schema)
         break;
     case io::kSchemaQuantModel:
         quant::verifyQuantizedModelFile(path);
+        break;
+    case io::kSchemaTunedPlan:
+        sched::verifyTunedPlanFile(path);
         break;
     default:
         throw io::ArtifactError(io::ErrorKind::BadSchema,
@@ -712,6 +891,8 @@ cmdServe(const Options &opt)
     eopts.admission = opt.admission;
     eopts.admitTimeoutMs = opt.admitTimeoutMs;
     eopts.maxRetries = opt.retries;
+    eopts.tunePlans = opt.tuned;
+    eopts.tuneCacheDir = opt.stateDir;
 
     // Must outlive the engine (workers consult it per batch/request).
     std::optional<serve::ProbabilisticFaultInjector> injector;
@@ -902,7 +1083,7 @@ main(int argc, char **argv)
     if (opt.command != "list" && opt.command != "run" &&
         opt.command != "sweep" && opt.command != "mts" &&
         opt.command != "serve" && opt.command != "profile" &&
-        opt.command != "fsck") {
+        opt.command != "tune" && opt.command != "fsck") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -927,6 +1108,12 @@ main(int argc, char **argv)
             if (!kind) {
                 std::fprintf(stderr, "bad --plan value: %s\n",
                              v ? v : "(missing)");
+                return usage();
+            }
+            if (*kind == runtime::PlanKind::Tuned) {
+                std::fprintf(stderr,
+                             "--plan tuned is not a preset; run the "
+                             "tune subcommand (or serve --tuned)\n");
                 return usage();
             }
             opt.plan = *kind;
@@ -987,6 +1174,10 @@ main(int argc, char **argv)
             opt.quarantineBad = true;
         } else if (arg == "--governor") {
             opt.governor = true;
+        } else if (arg == "--tuned") {
+            opt.tuned = true;
+        } else if (arg == "--force") {
+            opt.forceTune = true;
         } else if (arg == "--requests" || arg == "--batch" ||
                    arg == "--workers" || arg == "--arrival-us" ||
                    arg == "--queue-capacity" || arg == "--retries") {
@@ -1095,6 +1286,8 @@ main(int argc, char **argv)
             return cmdServe(opt);
         if (opt.command == "profile")
             return cmdProfile(opt);
+        if (opt.command == "tune")
+            return cmdTune(opt);
         if (opt.command == "fsck")
             return cmdFsck(opt);
         return cmdMts(opt);
