@@ -93,6 +93,22 @@ main(int argc, char **argv)
             const sched::TuneResult res =
                 sched::tune(mf->executor(), req);
 
+            // The residency axis must actually be searched: the
+            // persistent preset has to show up in the candidate table
+            // for the dominance guarantee to cover it (DESIGN.md §15).
+            bool sawPersistent = false;
+            for (const sched::Candidate &c : res.candidates)
+                sawPersistent =
+                    sawPersistent || c.label == "preset:persistent";
+            if (!sawPersistent) {
+                std::fprintf(stderr,
+                             "%s/%s: preset:persistent missing from "
+                             "the tuner's candidate table\n",
+                             spec.name.c_str(),
+                             quant::toString(qm));
+                return 1;
+            }
+
             GateRow row;
             row.app = spec.name;
             row.mode = quant::toString(qm);

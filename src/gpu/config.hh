@@ -44,6 +44,25 @@ struct GpuConfig
     /// (32 banks x 4 B on Maxwell).
     double sharedBytesPerCyclePerSm = 128.0;
 
+    // --- Persistent weight residency (Appleyard-style kernels) ----------
+    /// Register file per SM: 64K 32-bit registers on Maxwell-class SMs.
+    std::size_t regFileBytesPerSm = 256 * 1024;
+    /**
+     * Fraction of each tier a persistent kernel may pin for weights.
+     * Shared memory still has to stage the H_t operand tiles; the
+     * register file still carries the live thread state of the resident
+     * CTAs, so neither tier is pinnable wall to wall.
+     */
+    double sharedResidencyFraction = 0.75;
+    double regfileResidencyFraction = 0.5;
+    /**
+     * Execution-cycle inflation at a fully pinned tier: pinned bytes
+     * displace warps (regfile) or operand staging room (shared), so
+     * fewer concurrent warps are left to hide latency. Scales linearly
+     * with pinned/raw tier capacity in the SM model.
+     */
+    double residencyOccupancyPenalty = 0.30;
+
     // --- Kernel machinery ----------------------------------------------
     double kernelLaunchUs = 2.0;      ///< CPU-side launch + GMU dispatch
     /**

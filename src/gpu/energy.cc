@@ -19,6 +19,10 @@ computeEnergy(const GpuConfig &cfg, const ActivitySummary &a)
 {
     EnergyReport e;
     e.staticJ = (cfg.socStaticW + cfg.gpuIdleW) * a.timeSeconds;
+    // Persistent residency shows up here through the activity totals:
+    // resident weights cross the bus (dramBytes) and dequantize
+    // (quantWeightElems) once per sequence instead of once per wave,
+    // while their on-chip re-reads land in sharedBytes.
     e.gpuDynamicJ =
         cfg.gpuIssueActiveW * a.issueBusyFraction * a.timeSeconds +
         cfg.fmaPjPerFlop * a.flops * 1e-12 +

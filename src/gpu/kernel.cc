@@ -17,6 +17,8 @@ toString(KernelClass k)
         return "DRS";
       case KernelClass::Relevance:
         return "Relevance";
+      case KernelClass::Persistent:
+        return "Persistent";
       case KernelClass::Other:
         return "Other";
     }
@@ -33,6 +35,20 @@ toString(WeightStream w)
         return "W";
       case WeightStream::U:
         return "U";
+    }
+    return "unknown";
+}
+
+const char *
+toString(WeightResidency r)
+{
+    switch (r) {
+      case WeightResidency::None:
+        return "none";
+      case WeightResidency::Shared:
+        return "shared";
+      case WeightResidency::Regfile:
+        return "regfile";
     }
     return "unknown";
 }

@@ -24,6 +24,7 @@ enum class KernelClass {
     ElementWise,  ///< lstm_ew: gate nonlinearities + state update
     Drs,          ///< the DRS threshold/scan kernel of Algorithm 3 line 6
     Relevance,    ///< inter-cell breakpoint search (Algorithm 2)
+    Persistent,   ///< persistent layer kernel, weights resident on-chip
     Other,
 };
 
@@ -37,6 +38,22 @@ enum class WeightStream : std::uint8_t {
 };
 
 const char *toString(WeightStream w);
+
+/**
+ * On-chip tier the recurrent weights of a persistent kernel are pinned
+ * in across the whole sequence (Appleyard et al. persistent RNNs). The
+ * tier decides the pinnable capacity and the occupancy price the SM
+ * model charges (GpuConfig residency knobs): shared memory is plentiful
+ * but slower to re-read; the register file is the fast tier the
+ * persistent-RNN literature targets.
+ */
+enum class WeightResidency : std::uint32_t {
+    None = 0,     ///< weights streamed from DRAM every timestep
+    Shared = 1,   ///< pinned in shared memory across the sequence
+    Regfile = 2,  ///< pinned in the register file across the sequence
+};
+
+const char *toString(WeightResidency r);
 
 /** One GPU kernel launch, in aggregate-work form. */
 struct KernelDesc
@@ -83,6 +100,17 @@ struct KernelDesc
     double dramCrmMetaBytes = 0.0;
     /// L2-capacity spill traffic (element-wise state round trips)
     double dramSpillBytes = 0.0;
+    /// residency-overflow re-streaming: the share of dramWeightBytes a
+    /// persistent kernel re-fetches beyond the compulsory first pass
+    /// because the quantized matrix overflowed the pinned budget
+    double dramResidencyReloadBytes = 0.0;
+
+    // --- Persistent residency (Appleyard-style persistent kernels) -------
+    /// on-chip tier the weights stay resident in across the sequence
+    WeightResidency residency = WeightResidency::None;
+    /// bytes pinned in that tier (<= the residency capacity); the SM
+    /// model converts this into an occupancy-loss factor
+    double residencyPinnedBytes = 0.0;
 
     // --- Behaviour --------------------------------------------------------
     unsigned syncsPerCta = 0;

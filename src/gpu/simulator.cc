@@ -66,6 +66,13 @@ Simulator::recordKernel(const KernelDesc &desc, const KernelTiming &t,
     m.counter("sim.flops").add(t.flops);
     m.counter("sim.dram_bytes").add(t.dramBytes);
     m.counter("sim.weight_dram_bytes").add(desc.dramWeightBytes);
+    if (desc.residency != WeightResidency::None) {
+        m.counter("sim.persistent_kernels").add(1.0);
+        m.counter("sim.residency_pinned_bytes")
+            .add(desc.residencyPinnedBytes);
+        m.counter("sim.residency_reload_bytes")
+            .add(desc.dramResidencyReloadBytes);
+    }
     m.counter(std::string("sim.stall_cycles.") + klass)
         .add(t.stalls.total());
     m.histogram(std::string("sim.stall_cycles_hist.") + klass,
@@ -167,11 +174,15 @@ Simulator::runTrace(const KernelTrace &trace)
             s.kernel = desc.name;
             s.kernelClass = toString(desc.klass);
             s.totalDramBytes = t.dramBytes;
-            // dramWeightBytes covers codes + scales; the ledger wants
-            // them on separate axes.
-            s.weightBytes = (desc.dramWeightBytes - desc.dramScaleBytes) *
-                            desc.coalescingFactor;
+            // dramWeightBytes covers codes + scales + residency reload;
+            // the ledger wants each on its own axis.
+            s.weightBytes =
+                (desc.dramWeightBytes - desc.dramScaleBytes -
+                 desc.dramResidencyReloadBytes) *
+                desc.coalescingFactor;
             s.scaleBytes = desc.dramScaleBytes * desc.coalescingFactor;
+            s.residencyReloadBytes =
+                desc.dramResidencyReloadBytes * desc.coalescingFactor;
             s.crmMetaBytes =
                 desc.dramCrmMetaBytes * desc.coalescingFactor;
             s.spillBytes = desc.dramSpillBytes * desc.coalescingFactor;

@@ -35,6 +35,41 @@ StallBreakdown::operator+=(const StallBreakdown &rhs)
     return *this;
 }
 
+double
+residencyCapacityBytes(const GpuConfig &cfg, WeightResidency r)
+{
+    const double sms = static_cast<double>(cfg.numSms);
+    switch (r) {
+      case WeightResidency::None:
+        return 0.0;
+      case WeightResidency::Shared:
+        return static_cast<double>(cfg.sharedMemPerSmBytes) * sms *
+               cfg.sharedResidencyFraction;
+      case WeightResidency::Regfile:
+        return static_cast<double>(cfg.regFileBytesPerSm) * sms *
+               cfg.regfileResidencyFraction;
+    }
+    return 0.0;
+}
+
+double
+residencyOccupancyFactor(const GpuConfig &cfg, WeightResidency r,
+                         double pinned_bytes)
+{
+    if (r == WeightResidency::None || pinned_bytes <= 0.0)
+        return 1.0;
+    double raw = 0.0;
+    const double sms = static_cast<double>(cfg.numSms);
+    if (r == WeightResidency::Shared)
+        raw = static_cast<double>(cfg.sharedMemPerSmBytes) * sms;
+    else
+        raw = static_cast<double>(cfg.regFileBytesPerSm) * sms;
+    if (raw <= 0.0)
+        return 1.0;
+    const double pinned_share = std::min(1.0, pinned_bytes / raw);
+    return 1.0 + cfg.residencyOccupancyPenalty * pinned_share;
+}
+
 KernelTiming
 timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
 {
@@ -49,9 +84,15 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
     const double dequant_cycles =
         desc.quantWeightElems * cfg.dequantOpsPerWeight * 2.0 /
         cfg.flopsPerCycle();
-    t.computeCycles =
-        (desc.flops / cfg.flopsPerCycle() + dequant_cycles) * divergence;
-    t.dequantCycles = dequant_cycles * divergence;
+    // Pinned weights displace warps (regfile) or staging room (shared):
+    // the surviving occupancy hides less latency, inflating the issue-
+    // side cycles of the persistent kernel.
+    const double occ = residencyOccupancyFactor(
+        cfg, desc.residency, desc.residencyPinnedBytes);
+    t.computeCycles = (desc.flops / cfg.flopsPerCycle() + dequant_cycles) *
+                      divergence * occ;
+    t.dequantCycles = dequant_cycles * divergence * occ;
+    t.residencyOccCycles = t.computeCycles * (1.0 - 1.0 / occ);
 
     t.dramBytes =
         (desc.dramReadBytes + desc.dramWriteBytes) * desc.coalescingFactor;
@@ -61,7 +102,13 @@ timeKernel(const GpuConfig &cfg, const KernelDesc &desc, bool crm_applied)
     const double l2_cycles = t.l2Bytes / cfg.l2BytesPerCycle;
 
     t.sharedBytes = desc.sharedBytes;
-    const double shared_cycles = t.sharedBytes / cfg.sharedBytesPerCycle();
+    // Shared-tier residency also contends for shared-memory bandwidth:
+    // the resident weight rows are re-read through the same banks the
+    // operand tiles use.
+    const double shared_occ =
+        desc.residency == WeightResidency::Shared ? occ : 1.0;
+    const double shared_cycles =
+        t.sharedBytes / cfg.sharedBytesPerCycle() * shared_occ;
 
     // --- Occupancy: how many CTA waves the grid needs -------------------
     const unsigned threads_per_cta = std::max(1u, desc.threadsPerCta);

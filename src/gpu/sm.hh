@@ -75,10 +75,29 @@ struct KernelTiming
 
     double crmCycles = 0.0;     ///< CRM pipeline latency charged
     double crmEnergyJ = 0.0;
+    /// extra execution cycles paid for pinned-weight occupancy loss
+    double residencyOccCycles = 0.0;
     unsigned activeThreads = 0;
     unsigned smsUsed = 1;       ///< SMs the grid occupies (for timelines)
     bool reconfigured = false;  ///< shared-BW-driven kernel reconfig hit
 };
+
+/**
+ * Pinnable weight capacity of one residency tier across the whole GPU
+ * (per-SM tier size x SM count x the tier's pinnable fraction). The
+ * lowering sizes the resident weight block against this; the overflow
+ * streams from DRAM as spill (KernelDesc::dramResidencyReloadBytes).
+ */
+double residencyCapacityBytes(const GpuConfig &cfg, WeightResidency r);
+
+/**
+ * Execution-cycle inflation for pinning @p pinned_bytes of weights in
+ * tier @p r: 1.0 at zero pinning, 1 + residencyOccupancyPenalty at a
+ * fully pinned tier (pinned registers/shared rows displace the warps
+ * that would otherwise hide latency).
+ */
+double residencyOccupancyFactor(const GpuConfig &cfg, WeightResidency r,
+                                double pinned_bytes);
 
 /**
  * Time one kernel on the configured GPU.

@@ -14,6 +14,7 @@ const char *toString(TrafficCause c)
     case TrafficCause::Activation: return "activation";
     case TrafficCause::CrmMetadata: return "crm-metadata";
     case TrafficCause::Spill: return "spill";
+    case TrafficCause::ResidencyReload: return "residency-reload";
     }
     return "unknown";
 }
@@ -49,8 +50,8 @@ void TrafficLedger::record(const TrafficSample &s)
     // TraceResult::dramBytes sum, so conservation is bit-exact.
     attributedTotal_ += s.totalDramBytes;
 
-    const double named =
-        s.weightBytes + s.scaleBytes + s.crmMetaBytes + s.spillBytes;
+    const double named = s.weightBytes + s.scaleBytes + s.crmMetaBytes +
+                         s.spillBytes + s.residencyReloadBytes;
     double activation = s.totalDramBytes - named;
     const double slack =
         kDecompositionSlack * std::max(std::abs(s.totalDramBytes), 1.0);
@@ -82,6 +83,11 @@ void TrafficLedger::record(const TrafficSample &s)
     add(MatrixStream::ScaleStream, TrafficCause::Dequant, s.scaleBytes);
     add(MatrixStream::None, TrafficCause::CrmMetadata, s.crmMetaBytes);
     add(MatrixStream::None, TrafficCause::Spill, s.spillBytes);
+    // Reload bytes are weight traffic of the sample's matrix that the
+    // pinned budget failed to keep on chip — attributed to the matrix
+    // axis under their own cause so `mflstm profile` can show exactly
+    // what residency bought (and what the overflow still costs).
+    add(s.matrix, TrafficCause::ResidencyReload, s.residencyReloadBytes);
     add(MatrixStream::None, TrafficCause::Activation, activation);
 
     KernelKey kk;

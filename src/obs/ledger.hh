@@ -5,7 +5,7 @@
  *
  *     layer × matrix {W, U, bias, scale-stream}
  *           × kernel × cause {weight, dequant, activation,
- *                             CRM-metadata, spill}
+ *                             CRM-metadata, spill, residency-reload}
  *
  * tree, with a hard conservation invariant: the attributed bytes of a
  * run must sum to exactly the DRAM total the timing model charged. The
@@ -54,6 +54,8 @@ enum class TrafficCause : std::uint8_t {
     Activation,   ///< inputs, h/c vectors, gate outputs
     CrmMetadata,  ///< relevance-flag bytes the CRM dataflow writes
     Spill,        ///< L2-capacity spills (element-wise state traffic)
+    ResidencyReload,  ///< persistent-kernel weight overflow re-streamed
+                      ///< because the pinned budget could not hold it
 };
 
 /** Which matrix stream a weight byte belongs to. */
@@ -87,6 +89,8 @@ struct TrafficSample
     double scaleBytes = 0.0;    ///< per-row scale stream
     double crmMetaBytes = 0.0;  ///< relevance-flag traffic
     double spillBytes = 0.0;    ///< L2-spill traffic
+    /// residency-overflow weight bytes a persistent kernel re-streamed
+    double residencyReloadBytes = 0.0;
 
     /// wall (simulated) time and bottleneck class, for the kernel view
     double timeUs = 0.0;

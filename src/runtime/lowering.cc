@@ -7,6 +7,7 @@
 #include <string>
 
 #include "gpu/cache.hh"
+#include "gpu/sm.hh"
 
 namespace mflstm {
 namespace runtime {
@@ -452,6 +453,93 @@ Lowering::tissueGather(const LstmLayerShape &shape,
 }
 
 gpu::KernelDesc
+Lowering::persistentLayerKernel(const LstmLayerShape &shape,
+                                gpu::WeightResidency residency,
+                                std::size_t waves,
+                                const KernelBuildCtx &ctx) const
+{
+    if (residency == gpu::WeightResidency::None)
+        throw std::invalid_argument(
+            "persistentLayerKernel: residency must be shared or regfile");
+    if (waves == 0)
+        throw std::invalid_argument(
+            "persistentLayerKernel: zero waves");
+
+    const quant::QuantMode qm = ctx.quant;
+    const double b = checkedBatch(ctx.batch);
+    const double h = static_cast<double>(shape.hiddenSize);
+    const double n = static_cast<double>(shape.length);
+    const double w = static_cast<double>(waves);
+
+    const double macs = 4.0 * h * h * n * b;
+    // Quantized U footprint: codes + the per-row fp32 scales. The
+    // resident share crosses the bus exactly once per sequence; the
+    // overflow streams per wave through the same L2 model every other
+    // flow uses.
+    const double footprint =
+        weightFootprintBytes(4.0 * h * h, 4.0 * h, qm);
+    const double capacity = gpu::residencyCapacityBytes(cfg_, residency);
+    const double resident = std::min(footprint, capacity);
+    const double spill = footprint - resident;
+    const double spill_traffic = layerWeightTraffic(spill, w);
+    // Re-streaming beyond the overflow's compulsory first fetch — the
+    // bytes on-chip residency failed to keep (ledger: residency-reload).
+    const double reload = std::max(0.0, spill_traffic - spill);
+    const double weight_bytes = resident + spill_traffic;
+    const double act_in = n * h * kFloat * b;    // x' rows (gate inputs
+                                                 // come precomputed from
+                                                 // the input Sgemm)
+    const double act_out = n * h * kFloat * b;   // h_t stream
+
+    gpu::KernelDesc k;
+    k.name = "persistent(U_fico)";
+    k.name += std::string(" [") + gpu::toString(residency) + "]";
+    k.klass = gpu::KernelClass::Persistent;
+    // The recurrence plus the fused element-wise epilogue: no separate
+    // lstm_ew kernels launch for a persistent layer.
+    k.flops = 2.0 * macs + 25.0 * h * n * b;
+    k.dramReadBytes = weight_bytes + act_in;
+    k.dramWriteBytes = act_out;
+    k.dramWeightBytes = weight_bytes;
+    k.weightStream = gpu::WeightStream::U;
+    // Scales quantize per row and stream with their codes on the
+    // compulsory pass; the reload share is attributed whole to the
+    // residency-reload cause, so the scale stream is sized on the
+    // first-fetch bytes only (keeps the ledger sub-streams disjoint).
+    k.dramScaleBytes = footprint * scaleShare(4.0 * h * h, 4.0 * h, qm);
+    k.dramResidencyReloadBytes = reload;
+    // Gate vectors and h/c state live on chip between waves; the L2
+    // sees the weight fetches plus the per-wave state round trips.
+    k.l2AccessBytes = weight_bytes + n * 7.0 * h * kFloat * b;
+    // Regfile residency feeds the FMAs straight from registers; shared
+    // residency re-reads every weight once per use from shared memory
+    // on top of the operand staging.
+    k.sharedBytes =
+        residency == gpu::WeightResidency::Shared ? macs * 5.0
+                                                  : macs * 1.0;
+    if (qm != quant::QuantMode::Fp32) {
+        // Resident codes dequantize once per sequence — the point of
+        // pinning them; only re-streamed overflow converts again.
+        k.quantWeightElems = 4.0 * h * h * (weight_bytes / footprint);
+    }
+    k.residency = residency;
+    k.residencyPinnedBytes = resident;
+    k.threadsPerCta = kCta;
+    // A persistent grid is sized to what the machine can keep resident,
+    // not to the problem: every CTA must stay scheduled for the whole
+    // sequence, so the grid is capped at the concurrent-CTA budget.
+    const unsigned concurrent =
+        cfg_.numSms * std::max(1u, std::min(cfg_.maxCtasPerSm,
+                                            cfg_.maxThreadsPerSm / kCta));
+    k.ctas = std::min(ctasFor(4.0 * h * b), concurrent);
+    // One grid-wide barrier per wave keeps the recurrence ordered.
+    k.syncsPerCta = static_cast<unsigned>(waves);
+    tagQuant(k, qm);
+    tagBatch(k, ctx.batch);
+    return k;
+}
+
+gpu::KernelDesc
 Lowering::prunedSgemv(const LstmLayerShape &shape,
                       double dram_bytes_weights, double prune_fraction,
                       const KernelBuildCtx &ctx) const
@@ -532,6 +620,26 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                  ts);
             push(elementWise(shape, 1, ctx), ts);
         }
+        return;
+    }
+
+    if (ls.persistent()) {
+        // Persistent flow: one kernel per layer keeps the resident
+        // share of U on chip across every wave of the sequence. With a
+        // tissue schedule the waves are the DRS-relaxed tissue waves
+        // (the breakpoint search still runs to find them); without one
+        // the recurrence synchronises per timestep.
+        std::size_t waves = shape.length;
+        if (ls.usesTissues()) {
+            if (std::accumulate(ls.tissueSizes.begin(),
+                                ls.tissueSizes.end(),
+                                std::size_t{0}) != shape.length)
+                throw std::invalid_argument(
+                    "lowerLayer: tissue sizes do not cover the layer");
+            waves = ls.tissueSizes.size();
+            push(relevanceKernel(shape, ctx));
+        }
+        push(persistentLayerKernel(shape, ls.residency, waves, ctx));
         return;
     }
 

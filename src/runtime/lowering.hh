@@ -14,7 +14,10 @@
  *   Algorithm 3 (intra-cell DRS): split Sgemv(U_o) -> lstm_ew(o_t) ->
  *   DRS scan -> row-skipped Sgemv(U_fic,h,R) -> lstm_ew per cell;
  *
- * plus the zero-pruning comparator of Section VI-B2.
+ * plus the zero-pruning comparator of Section VI-B2 and the persistent
+ * residency flow (Appleyard et al., PAPERS.md): one persistent kernel
+ * per layer with the recurrent weights pinned in shared memory or the
+ * register file across every wave of the sequence.
  *
  * Dispatch is decision-driven (DESIGN.md §14): lowerLayer resolves the
  * plan to a per-layer LayerSchedule (explicit decisions, or the
@@ -125,8 +128,7 @@ class Lowering
     // unbatched fp32 kernel. A quantized ctx shrinks the weight-side
     // DRAM/L2 terms by quant::bytesPerWeight (plus a 4 B/row scale
     // stream) and sets KernelDesc::quantWeightElems for the in-register
-    // dequant cost. The positional (batch, quantMode, ...) overloads
-    // are deprecated forwarding shims kept for one PR.
+    // dequant cost.
 
     /** Per-layer input projection Sgemm(W_{f,i,c,o}, x). */
     gpu::KernelDesc inputSgemm(const LstmLayerShape &shape,
@@ -196,87 +198,21 @@ class Lowering
                                 double prune_fraction,
                                 const KernelBuildCtx &ctx = {}) const;
 
-    // --- Deprecated positional forwarding overloads (one PR) -----------
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    inputSgemm(const LstmLayerShape &shape, std::size_t batch,
-               quant::QuantMode qm = quant::QuantMode::Fp32) const
-    {
-        return inputSgemm(shape, KernelBuildCtx{batch, qm, false});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    cellSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
-              std::size_t batch,
-              quant::QuantMode qm = quant::QuantMode::Fp32) const
-    {
-        return cellSgemv(shape, dram_bytes_weights,
-                         KernelBuildCtx{batch, qm, false});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
-                double dram_bytes_weights, double skip_fraction,
-                std::size_t batch,
-                quant::QuantMode qm = quant::QuantMode::Fp32) const
-    {
-        return tissueSgemm(shape, tissue_size, dram_bytes_weights,
-                           skip_fraction, KernelBuildCtx{batch, qm, false});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    elementWise(const LstmLayerShape &shape, std::size_t cells,
-                std::size_t batch) const
-    {
-        return elementWise(shape, cells, KernelBuildCtx{batch});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    outputGateSgemv(const LstmLayerShape &shape,
-                    double dram_bytes_weights, std::size_t batch,
-                    quant::QuantMode qm = quant::QuantMode::Fp32,
-                    bool fused_flags = false) const
-    {
-        return outputGateSgemv(shape, dram_bytes_weights,
-                               KernelBuildCtx{batch, qm, fused_flags});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    drsScan(const LstmLayerShape &shape, std::size_t batch) const
-    {
-        return drsScan(shape, KernelBuildCtx{batch});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    rowSkipSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
-                 double skip_fraction, bool hw_compacted,
-                 std::size_t batch,
-                 quant::QuantMode qm = quant::QuantMode::Fp32) const
-    {
-        return rowSkipSgemv(shape, dram_bytes_weights, skip_fraction,
-                            hw_compacted, KernelBuildCtx{batch, qm, false});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    relevanceKernel(const LstmLayerShape &shape, std::size_t batch) const
-    {
-        return relevanceKernel(shape, KernelBuildCtx{batch});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    tissueGather(const LstmLayerShape &shape, std::size_t tissue_size,
-                 std::size_t batch) const
-    {
-        return tissueGather(shape, tissue_size, KernelBuildCtx{batch});
-    }
-
-    [[deprecated("pass a KernelBuildCtx")]] gpu::KernelDesc
-    prunedSgemv(const LstmLayerShape &shape, double dram_bytes_weights,
-                double prune_fraction, std::size_t batch) const
-    {
-        return prunedSgemv(shape, dram_bytes_weights, prune_fraction,
-                           KernelBuildCtx{batch});
-    }
+    /**
+     * Persistent layer kernel (Appleyard-style): one launch covers the
+     * whole sequence, with min(U footprint, residency capacity) of the
+     * quantized U pinned on chip and charged to DRAM once, and the
+     * overflow streamed per wave through the L2 model (reported in
+     * KernelDesc::dramResidencyReloadBytes beyond its compulsory first
+     * pass). @p waves is the grid-wide synchronisation count: the
+     * tissue count when the layer runs the tissue flow, the sequence
+     * length for the dense recurrence.
+     */
+    gpu::KernelDesc persistentLayerKernel(const LstmLayerShape &shape,
+                                          gpu::WeightResidency residency,
+                                          std::size_t waves,
+                                          const KernelBuildCtx &ctx =
+                                              {}) const;
 
     /** Per-layer weight-streaming DRAM traffic (cache model). */
     double layerWeightTraffic(double footprint_bytes,

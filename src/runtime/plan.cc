@@ -25,6 +25,8 @@ toString(PlanKind kind)
         return "zero-pruning";
       case PlanKind::Tuned:
         return "tuned";
+      case PlanKind::Persistent:
+        return "persistent";
     }
     return "unknown";
 }
@@ -46,6 +48,8 @@ planKindFromString(const std::string &s)
         return PlanKind::ZeroPruning;
     if (s == "tuned")
         return PlanKind::Tuned;
+    if (s == "persistent")
+        return PlanKind::Persistent;
     return std::nullopt;
 }
 
@@ -102,6 +106,12 @@ ExecutionPlan::layerSchedule(std::size_t layer_index) const
     }
     if (usesInter() && layer_index < inter.size())
         ls.tissueSizes = inter[layer_index].tissueSizes;
+    if (kind == PlanKind::Persistent) {
+        // The persistent preset targets the fast tier the persistent-
+        // RNN literature uses; the tuner also searches the shared tier.
+        ls.residency = WeightResidency::Regfile;
+        return ls;
+    }
     if (usesIntra() && layer_index < intra.size()) {
         ls.skipFraction = intra[layer_index].skipFraction;
         ls.skipPath = usesCrmHardware() ? SkipPath::HwCrm

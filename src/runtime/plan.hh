@@ -39,6 +39,7 @@ enum class PlanKind {
     Combined,     ///< inter + intra(HW) together
     ZeroPruning,  ///< element-level magnitude pruning comparator [31]
     Tuned,        ///< explicit searched ScheduleDecisions (src/sched)
+    Persistent,   ///< tissue waves + register-file weight residency
 };
 
 const char *toString(PlanKind kind);
@@ -169,7 +170,12 @@ struct ExecutionPlan
                     return true;
             return false;
         }
-        return kind == PlanKind::InterCell || kind == PlanKind::Combined;
+        // The persistent preset rides the tissue schedule: its waves
+        // are the DRS-relaxed tissue waves, so the planner populates
+        // `inter` for it exactly as for the inter-cell preset.
+        return kind == PlanKind::InterCell ||
+               kind == PlanKind::Combined ||
+               kind == PlanKind::Persistent;
     }
     bool usesIntra() const
     {

@@ -55,6 +55,18 @@ parseFlagFusion(const std::string &s)
     return std::nullopt;
 }
 
+std::optional<WeightResidency>
+parseWeightResidency(const std::string &s)
+{
+    if (s == "none")
+        return WeightResidency::None;
+    if (s == "shared")
+        return WeightResidency::Shared;
+    if (s == "regfile")
+        return WeightResidency::Regfile;
+    return std::nullopt;
+}
+
 bool
 LayerSchedule::usesTissues() const
 {
@@ -95,6 +107,18 @@ LayerSchedule::validate() const
     } else if (pruneFraction != 0.0) {
         throw std::invalid_argument(
             "LayerSchedule: pruneFraction without the prunedCsr flow");
+    }
+    if (persistent()) {
+        if (skipPath != SkipPath::Off)
+            throw std::invalid_argument(
+                "LayerSchedule: DRS re-dispatches per-wave grids through "
+                "the GMU, but a persistent layer launches once "
+                "(residency requires skipPath off)");
+        if (prunedCsr)
+            throw std::invalid_argument(
+                "LayerSchedule: the CSR comparator's gather-indexed rows "
+                "cannot be pinned as a dense resident block (residency "
+                "excludes prunedCsr)");
     }
 }
 

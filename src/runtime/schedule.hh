@@ -36,10 +36,20 @@
 #include <string>
 #include <vector>
 
+#include "gpu/kernel.hh"
 #include "quant/qformat.hh"
 
 namespace mflstm {
 namespace runtime {
+
+/**
+ * On-chip weight residency of a persistent layer (gpu tier enum —
+ * shared between the schedule decision and the KernelDesc the lowering
+ * emits). `None` streams U from DRAM every wave; `Shared`/`Regfile`
+ * lower the layer into one persistent kernel whose resident weight
+ * block crosses the bus once per sequence.
+ */
+using WeightResidency = gpu::WeightResidency;
 
 /** Intra-cell row-skip dataflow for one layer (Section V). */
 enum class SkipPath : std::uint32_t {
@@ -60,6 +70,7 @@ const char *toString(FlagFusion fusion);
 /** Parse a toString spelling; nullopt on anything unknown. */
 std::optional<SkipPath> parseSkipPath(const std::string &s);
 std::optional<FlagFusion> parseFlagFusion(const std::string &s);
+std::optional<WeightResidency> parseWeightResidency(const std::string &s);
 
 /** Every schedule decision the lowering needs for one layer. */
 struct LayerSchedule
@@ -89,8 +100,24 @@ struct LayerSchedule
     /// RunRequest batch (the only value presets ever produce)
     std::size_t batch = 0;
 
+    /**
+     * Persistent on-chip weight residency: lower this layer into one
+     * persistent kernel whose resident share of U crosses the bus once
+     * per sequence (per batch wave in the serve batcher) instead of
+     * once per tissue/timestep. Composes with the tissue schedule (the
+     * persistent grid synchronises at tissue-wave granularity) and any
+     * precision; excludes DRS and the CSR comparator — see validate().
+     */
+    WeightResidency residency = WeightResidency::None;
+
     /** True when the tissue flow actually runs (maxTissue > 1). */
     bool usesTissues() const;
+
+    /** True when this layer lowers into one persistent kernel. */
+    bool persistent() const
+    {
+        return residency != WeightResidency::None;
+    }
 
     /** True when a row-skip kernel is emitted for this layer. */
     bool skipActive() const
@@ -104,7 +131,10 @@ struct LayerSchedule
      * requires FusedEpilogue); DRS inside a tissue always dispatches
      * through the CRM (tissues + skip require HwCrm); the CSR
      * comparator composes with nothing and stays fp32; fractions must
-     * be finite and within [0, 1].
+     * be finite and within [0, 1]; persistent residency excludes DRS
+     * (the GMU re-dispatches per-wave row-skip grids, but a persistent
+     * layer launches exactly once) and the CSR comparator (whose
+     * gather-indexed rows cannot be pinned as a dense block).
      *
      * @throws std::invalid_argument naming the violated rule.
      */

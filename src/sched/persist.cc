@@ -9,7 +9,16 @@ namespace sched {
 
 namespace {
 
-constexpr std::uint32_t kVersion = 1;
+/**
+ * Schema history:
+ *  v1 — initial tuned-plan artifact.
+ *  v2 — appends a per-layer weight-residency tag to the decision chunk
+ *       and the residency cost-model fields to the GpuConfig chunk.
+ * v1 files still load: the appended fields default to "no residency",
+ * which is exactly what a v1 tuner could have chosen.
+ */
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 const std::uint32_t kChunkFingerprint = io::fourcc('T', 'F', 'P', 'R');
 const std::uint32_t kChunkGpu = io::fourcc('T', 'G', 'P', 'U');
@@ -129,11 +138,12 @@ writeDecisions(io::ByteWriter &w,
         w.u32(ls.prunedCsr ? 1 : 0);
         w.f64(ls.pruneFraction);
         w.u64(ls.batch);
+        w.u32(static_cast<std::uint32_t>(ls.residency));  // v2
     }
 }
 
 runtime::ScheduleDecisions
-readDecisions(io::ByteReader &r)
+readDecisions(io::ByteReader &r, std::uint32_t version)
 {
     runtime::ScheduleDecisions decisions;
     const std::uint64_t count = r.u64();
@@ -162,6 +172,13 @@ readDecisions(io::ByteReader &r)
         ls.prunedCsr = r.u32() != 0;
         ls.pruneFraction = r.f64();
         ls.batch = r.u64();
+        if (version >= 2) {
+            const std::uint32_t res = r.u32();
+            if (res > static_cast<std::uint32_t>(
+                          runtime::WeightResidency::Regfile))
+                fail(io::ErrorKind::Malformed, "unknown residency");
+            ls.residency = static_cast<runtime::WeightResidency>(res);
+        }
         decisions.layers.push_back(std::move(ls));
     }
     r.expectEnd();
@@ -180,7 +197,7 @@ struct Parsed
 };
 
 gpu::GpuConfig
-deserializeGpuConfig(io::ByteReader &r)
+deserializeGpuConfig(io::ByteReader &r, std::uint32_t version)
 {
     gpu::GpuConfig cfg;
     cfg.name = readString(r);
@@ -215,6 +232,12 @@ deserializeGpuConfig(io::ByteReader &r)
     cfg.crmPipelineCycles = r.u32();
     cfg.crmPjPerThread = r.f64();
     cfg.crmStaticW = r.f64();
+    if (version >= 2) {
+        cfg.regFileBytesPerSm = r.u64();
+        cfg.sharedResidencyFraction = r.f64();
+        cfg.regfileResidencyFraction = r.f64();
+        cfg.residencyOccupancyPenalty = r.f64();
+    }
     r.expectEnd();
     return cfg;
 }
@@ -224,10 +247,10 @@ Parsed
 parse(const std::string &path, const io::ArtifactLimits &limits)
 {
     io::ArtifactReader reader(path, io::kSchemaTunedPlan, limits);
-    if (reader.schemaVersion() != kVersion)
+    const std::uint32_t version = reader.schemaVersion();
+    if (version < kMinVersion || version > kVersion)
         fail(io::ErrorKind::BadVersion,
-             "schema version " +
-                 std::to_string(reader.schemaVersion()) +
+             "schema version " + std::to_string(version) +
                  " unsupported");
 
     Parsed out;
@@ -237,7 +260,7 @@ parse(const std::string &path, const io::ArtifactLimits &limits)
     }
     {
         io::ByteReader r = reader.chunk(kChunkGpu);
-        out.artifact.gpu = deserializeGpuConfig(r);
+        out.artifact.gpu = deserializeGpuConfig(r, version);
         out.gpuBytes = serializeGpuConfig(out.artifact.gpu);
     }
     {
@@ -246,7 +269,7 @@ parse(const std::string &path, const io::ArtifactLimits &limits)
     }
     {
         io::ByteReader r = reader.chunk(kChunkDecisions);
-        out.artifact.decisions = readDecisions(r);
+        out.artifact.decisions = readDecisions(r, version);
     }
     if (out.artifact.decisions.layers.size() !=
         out.artifact.shape.layers.size())
@@ -402,6 +425,11 @@ serializeGpuConfigInto(io::ByteWriter &w, const gpu::GpuConfig &cfg)
     w.u32(cfg.crmPipelineCycles);
     w.f64(cfg.crmPjPerThread);
     w.f64(cfg.crmStaticW);
+    // v2: residency cost-model fields
+    w.u64(cfg.regFileBytesPerSm);
+    w.f64(cfg.sharedResidencyFraction);
+    w.f64(cfg.regfileResidencyFraction);
+    w.f64(cfg.residencyOccupancyPenalty);
 }
 
 } // anonymous namespace

@@ -73,12 +73,31 @@ enumerateLayerOptions(const TuneRequest &req, std::size_t layer_index,
         add("skip-hw", hw);
     }
 
+    // Persistent residency points. The dense variants pin the layer's U
+    // block and launch once per sequence; the tissue variant keeps the
+    // calibrated wave structure, so the search always contains the exact
+    // per-layer point the Persistent preset lowers to (dominance of the
+    // tuned plan over that preset follows).
+    {
+        runtime::LayerSchedule psh = dense;
+        psh.residency = runtime::WeightResidency::Shared;
+        add("persistent-shared", psh);
+
+        runtime::LayerSchedule prf = dense;
+        prf.residency = runtime::WeightResidency::Regfile;
+        add("persistent-regfile", prf);
+    }
+
     if (layer_index < inter.size()) {
         const auto &sizes = inter[layer_index].tissueSizes;
         if (inter[layer_index].maxTissue() > 1) {
             runtime::LayerSchedule tis = dense;
             tis.tissueSizes = sizes;
             add("tissues", tis);
+
+            runtime::LayerSchedule tp = tis;
+            tp.residency = runtime::WeightResidency::Regfile;
+            add("tissues+persistent", tp);
         }
     }
     if (skip > 0.0 && layer_index < combined_inter.size()) {

@@ -65,8 +65,11 @@ struct LayerOption
  * fraction is positive, tissue schedules (with and without fused DRS)
  * when the division statistics produce tissues larger than one cell
  * (@p inter / @p combined_inter are the aligned per-layer schedules the
- * preset planner built at the calibrated and the DRS-extended MTS), and
- * the zero-pruning CSR point when req.pruneFraction is meaningful.
+ * preset planner built at the calibrated and the DRS-extended MTS),
+ * persistent residency points (dense layers pinned to the shared and
+ * register-file tiers, plus tissues+regfile so the Persistent preset's
+ * exact per-layer point is always in the search), and the zero-pruning
+ * CSR point when req.pruneFraction is meaningful.
  * Every returned schedule passes LayerSchedule::validate().
  */
 std::vector<LayerOption>

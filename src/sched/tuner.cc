@@ -16,6 +16,7 @@ constexpr runtime::PlanKind kPresets[] = {
     runtime::PlanKind::Baseline,    runtime::PlanKind::InterCell,
     runtime::PlanKind::IntraCellSw, runtime::PlanKind::IntraCellHw,
     runtime::PlanKind::Combined,    runtime::PlanKind::ZeroPruning,
+    runtime::PlanKind::Persistent,
 };
 
 double

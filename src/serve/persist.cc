@@ -19,9 +19,12 @@ using io::ErrorKind;
  * v3: plans may carry explicit ScheduleDecisions (PlanKind::Tuned,
  *     DESIGN.md §14) and the fingerprint records whether the engine
  *     was built with Options::tunePlans. v1/v2 files stay loadable —
- *     their plans carry no decisions and tunedPlans defaults to false.
+ *     their plans carry no decisions and tunedPlans defaults to false;
+ * v4: plans may use PlanKind::Persistent and per-layer decisions carry
+ *     a weight-residency tag (DESIGN.md §15). v1-v3 files stay
+ *     loadable — residency defaults to none.
  */
-constexpr std::uint32_t kEngineSchemaVersion = 3;
+constexpr std::uint32_t kEngineSchemaVersion = 4;
 
 constexpr std::uint32_t kMaxQuantMode =
     static_cast<std::uint32_t>(quant::QuantMode::Int4);
@@ -46,8 +49,9 @@ std::uint32_t
 maxPlanKindFor(std::uint32_t version)
 {
     return static_cast<std::uint32_t>(
-        version >= 3 ? runtime::PlanKind::Tuned
-                     : runtime::PlanKind::ZeroPruning);
+        version >= 4   ? runtime::PlanKind::Persistent
+        : version >= 3 ? runtime::PlanKind::Tuned
+                       : runtime::PlanKind::ZeroPruning);
 }
 
 std::uint32_t
@@ -95,13 +99,14 @@ writePlan(io::ByteWriter &w, const runtime::ExecutionPlan &plan)
             w.u32(ls.prunedCsr ? 1 : 0);
             w.f64(ls.pruneFraction);
             w.u64(ls.batch);
+            w.u32(static_cast<std::uint32_t>(ls.residency));  // v4
         }
     }
 }
 
 runtime::ScheduleDecisions
-readDecisions(io::ByteReader &r, const io::ArtifactLimits &limits,
-              const std::string &path)
+readDecisions(io::ByteReader &r, std::uint32_t version,
+              const io::ArtifactLimits &limits, const std::string &path)
 {
     runtime::ScheduleDecisions decisions;
     const std::uint64_t layers = r.u64();
@@ -144,6 +149,15 @@ readDecisions(io::ByteReader &r, const io::ArtifactLimits &limits,
                                 "loadEngineState: " + path +
                                     ": absurd layer batch");
         ls.batch = static_cast<std::size_t>(batch);
+        if (version >= 4) {
+            const std::uint32_t res = r.u32();
+            if (res > static_cast<std::uint32_t>(
+                          runtime::WeightResidency::Regfile))
+                throw ArtifactError(ErrorKind::Malformed,
+                                    "loadEngineState: " + path +
+                                        ": unknown residency");
+            ls.residency = static_cast<runtime::WeightResidency>(res);
+        }
         decisions.layers.push_back(std::move(ls));
     }
     try {
@@ -214,7 +228,7 @@ readPlan(io::ByteReader &r, std::uint32_t version,
                                 "loadEngineState: " + path +
                                     ": bad decisions marker");
         if (has_decisions)
-            plan.decisions = readDecisions(r, limits, path);
+            plan.decisions = readDecisions(r, version, limits, path);
     }
     r.expectEnd();
     return plan;

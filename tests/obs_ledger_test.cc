@@ -131,6 +131,47 @@ TEST(TrafficLedger, RejectsCrmDoubleCountFixture)
     EXPECT_FALSE(ledger.verifyConservation(1000.0).empty());
 }
 
+/**
+ * ISSUE 8: a persistent kernel's weight stream splits three ways —
+ * first-fetch codes, first-fetch scales, and the overflow the pinned
+ * budget re-streamed. The reload lands on the sample's matrix axis
+ * under its own cause, and still counts toward the decomposition.
+ */
+TEST(TrafficLedger, AttributesResidencyReloadOnMatrixAxis)
+{
+    TrafficSample s;
+    s.layer = 2;
+    s.matrix = MatrixStream::U;
+    s.kernel = "persistent(U_fico) [regfile]";
+    s.kernelClass = "Persistent";
+    s.totalDramBytes = 1000.0;
+    s.weightBytes = 500.0;
+    s.scaleBytes = 60.0;
+    s.residencyReloadBytes = 340.0;
+
+    TrafficLedger ledger;
+    ledger.record(s);
+    EXPECT_TRUE(ledger.violations().empty());
+    EXPECT_TRUE(ledger.verifyConservation(1000.0).empty());
+
+    const auto traffic = ledger.traffic();
+    TrafficLedger::NodeKey k;
+    k.layer = 2;
+    k.matrix = MatrixStream::U;
+    k.kernel = s.kernel;
+    k.cause = TrafficCause::ResidencyReload;
+    ASSERT_TRUE(traffic.count(k));
+    EXPECT_DOUBLE_EQ(traffic.at(k), 340.0);
+
+    // Reload inflating past the total is the same double-count class
+    // the ledger exists to reject.
+    TrafficSample doubled = s;
+    doubled.residencyReloadBytes += 200.0;
+    TrafficLedger strict;
+    strict.record(doubled);
+    EXPECT_FALSE(strict.violations().empty());
+}
+
 TEST(TrafficLedger, AggregatesKernelBottlenecks)
 {
     TrafficLedger ledger;
@@ -174,6 +215,8 @@ TEST(TrafficLedger, EnumNamesAreStable)
     EXPECT_STREQ(obs::toString(TrafficCause::CrmMetadata),
                  "crm-metadata");
     EXPECT_STREQ(obs::toString(TrafficCause::Spill), "spill");
+    EXPECT_STREQ(obs::toString(TrafficCause::ResidencyReload),
+                 "residency-reload");
     EXPECT_STREQ(obs::toString(MatrixStream::None), "none");
     EXPECT_STREQ(obs::toString(MatrixStream::W), "W");
     EXPECT_STREQ(obs::toString(MatrixStream::U), "U");

@@ -97,6 +97,7 @@ TEST(LedgerConservation, AllTableIIAppsAllPlanKindsAllQuantModes)
         PlanKind::Baseline,    PlanKind::InterCell,
         PlanKind::IntraCellSw, PlanKind::IntraCellHw,
         PlanKind::Combined,    PlanKind::ZeroPruning,
+        PlanKind::Persistent,
     };
     const quant::QuantMode modes[] = {
         quant::QuantMode::Fp32,
@@ -130,6 +131,61 @@ TEST(LedgerConservation, HoldsAcrossBatchDimension)
                 batch,
                 "batch" + std::to_string(batch) + "/" +
                     runtime::toString(kind));
+        }
+    }
+}
+
+// ISSUE 8: residency introduces a third weight sub-stream
+// (residency-reload) that must decompose dramWeightBytes without
+// overlapping codes or scales — sweep every tier × precision × batch.
+TEST(LedgerConservation, HoldsAcrossResidencyTiers)
+{
+    const runtime::NetworkShape shape =
+        runtime::NetworkShape::stacked(512, 512, 2, 20);
+    const runtime::WeightResidency tiers[] = {
+        runtime::WeightResidency::Shared,
+        runtime::WeightResidency::Regfile,
+    };
+    const quant::QuantMode modes[] = {
+        quant::QuantMode::Fp32,
+        quant::QuantMode::Int8,
+        quant::QuantMode::Int4,
+    };
+    for (runtime::WeightResidency tier : tiers) {
+        for (quant::QuantMode qm : modes) {
+            for (std::size_t batch : {1u, 4u}) {
+                for (bool tissues : {false, true}) {
+                    runtime::ScheduleDecisions d;
+                    d.layers.resize(shape.layers.size());
+                    for (std::size_t l = 0; l < d.layers.size(); ++l) {
+                        d.layers[l].quant = qm;
+                        d.layers[l].residency = tier;
+                        if (tissues)
+                            d.layers[l].tissueSizes = {4, 4, 4, 4, 4};
+                    }
+                    expectConserved(
+                        shape, ExecutionPlan::fromDecisions(d), batch,
+                        std::string(toString(tier)) +
+                            (tissues ? "/tissues" : "/dense") + "/qm" +
+                            std::to_string(static_cast<int>(qm)) + "/b" +
+                            std::to_string(batch));
+                }
+            }
+        }
+    }
+}
+
+// The persistent preset on the real Table II shapes, every precision.
+TEST(LedgerConservation, PersistentPresetConservesOnTableII)
+{
+    for (const workloads::BenchmarkSpec &spec : workloads::tableII()) {
+        const runtime::NetworkShape shape = spec.timingShape();
+        for (quant::QuantMode qm :
+             {quant::QuantMode::Fp32, quant::QuantMode::Int8}) {
+            expectConserved(
+                shape, planFor(PlanKind::Persistent, shape, qm), 4,
+                spec.name + "/persistent/qm" +
+                    std::to_string(static_cast<int>(qm)));
         }
     }
 }

@@ -2,8 +2,8 @@
  * ScheduleDecisions API (DESIGN.md §14): parser round-trips, the
  * per-layer validation rules, the preset -> explicit-decision
  * bit-identity guarantee the whole redesign rests on, the new
- * searchable software+fused point, and the deprecated positional
- * builder overloads forwarding to KernelBuildCtx.
+ * searchable software+fused point, and the persistent weight-residency
+ * schedule family (DESIGN.md §15).
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +12,7 @@
 #include <string>
 
 #include "gpu/config.hh"
+#include "gpu/sm.hh"
 #include "runtime/lowering.hh"
 #include "runtime/plan.hh"
 #include "runtime/schedule.hh"
@@ -29,7 +30,7 @@ TEST(PlanKindParse, RoundTripsEveryKind)
         PlanKind::Baseline,    PlanKind::InterCell,
         PlanKind::IntraCellSw, PlanKind::IntraCellHw,
         PlanKind::Combined,    PlanKind::ZeroPruning,
-        PlanKind::Tuned,
+        PlanKind::Tuned,       PlanKind::Persistent,
     };
     for (PlanKind k : kinds) {
         const auto parsed = planKindFromString(toString(k));
@@ -195,6 +196,9 @@ expectKernelEqual(const gpu::KernelDesc &a, const gpu::KernelDesc &b,
     EXPECT_EQ(a.dramScaleBytes, b.dramScaleBytes);
     EXPECT_EQ(a.dramCrmMetaBytes, b.dramCrmMetaBytes);
     EXPECT_EQ(a.dramSpillBytes, b.dramSpillBytes);
+    EXPECT_EQ(a.dramResidencyReloadBytes, b.dramResidencyReloadBytes);
+    EXPECT_EQ(a.residency, b.residency);
+    EXPECT_EQ(a.residencyPinnedBytes, b.residencyPinnedBytes);
     EXPECT_EQ(a.syncsPerCta, b.syncsPerCta);
     EXPECT_EQ(a.divergenceFactor, b.divergenceFactor);
     EXPECT_EQ(a.coalescingFactor, b.coalescingFactor);
@@ -241,6 +245,7 @@ TEST(ScheduleBitIdentity, PresetsLowerIdenticallyAsExplicitDecisions)
         PlanKind::Baseline,    PlanKind::InterCell,
         PlanKind::IntraCellSw, PlanKind::IntraCellHw,
         PlanKind::Combined,    PlanKind::ZeroPruning,
+        PlanKind::Persistent,
     };
     const quant::QuantMode modes[] = {quant::QuantMode::Fp32,
                                       quant::QuantMode::Int8,
@@ -343,49 +348,115 @@ TEST(ScheduleNewPoints, PerLayerBatchOverrideInheritsWhenZero)
 }
 
 // ---------------------------------------------------------------------
-// Deprecated positional overloads forward to the ctx builders
+// Persistent residency
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(KernelBuildCtx, DeprecatedOverloadsForwardExactly)
+TEST(Residency, ValidateRejectsSkipAndCsrCompositions)
+{
+    LayerSchedule ls;
+    ls.residency = WeightResidency::Regfile;
+    EXPECT_NO_THROW(ls.validate());
+
+    LayerSchedule skip = ls;
+    skip.skipPath = SkipPath::Software;
+    skip.skipFraction = 0.3;
+    EXPECT_THROW(skip.validate(), std::invalid_argument);
+
+    LayerSchedule csr = ls;
+    csr.prunedCsr = true;
+    csr.pruneFraction = 0.37;
+    EXPECT_THROW(csr.validate(), std::invalid_argument);
+}
+
+TEST(Residency, PersistentLayerLowersToOneWeightKernel)
 {
     const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
-    const Lowering lw(cfg);
-    const LstmLayerShape shape{32, 64, 10};
-    const KernelBuildCtx ctx{4, quant::QuantMode::Int8, false};
+    const Lowering lowering(cfg);
+    const NetworkShape shape = NetworkShape::stacked(32, 64, 1, 6);
 
-    expectKernelEqual(lw.inputSgemm(shape, 4, quant::QuantMode::Int8),
-                      lw.inputSgemm(shape, ctx), 0);
-    expectKernelEqual(
-        lw.cellSgemv(shape, 1e4, 4, quant::QuantMode::Int8),
-        lw.cellSgemv(shape, 1e4, ctx), 1);
-    expectKernelEqual(
-        lw.tissueSgemm(shape, 5, 1e4, 0.3, 4, quant::QuantMode::Int8),
-        lw.tissueSgemm(shape, 5, 1e4, 0.3, ctx), 2);
-    expectKernelEqual(lw.elementWise(shape, 5, 4),
-                      lw.elementWise(shape, 5, KernelBuildCtx{4}), 3);
-    expectKernelEqual(
-        lw.outputGateSgemv(shape, 1e4, 4, quant::QuantMode::Int8, true),
-        lw.outputGateSgemv(shape, 1e4,
-                           KernelBuildCtx{4, quant::QuantMode::Int8,
-                                          true}),
-        4);
-    expectKernelEqual(lw.drsScan(shape, 4),
-                      lw.drsScan(shape, KernelBuildCtx{4}), 5);
-    expectKernelEqual(
-        lw.rowSkipSgemv(shape, 1e4, 0.3, true, 4,
-                        quant::QuantMode::Int8),
-        lw.rowSkipSgemv(shape, 1e4, 0.3, true, ctx), 6);
-    expectKernelEqual(lw.relevanceKernel(shape, 4),
-                      lw.relevanceKernel(shape, KernelBuildCtx{4}), 7);
-    expectKernelEqual(lw.tissueGather(shape, 5, 4),
-                      lw.tissueGather(shape, 5, KernelBuildCtx{4}), 8);
-    expectKernelEqual(lw.prunedSgemv(shape, 1e4, 0.37, 4),
-                      lw.prunedSgemv(shape, 1e4, 0.37,
-                                     KernelBuildCtx{4}),
-                      9);
+    ScheduleDecisions d;
+    d.layers.resize(1);
+    d.layers[0].residency = WeightResidency::Regfile;
+    const gpu::KernelTrace trace =
+        lowering.lower(shape, ExecutionPlan::fromDecisions(d), 1);
+
+    std::size_t persistent = 0;
+    for (const gpu::KernelDesc &k : trace)
+        if (k.klass == gpu::KernelClass::Persistent)
+            ++persistent;
+    // One input GEMM plus exactly one persistent recurrent kernel; the
+    // per-timestep cell grids are folded into the resident launch.
+    ASSERT_EQ(persistent, 1u);
+    ASSERT_EQ(trace.size(), 2u);
+    const gpu::KernelDesc &pk = trace.back();
+    EXPECT_EQ(pk.residency, gpu::WeightResidency::Regfile);
+    EXPECT_GT(pk.residencyPinnedBytes, 0.0);
+    EXPECT_EQ(pk.syncsPerCta, shape.layers[0].length);
 }
-#pragma GCC diagnostic pop
+
+TEST(Residency, ResidentBytesChargedOncePerSequence)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    const LstmLayerShape shape{64, 64, 10};
+
+    const gpu::KernelDesc pk = lowering.persistentLayerKernel(
+        shape, gpu::WeightResidency::Regfile, shape.length,
+        KernelBuildCtx{1});
+    // h=64 fp32 U fits the register-file budget entirely: the weight
+    // stream equals the footprint (once), with no reload traffic.
+    const double footprint = 4.0 * 64.0 * 64.0 * 4.0;
+    EXPECT_DOUBLE_EQ(pk.dramWeightBytes, footprint);
+    EXPECT_DOUBLE_EQ(pk.dramResidencyReloadBytes, 0.0);
+    EXPECT_DOUBLE_EQ(pk.residencyPinnedBytes, footprint);
+    // fp32 weights stream no scale vector and dequantize nothing.
+    EXPECT_DOUBLE_EQ(pk.dramScaleBytes, 0.0);
+    EXPECT_DOUBLE_EQ(pk.quantWeightElems, 0.0);
+}
+
+TEST(Residency, OversizedFootprintSpillsAndReloads)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    // h=650 fp32: 4h^2*4 = 6.76 MB, far beyond any on-chip tier.
+    const LstmLayerShape shape{650, 650, 20};
+
+    const gpu::KernelDesc pk = lowering.persistentLayerKernel(
+        shape, gpu::WeightResidency::Shared, shape.length,
+        KernelBuildCtx{1});
+    const double capacity =
+        gpu::residencyCapacityBytes(cfg, gpu::WeightResidency::Shared);
+    EXPECT_DOUBLE_EQ(pk.residencyPinnedBytes, capacity);
+    EXPECT_GT(pk.dramResidencyReloadBytes, 0.0);
+    // Reload is a subset of the weight stream; codes+scales+reload
+    // must decompose dramWeightBytes without overlap.
+    EXPECT_LT(pk.dramResidencyReloadBytes, pk.dramWeightBytes);
+}
+
+TEST(Residency, PersistentPresetMatchesTissuesPlusRegfile)
+{
+    const gpu::GpuConfig cfg = gpu::GpuConfig::tegraX1();
+    const Lowering lowering(cfg);
+    const NetworkShape shape = NetworkShape::stacked(32, 64, 2, 12);
+
+    ExecutionPlan preset;
+    preset.kind = PlanKind::Persistent;
+    preset.quantMode = quant::QuantMode::Int8;
+    preset.inter.push_back({{6, 6}});
+    preset.inter.push_back({{4, 4, 4}});
+
+    ScheduleDecisions d;
+    d.layers.resize(2);
+    d.layers[0].tissueSizes = {6, 6};
+    d.layers[1].tissueSizes = {4, 4, 4};
+    for (LayerSchedule &ls : d.layers) {
+        ls.quant = quant::QuantMode::Int8;
+        ls.residency = WeightResidency::Regfile;
+    }
+
+    expectTraceEqual(lowering.lower(shape, preset, 1),
+                     lowering.lower(shape, ExecutionPlan::fromDecisions(d),
+                                    1));
+}
 
 } // namespace
 } // namespace runtime

@@ -143,7 +143,7 @@ TEST(Tune, ChosenDominatesEveryPreset)
             EXPECT_EQ(c.dramBytes, res.referenceDramBytes);
         }
     }
-    EXPECT_EQ(presets, 6u);  // every legacy PlanKind was scored
+    EXPECT_EQ(presets, 7u);  // every requestable PlanKind was scored
 
     // Table rows come fastest first.
     for (std::size_t i = 1; i < res.candidates.size(); ++i)

@@ -373,7 +373,7 @@ TEST_F(WarmRestartTest, FutureSchemaVersionRejected)
     }
     // Re-wrap the valid payload under a version this build predates.
     const serve::EngineWarmState good = serve::loadEngineState(path_);
-    io::ArtifactWriter w(io::kSchemaEngineState, 4);
+    io::ArtifactWriter w(io::kSchemaEngineState, 5);
     io::ByteWriter &f = w.chunk(io::fourcc('E', 'F', 'P', 'R'));
     f.u32(good.modelWeightsCrc);
     f.u32(static_cast<std::uint32_t>(good.plan));

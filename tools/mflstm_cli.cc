@@ -16,7 +16,8 @@
  *   help                         print usage
  *
  * Common options:
- *   --plan baseline|inter|intra-sw|intra-hw|combined|zero-pruning
+ *   --plan baseline|inter|intra-sw|intra-hw|combined|zero-pruning|
+ *          persistent
  *   --set N            threshold ladder rung (0..10, default AO)
  *   --quant MODE       fp32|int8|int4 weight precision (default fp32;
  *                      ignored by --plan zero-pruning, whose CSR
@@ -175,7 +176,7 @@ printUsage(std::FILE *to)
         "options:\n"
         "  --app NAME         Table II application (default IMDB)\n"
         "  --plan KIND        baseline|inter|intra-sw|intra-hw|"
-        "combined|zero-pruning\n"
+        "combined|zero-pruning|persistent\n"
         "  --set N            threshold ladder rung (default: AO)\n"
         "  --quant MODE       fp32|int8|int4 weight precision "
         "(default fp32)\n"
