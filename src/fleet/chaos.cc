@@ -1,0 +1,110 @@
+#include "fleet/chaos.hh"
+
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace mflstm {
+namespace fleet {
+
+const char *
+toString(ChaosEvent::Kind k)
+{
+    switch (k) {
+    case ChaosEvent::Kind::Crash: return "crash";
+    case ChaosEvent::Kind::Brownout: return "brownout";
+    case ChaosEvent::Kind::CorruptRestart: return "corrupt-restart";
+    case ChaosEvent::Kind::FlashCrowd: return "flash-crowd";
+    }
+    return "?";
+}
+
+ChaosPlan
+ChaosPlan::standard(std::uint64_t seed, std::size_t replicas,
+                    std::uint64_t horizon_ticks)
+{
+    if (replicas == 0)
+        throw std::invalid_argument("ChaosPlan: replicas == 0");
+    if (horizon_ticks < 8)
+        throw std::invalid_argument("ChaosPlan: horizon < 8 ticks");
+
+    // mt19937_64's output sequence is fully specified by the
+    // standard; combined with modulo placement the plan is
+    // bit-identical on every platform and toolchain.
+    std::mt19937_64 rng(seed);
+    const std::uint64_t quarter = horizon_ticks / 4;
+    const auto in_quarter = [&](std::uint64_t q) {
+        // Never tick 0 of quarter 0: the fleet warms up first.
+        const std::uint64_t lo = q * quarter + (q == 0 ? 1 : 0);
+        const std::uint64_t span = (q + 1) * quarter - lo;
+        return lo + rng() % (span == 0 ? 1 : span);
+    };
+    const auto pick_replica = [&] {
+        return static_cast<std::size_t>(rng() % replicas);
+    };
+
+    ChaosPlan plan;
+    plan.seed = seed;
+    plan.horizonTicks = horizon_ticks;
+
+    ChaosEvent crash;
+    crash.kind = ChaosEvent::Kind::Crash;
+    crash.tick = in_quarter(0);
+    crash.replica = pick_replica();
+    plan.events.push_back(crash);
+
+    ChaosEvent brown;
+    brown.kind = ChaosEvent::Kind::Brownout;
+    brown.tick = in_quarter(1);
+    brown.replica = pick_replica();
+    brown.durationTicks = 1 + rng() % (quarter == 1 ? 1 : quarter - 1);
+    brown.brownoutMs = 5.0 + static_cast<double>(rng() % 16);
+    plan.events.push_back(brown);
+
+    ChaosEvent corrupt;
+    corrupt.kind = ChaosEvent::Kind::CorruptRestart;
+    corrupt.tick = in_quarter(2);
+    corrupt.replica = pick_replica();
+    plan.events.push_back(corrupt);
+
+    ChaosEvent crowd;
+    crowd.kind = ChaosEvent::Kind::FlashCrowd;
+    crowd.tick = in_quarter(3);
+    crowd.burstRequests = 8 + rng() % 9;  // 8..16 extra arrivals
+    plan.events.push_back(crowd);
+
+    return plan;
+}
+
+std::vector<ChaosEvent>
+ChaosPlan::eventsAt(std::uint64_t tick) const
+{
+    std::vector<ChaosEvent> due;
+    for (const ChaosEvent &e : events)
+        if (e.tick == tick)
+            due.push_back(e);
+    return due;
+}
+
+std::string
+ChaosPlan::describe() const
+{
+    std::ostringstream os;
+    os << "chaos-plan seed=" << seed << " horizon=" << horizonTicks
+       << "\n";
+    for (const ChaosEvent &e : events) {
+        os << "  tick=" << e.tick << " " << toString(e.kind);
+        if (e.kind != ChaosEvent::Kind::FlashCrowd)
+            os << " replica=" << e.replica;
+        if (e.kind == ChaosEvent::Kind::Brownout)
+            os << " duration=" << e.durationTicks
+               << " slow_ms=" << e.brownoutMs;
+        if (e.kind == ChaosEvent::Kind::FlashCrowd)
+            os << " burst=" << e.burstRequests;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace fleet
+} // namespace mflstm

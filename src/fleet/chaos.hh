@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic chaos plans (DESIGN.md §16). A ChaosPlan is a seeded,
+ * fully precomputed schedule of fault events — replica crashes,
+ * slow-replica brownouts, corrupt warm-state restarts, flash-crowd
+ * arrival bursts — applied by Fleet::tick(). The plan is a pure
+ * function of (seed, replicas, horizon): regenerating it from the
+ * recorded seed reproduces the same events bit-identically, so any
+ * chaos failure replays exactly. Randomness comes from mt19937_64
+ * with modulo arithmetic only (std distributions are not
+ * cross-platform stable).
+ */
+
+#ifndef MFLSTM_FLEET_CHAOS_HH
+#define MFLSTM_FLEET_CHAOS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mflstm {
+namespace fleet {
+
+/** One scheduled fault. */
+struct ChaosEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        /// kill the replica's engine; it restarts Recovering later
+        Crash = 0,
+        /// slow every batch on the replica for durationTicks
+        Brownout,
+        /// kill the replica AND corrupt its warm-state artifact, so
+        /// the restart must quarantine and recompute
+        CorruptRestart,
+        /// burstRequests extra arrivals land this tick
+        FlashCrowd,
+    };
+
+    Kind kind = Kind::Crash;
+    std::uint64_t tick = 0;
+    std::size_t replica = 0;          ///< ignored for FlashCrowd
+    std::uint64_t durationTicks = 0;  ///< Brownout only
+    double brownoutMs = 0.0;          ///< Brownout only
+    std::size_t burstRequests = 0;    ///< FlashCrowd only
+
+    bool operator==(const ChaosEvent &o) const = default;
+};
+
+const char *toString(ChaosEvent::Kind k);
+
+/** Seeded, precomputed fault schedule. */
+struct ChaosPlan
+{
+    std::uint64_t seed = 0;
+    std::uint64_t horizonTicks = 0;
+    std::vector<ChaosEvent> events;  ///< sorted by tick
+
+    /**
+     * The standard plan the bench gate runs (ISSUE 9): exactly one
+     * crash, one brownout, one corrupt restart and one flash crowd,
+     * placed in disjoint quarters of the horizon so recoveries do not
+     * overlap. Pure function of its arguments.
+     * @throws std::invalid_argument on replicas == 0 or horizon < 8.
+     */
+    static ChaosPlan standard(std::uint64_t seed, std::size_t replicas,
+                              std::uint64_t horizon_ticks);
+
+    /** Events scheduled for @p tick, in plan order. */
+    std::vector<ChaosEvent> eventsAt(std::uint64_t tick) const;
+
+    /**
+     * Canonical one-line-per-event text. Two plans are bit-identical
+     * iff their describe() strings are equal — the bench gate's
+     * replay check compares these.
+     */
+    std::string describe() const;
+
+    bool operator==(const ChaosPlan &o) const = default;
+};
+
+} // namespace fleet
+} // namespace mflstm
+
+#endif // MFLSTM_FLEET_CHAOS_HH

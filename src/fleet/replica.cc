@@ -1,0 +1,258 @@
+#include "fleet/replica.hh"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/persist.hh"
+
+namespace mflstm {
+namespace fleet {
+
+namespace {
+
+/** Heartbeat probes jump every tenant's queue. */
+constexpr int kProbePriority = 1 << 20;
+
+} // anonymous namespace
+
+Replica::Replica(std::size_t index, const core::MemoryFriendlyLstm &mf,
+                 io::ArtifactStore &store, ReplicaConfig cfg,
+                 obs::Observer *obs)
+    : index_(index), mf_(&mf), store_(&store), cfg_(std::move(cfg)),
+      obs_(obs)
+{
+    breaker_.tripAfter = cfg_.breakerTripAfter;
+    breaker_.cooldownTicks = cfg_.breakerCooldownTicks;
+    rebuildEngine();
+    setState(ReplicaState::Healthy, "boot");
+}
+
+Replica::~Replica() = default;
+
+bool
+Replica::alive() const
+{
+    return engine_ && !engine_->killed();
+}
+
+std::size_t
+Replica::queueDepth() const
+{
+    return alive() ? engine_->queueDepth() : 0;
+}
+
+ReplicaSnapshot
+Replica::snapshot() const
+{
+    ReplicaSnapshot s;
+    s.index = index_;
+    s.state = state_;
+    s.breakerOpen = breaker_.open;
+    s.queueDepth = queueDepth();
+    return s;
+}
+
+std::future<serve::Response>
+Replica::submit(serve::Request req)
+{
+    if (!alive())
+        return {};
+    try {
+        return engine_->submit(std::move(req));
+    } catch (const std::exception &) {
+        // Lost the race with a concurrent kill/shutdown: the queue
+        // closed between the alive() check and the push.
+        return {};
+    }
+}
+
+void
+Replica::kill(bool corrupt_state)
+{
+    if (corrupt_state)
+        corruptNextRestart_ = true;
+    if (!alive()) {
+        setState(ReplicaState::Down, "kill");
+        return;
+    }
+    ++counters_.kills;
+    if (obs_)
+        obs_->metrics()
+            .counter("fleet.killed_total", {{"replica", cfg_.name}})
+            .add();
+    engine_->kill();
+    setState(ReplicaState::Down, "kill");
+}
+
+void
+Replica::setBrownout(double ms)
+{
+    if (engine_)
+        engine_->setBrownoutMs(ms);
+}
+
+void
+Replica::corruptStoredState()
+{
+    const std::string path = store_->path(kEngineStateArtifact);
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    if (!f)
+        return;
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    if (size <= 0)
+        return;
+    // Flip one payload byte mid-file; the chunk CRC catches it.
+    const std::streamoff at = size / 2;
+    f.seekg(at);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(at);
+    f.write(&byte, 1);
+}
+
+void
+Replica::rebuildEngine()
+{
+    engine_.reset();  // joins the old workers first
+
+    const std::string path = store_->path(kEngineStateArtifact);
+    bool warm_ok = false;
+    if (store_->exists(kEngineStateArtifact)) {
+        try {
+            const serve::EngineWarmState warm =
+                serve::loadEngineState(path, {}, obs_);
+            engine_ = std::make_unique<serve::InferenceEngine>(
+                *mf_, cfg_.engine, warm);
+            warm_ok = true;
+        } catch (const io::ArtifactError &e) {
+            // Quarantine-and-recompute (DESIGN.md §11): move the
+            // damaged artifact aside and fall through to a cold boot.
+            io::quarantine(path);
+            io::recordRejection(obs_, e.kind());
+            ++counters_.coldRecoveries;
+            if (obs_)
+                obs_->metrics()
+                    .counter("fleet.cold_recovery_total",
+                             {{"replica", cfg_.name}})
+                    .add();
+        }
+    }
+    if (!warm_ok) {
+        engine_ =
+            std::make_unique<serve::InferenceEngine>(*mf_, cfg_.engine);
+        // Heal (or seed) the shared store so the next sibling can warm
+        // boot. The single-writer lock keeps two replicas recovering
+        // at once from interleaving the save; losing the race just
+        // means someone else is already writing an equivalent state.
+        try {
+            const io::ArtifactStore::WriteLock lock =
+                store_->lockForWrite(kEngineStateArtifact);
+            serve::saveEngineState(*engine_, path);
+        } catch (const io::ArtifactError &) {
+        }
+    }
+}
+
+void
+Replica::restart()
+{
+    if (alive())
+        return;
+    if (corruptNextRestart_) {
+        corruptStoredState();
+        corruptNextRestart_ = false;
+    }
+    ++counters_.restarts;
+    if (obs_)
+        obs_->metrics()
+            .counter("fleet.restart_total", {{"replica", cfg_.name}})
+            .add();
+    rebuildEngine();
+    missStreak_ = 0;
+    okStreak_ = 0;
+    breaker_.onSuccess();
+    setState(ReplicaState::Recovering, "restart");
+}
+
+void
+Replica::heartbeat()
+{
+    bool ok = false;
+    if (alive()) {
+        serve::Request probe;
+        probe.tokens = cfg_.probeTokens;
+        probe.priority = kProbePriority;
+        std::future<serve::Response> fut = submit(std::move(probe));
+        if (fut.valid()) {
+            // Engines resolve every future terminally, so this wait
+            // is bounded by the (possibly browned-out) batch time.
+            const serve::Response r = fut.get();
+            ok = r.status == serve::Status::Ok &&
+                 (cfg_.heartbeatSloMs <= 0.0 ||
+                  r.latencyMs <= cfg_.heartbeatSloMs);
+        }
+    }
+
+    if (ok) {
+        missStreak_ = 0;
+        ++okStreak_;
+        if (state_ == ReplicaState::Degraded)
+            setState(ReplicaState::Healthy, "probe ok");
+        else if (state_ == ReplicaState::Recovering &&
+                 okStreak_ >= cfg_.recoverAfter)
+            setState(ReplicaState::Healthy, "recovered");
+        return;
+    }
+
+    okStreak_ = 0;
+    ++missStreak_;
+    ++counters_.heartbeatMisses;
+    if (obs_)
+        obs_->metrics()
+            .counter("fleet.heartbeat_miss_total",
+                     {{"replica", cfg_.name}})
+            .add();
+    if (!alive() || missStreak_ >= cfg_.downAfter) {
+        if (state_ != ReplicaState::Down)
+            setState(ReplicaState::Down, "probe misses");
+    } else if (missStreak_ >= cfg_.degradedAfter &&
+               state_ == ReplicaState::Healthy) {
+        setState(ReplicaState::Degraded, "probe misses");
+    }
+}
+
+void
+Replica::setState(ReplicaState next, const char *why)
+{
+    const ReplicaState prev = state_;
+    state_ = next;
+    if (!obs_)
+        return;
+    obs_->metrics()
+        .gauge("fleet.state", {{"replica", cfg_.name}})
+        .set(static_cast<double>(next));
+    if (prev == next)
+        return;
+    obs_->metrics()
+        .counter("fleet.state_change_total", {{"replica", cfg_.name}})
+        .add();
+
+    // Lifecycle span: zero-length marker on the fleet track.
+    obs::TraceSpan span;
+    span.name = cfg_.name + ":" + toString(prev) + "->" +
+                toString(next);
+    span.category = "fleet";
+    span.pid = obs::SpanTracer::kHostPid;
+    span.tid = static_cast<int>(index_);
+    span.startUs = obs_->wallNowUs();
+    span.durUs = 0.0;
+    span.strArgs = {{"why", why}};
+    obs_->tracer().record(std::move(span));
+}
+
+} // namespace fleet
+} // namespace mflstm

@@ -1,0 +1,149 @@
+#include "io/store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mflstm {
+namespace io {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char *kLockSuffix = ".lock";
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // anonymous namespace
+
+ArtifactStore::ArtifactStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        throw ArtifactError(ErrorKind::Malformed,
+                            "ArtifactStore: empty directory");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw ArtifactError(ErrorKind::Io,
+                            "ArtifactStore: cannot create directory " +
+                                dir_ + ": " + ec.message());
+}
+
+std::string
+ArtifactStore::path(const std::string &name) const
+{
+    if (name.empty() || name.find('/') != std::string::npos ||
+        name.find("..") != std::string::npos)
+        throw ArtifactError(ErrorKind::Malformed,
+                            "ArtifactStore: bad artifact name \"" +
+                                name + "\"");
+    return dir_ + "/" + name;
+}
+
+bool
+ArtifactStore::exists(const std::string &name) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(path(name), ec);
+}
+
+std::vector<std::string>
+ArtifactStore::list() const
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (endsWith(name, kLockSuffix) ||
+            name.find(".corrupt") != std::string::npos)
+            continue;
+        names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+std::string
+ArtifactStore::lockPath(const std::string &name) const
+{
+    return path(name) + kLockSuffix;
+}
+
+ArtifactStore::WriteLock::WriteLock(std::string lock_path)
+    : lockPath_(std::move(lock_path))
+{}
+
+ArtifactStore::WriteLock::WriteLock(WriteLock &&o) noexcept
+    : lockPath_(std::move(o.lockPath_))
+{
+    o.lockPath_.clear();
+}
+
+ArtifactStore::WriteLock &
+ArtifactStore::WriteLock::operator=(WriteLock &&o) noexcept
+{
+    if (this != &o) {
+        if (!lockPath_.empty())
+            ::unlink(lockPath_.c_str());
+        lockPath_ = std::move(o.lockPath_);
+        o.lockPath_.clear();
+    }
+    return *this;
+}
+
+ArtifactStore::WriteLock::~WriteLock()
+{
+    if (!lockPath_.empty())
+        ::unlink(lockPath_.c_str());
+}
+
+ArtifactStore::WriteLock
+ArtifactStore::lockForWrite(const std::string &name) const
+{
+    const std::string lock = lockPath(name);
+    // O_EXCL makes create-if-absent atomic: exactly one contender
+    // gets the fd, everyone else sees EEXIST.
+    const int fd =
+        ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        const int err = errno;
+        throw ArtifactError(
+            ErrorKind::Io,
+            err == EEXIST
+                ? "ArtifactStore: \"" + name +
+                      "\" is locked by another writer (" + lock + ")"
+                : "ArtifactStore: cannot create lock " + lock + ": " +
+                      std::strerror(err));
+    }
+    ::close(fd);
+    return WriteLock(lock);
+}
+
+bool
+ArtifactStore::locked(const std::string &name) const
+{
+    std::error_code ec;
+    return fs::exists(lockPath(name), ec);
+}
+
+bool
+ArtifactStore::breakLock(const std::string &name) const
+{
+    return ::unlink(lockPath(name).c_str()) == 0;
+}
+
+} // namespace io
+} // namespace mflstm

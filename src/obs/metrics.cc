@@ -123,53 +123,105 @@ Histogram::quantile(double q) const
     return edges_.back();
 }
 
+namespace {
+
+/** Canonical series key: labels sorted by name. */
+SeriesKey
+makeKey(const std::string &name, Labels labels)
+{
+    std::sort(labels.begin(), labels.end());
+    return SeriesKey{name, std::move(labels)};
+}
+
+} // anonymous namespace
+
 Counter &
 MetricsRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return counters_[name];
+    return counter(name, {});
 }
 
 Gauge &
 MetricsRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return gauges_[name];
+    return gauge(name, {});
 }
 
 Histogram &
 MetricsRegistry::histogram(const std::string &name,
                            std::vector<double> edges)
 {
+    return histogram(name, {}, std::move(edges));
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name, Labels labels)
+{
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = histograms_.find(name);
+    return counters_[makeKey(name, std::move(labels))];
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name, Labels labels)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[makeKey(name, std::move(labels))];
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name, Labels labels,
+                           std::vector<double> edges)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    SeriesKey key = makeKey(name, std::move(labels));
+    const auto it = histograms_.find(key);
     if (it != histograms_.end())
         return it->second;
-    return histograms_.try_emplace(name, std::move(edges))
+    return histograms_.try_emplace(std::move(key), std::move(edges))
         .first->second;
 }
 
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? nullptr : &it->second;
+    return findCounter(name, {});
 }
 
 const Gauge *
 MetricsRegistry::findGauge(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = gauges_.find(name);
-    return it == gauges_.end() ? nullptr : &it->second;
+    return findGauge(name, {});
 }
 
 const Histogram *
 MetricsRegistry::findHistogram(const std::string &name) const
 {
+    return findHistogram(name, {});
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name,
+                             Labels labels) const
+{
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = histograms_.find(name);
+    const auto it = counters_.find(makeKey(name, std::move(labels)));
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name, Labels labels) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = gauges_.find(makeKey(name, std::move(labels)));
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name,
+                               Labels labels) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = histograms_.find(makeKey(name, std::move(labels)));
     return it == histograms_.end() ? nullptr : &it->second;
 }
 
@@ -180,6 +232,36 @@ MetricsRegistry::empty() const
     return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
+namespace {
+
+/**
+ * Display key for JSON/table dumps: bare name for the unlabeled
+ * series, name{k="v",...} otherwise. JsonWriter escapes the whole key
+ * string, so raw label values are safe here.
+ */
+std::string
+displayKey(const SeriesKey &key)
+{
+    if (key.labels.empty())
+        return key.name;
+    std::string out = key.name;
+    out.push_back('{');
+    bool first = true;
+    for (const auto &[k, v] : key.labels) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += k;
+        out += "=\"";
+        out += v;
+        out.push_back('"');
+    }
+    out.push_back('}');
+    return out;
+}
+
+} // anonymous namespace
+
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
@@ -188,19 +270,19 @@ MetricsRegistry::writeJson(std::ostream &os) const
     w.beginObject();
 
     w.key("counters").beginObject();
-    for (const auto &[name, c] : counters_)
-        w.key(name).value(c.value());
+    for (const auto &[key, c] : counters_)
+        w.key(displayKey(key)).value(c.value());
     w.endObject();
 
     w.key("gauges").beginObject();
-    for (const auto &[name, g] : gauges_)
-        w.key(name).value(g.value());
+    for (const auto &[key, g] : gauges_)
+        w.key(displayKey(key)).value(g.value());
     w.endObject();
 
     w.key("histograms").beginObject();
-    for (const auto &[name, h] : histograms_) {
+    for (const auto &[key, h] : histograms_) {
         const Histogram::Snapshot s = h.snapshot();
-        w.key(name).beginObject();
+        w.key(displayKey(key)).beginObject();
         w.key("count").value(static_cast<std::uint64_t>(s.count));
         w.key("sum").value(s.sum);
         w.key("min").value(s.min);
@@ -254,6 +336,53 @@ promNumber(double v)
     return os.str();
 }
 
+/** Exposition-format label value escaping: backslash, quote, newline. */
+std::string
+promLabelValue(const std::string &v)
+{
+    std::string out;
+    out.reserve(v.size());
+    for (char c : v) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '"':  out += "\\\""; break;
+          case '\n': out += "\\n"; break;
+          default:   out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/**
+ * Label block for one series: `{k="v",...}` or empty. @p extra appends
+ * one pre-rendered pair (the histogram `le` label) after the series
+ * labels.
+ */
+std::string
+promLabels(const Labels &labels, const std::string &extra = {})
+{
+    if (labels.empty() && extra.empty())
+        return {};
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out.push_back(',');
+        first = false;
+        out += promName(k);
+        out += "=\"";
+        out += promLabelValue(v);
+        out.push_back('"');
+    }
+    if (!extra.empty()) {
+        if (!first)
+            out.push_back(',');
+        out += extra;
+    }
+    out.push_back('}');
+    return out;
+}
+
 } // anonymous namespace
 
 void
@@ -261,33 +390,51 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mu_);
 
-    for (const auto &[name, c] : counters_) {
-        const std::string n = promName(name);
-        os << "# TYPE " << n << " counter\n";
-        os << n << " " << promNumber(c.value()) << "\n";
+    // Map ordering sorts by name first, so every series of one family
+    // is contiguous and one # TYPE line covers them all.
+    std::string last;
+    for (const auto &[key, c] : counters_) {
+        const std::string n = promName(key.name);
+        if (n != last)
+            os << "# TYPE " << n << " counter\n";
+        last = n;
+        os << n << promLabels(key.labels) << " "
+           << promNumber(c.value()) << "\n";
     }
-    for (const auto &[name, g] : gauges_) {
-        const std::string n = promName(name);
-        os << "# TYPE " << n << " gauge\n";
-        os << n << " " << promNumber(g.value()) << "\n";
+    last.clear();
+    for (const auto &[key, g] : gauges_) {
+        const std::string n = promName(key.name);
+        if (n != last)
+            os << "# TYPE " << n << " gauge\n";
+        last = n;
+        os << n << promLabels(key.labels) << " "
+           << promNumber(g.value()) << "\n";
     }
-    for (const auto &[name, h] : histograms_) {
-        const std::string n = promName(name);
+    last.clear();
+    for (const auto &[key, h] : histograms_) {
+        const std::string n = promName(key.name);
         const Histogram::Snapshot s = h.snapshot();
-        os << "# TYPE " << n << " histogram\n";
+        if (n != last)
+            os << "# TYPE " << n << " histogram\n";
+        last = n;
         // Buckets are cumulative in the exposition format; the
         // internal representation is per-bucket.
         std::uint64_t cumulative = 0;
         const std::vector<double> &edges = h.edges();
         for (std::size_t i = 0; i < edges.size(); ++i) {
             cumulative += s.buckets[i];
-            os << n << "_bucket{le=\"" << promNumber(edges[i]) << "\"} "
-               << cumulative << "\n";
+            os << n << "_bucket"
+               << promLabels(key.labels, "le=\"" +
+                             promLabelValue(promNumber(edges[i])) + "\"")
+               << " " << cumulative << "\n";
         }
         cumulative += s.buckets.back();  // overflow bucket
-        os << n << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
-        os << n << "_sum " << promNumber(s.sum) << "\n";
-        os << n << "_count " << s.count << "\n";
+        os << n << "_bucket" << promLabels(key.labels, "le=\"+Inf\"")
+           << " " << cumulative << "\n";
+        os << n << "_sum" << promLabels(key.labels) << " "
+           << promNumber(s.sum) << "\n";
+        os << n << "_count" << promLabels(key.labels) << " "
+           << s.count << "\n";
     }
 }
 
@@ -300,29 +447,29 @@ MetricsRegistry::formatTable() const
     os.precision(3);
 
     std::size_t width = 0;
-    for (const auto &[name, c] : counters_)
-        width = std::max(width, name.size());
-    for (const auto &[name, g] : gauges_)
-        width = std::max(width, name.size());
-    for (const auto &[name, h] : histograms_)
-        width = std::max(width, name.size());
+    for (const auto &[key, c] : counters_)
+        width = std::max(width, displayKey(key).size());
+    for (const auto &[key, g] : gauges_)
+        width = std::max(width, displayKey(key).size());
+    for (const auto &[key, h] : histograms_)
+        width = std::max(width, displayKey(key).size());
 
     const auto pad = [&](const std::string &name) {
         os << "  " << name
            << std::string(width - name.size() + 2, ' ');
     };
 
-    for (const auto &[name, c] : counters_) {
-        pad(name);
+    for (const auto &[key, c] : counters_) {
+        pad(displayKey(key));
         os << "counter  " << c.value() << "\n";
     }
-    for (const auto &[name, g] : gauges_) {
-        pad(name);
+    for (const auto &[key, g] : gauges_) {
+        pad(displayKey(key));
         os << "gauge    " << g.value() << "\n";
     }
-    for (const auto &[name, h] : histograms_) {
+    for (const auto &[key, h] : histograms_) {
         const Histogram::Snapshot s = h.snapshot();
-        pad(name);
+        pad(displayKey(key));
         os << "hist     count=" << s.count << " sum=" << s.sum
            << " min=" << s.min << " max=" << s.max << "\n";
     }

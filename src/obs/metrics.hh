@@ -126,6 +126,27 @@ class Histogram
     mutable std::mutex mu_;
 };
 
+/**
+ * Label set attached to one series of an instrument family, e.g.
+ * {{"replica", "r0"}}. Stored sorted by label name; two series of the
+ * same instrument differing only in labels are distinct instruments.
+ */
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/** Identifies one (name, labels) series inside the registry. */
+struct SeriesKey
+{
+    std::string name;
+    Labels labels;  // sorted by label name
+
+    bool operator<(const SeriesKey &o) const
+    {
+        if (name != o.name)
+            return name < o.name;
+        return labels < o.labels;
+    }
+};
+
 /** Owns every named instrument of one observer. */
 class MetricsRegistry
 {
@@ -136,9 +157,25 @@ class MetricsRegistry
     Histogram &histogram(const std::string &name,
                          std::vector<double> edges);
 
+    /**
+     * Labeled series of an instrument family (e.g. per-replica
+     * counters in the fleet layer). Labels are sorted internally, so
+     * {{"a","1"},{"b","2"}} and {{"b","2"},{"a","1"}} name the same
+     * series. The unlabeled overloads are the empty-label series.
+     */
+    Counter &counter(const std::string &name, Labels labels);
+    Gauge &gauge(const std::string &name, Labels labels);
+    Histogram &histogram(const std::string &name, Labels labels,
+                         std::vector<double> edges);
+
     const Counter *findCounter(const std::string &name) const;
     const Gauge *findGauge(const std::string &name) const;
     const Histogram *findHistogram(const std::string &name) const;
+    const Counter *findCounter(const std::string &name,
+                               Labels labels) const;
+    const Gauge *findGauge(const std::string &name, Labels labels) const;
+    const Histogram *findHistogram(const std::string &name,
+                                   Labels labels) const;
 
     bool empty() const;
 
@@ -151,6 +188,9 @@ class MetricsRegistry
      * series with `le` labels plus `_sum`/`_count`. Instrument names
      * are sanitised to the Prometheus charset ([a-zA-Z0-9_:], leading
      * digits prefixed) — "serve.queue_ms" becomes "serve_queue_ms".
+     * Labeled series render as name{k="v",...}; label values are
+     * escaped per the exposition spec (backslash, quote, newline), and
+     * one # TYPE line covers every series of the same family.
      */
     void writePrometheus(std::ostream &os) const;
 
@@ -158,9 +198,9 @@ class MetricsRegistry
     std::string formatTable() const;
 
   private:
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Gauge> gauges_;
-    std::map<std::string, Histogram> histograms_;
+    std::map<SeriesKey, Counter> counters_;
+    std::map<SeriesKey, Gauge> gauges_;
+    std::map<SeriesKey, Histogram> histograms_;
     mutable std::mutex mu_;
 };
 

@@ -382,6 +382,29 @@ InferenceEngine::shutdown()
             t.join();
 }
 
+void
+InferenceEngine::kill()
+{
+    killed_.store(true, std::memory_order_release);
+    obs_->metrics().counter("serve.killed").add();
+    shutdown();
+}
+
+void
+InferenceEngine::setBrownoutMs(double ms)
+{
+    brownoutMs_.store(std::max(ms, 0.0), std::memory_order_relaxed);
+    obs_->metrics().gauge("serve.brownout_ms").set(std::max(ms, 0.0));
+}
+
+void
+InferenceEngine::setGovernorRungFloor(std::size_t rung)
+{
+    if (!governor_)
+        return;
+    governor_->setRungFloor(std::min(rung, ladder_.size() - 1));
+}
+
 EngineWarmState
 InferenceEngine::exportWarmState() const
 {
@@ -446,12 +469,14 @@ InferenceEngine::latencyQuantileMs(double q) const
 }
 
 void
-InferenceEngine::resolveUnserved(QueuedRequest item, Status status)
+InferenceEngine::resolveUnserved(QueuedRequest item, Status status,
+                                 const std::string &error)
 {
     obs::MetricsRegistry &m = obs_->metrics();
     Response r;
     r.id = item.id;
     r.status = status;
+    r.error = error;
     r.queueMs = r.latencyMs = wallMsSince(item.enqueued);
     switch (status) {
     case Status::ShedDeadline:
@@ -527,20 +552,34 @@ InferenceEngine::workerLoop(std::size_t worker_index)
         if (live.empty())
             continue;
 
+        // A killed replica flushes instead of executing: the packed
+        // batch resolves Failed so the fleet router can re-dispatch.
+        if (killed_.load(std::memory_order_acquire)) {
+            for (QueuedRequest &item : live)
+                resolveUnserved(std::move(item), Status::Failed,
+                                kEngineKilledError);
+            continue;
+        }
+
         try {
-            serveBatch(std::move(live), worker_index);
+            serveBatch(live, worker_index);
         } catch (...) {
             // Graceful worker restart: an unexpected batch error never
-            // kills the loop. serveBatch resolves every promise before
-            // it can throw, so nothing is leaked.
+            // kills the loop. serveBatch erases each item as its
+            // promise resolves, so whatever is still in the batch here
+            // is exactly the unresolved remainder — flush it Failed
+            // instead of stranding the futures.
             workerRestarts_.fetch_add(1, std::memory_order_relaxed);
             obs_->metrics().counter("serve.worker_restarts").add();
+            for (QueuedRequest &item : live)
+                resolveUnserved(std::move(item), Status::Failed,
+                                "batch aborted by an unexpected error");
         }
     }
 }
 
 void
-InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
+InferenceEngine::serveBatch(std::vector<QueuedRequest> &batch,
                             std::size_t worker_index)
 {
     const std::size_t b = batch.size();
@@ -553,6 +592,14 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
     auto ph = obs::Observer::phase(obs_, "serve.batch");
     obs::MetricsRegistry &m = obs_->metrics();
     FaultInjector *inj = opts_.faultInjector;
+
+    // Simulated brownout (fleet chaos): a degraded replica serves
+    // every batch slower, which the health checks then observe.
+    const double brownout =
+        brownoutMs_.load(std::memory_order_relaxed);
+    if (brownout > 0.0)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(brownout));
 
     // Timing side: one batched lowering, weights charged once. A
     // transient fault on the executor path is retried with backoff;
@@ -581,7 +628,9 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
         }
     }
     if (!timing_ok) {
-        for (QueuedRequest &item : batch) {
+        while (!batch.empty()) {
+            QueuedRequest item = std::move(batch.front());
+            batch.erase(batch.begin());
             Response r;
             r.id = item.id;
             r.status = Status::Failed;
@@ -626,8 +675,12 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> batch,
 
     // Functional side: per sequence, bit-identical to a solo run at
     // this rung's thresholds. Transient per-request faults retry with
-    // backoff; exhausting the budget fails only that request.
-    for (QueuedRequest &item : batch) {
+    // backoff; exhausting the budget fails only that request. Items
+    // leave the batch as their promises resolve so an exception never
+    // strands an already-resolved (or still-pending) future.
+    while (!batch.empty()) {
+        QueuedRequest item = std::move(batch.front());
+        batch.erase(batch.begin());
         // Deadlines can expire while earlier siblings run — shed
         // before spending functional compute.
         if (item.expired(std::chrono::steady_clock::now())) {

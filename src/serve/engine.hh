@@ -52,6 +52,9 @@ namespace serve {
 
 class Session;
 
+/** Error string on futures resolved Failed by InferenceEngine::kill(). */
+inline constexpr const char *kEngineKilledError = "engine killed";
+
 /**
  * Everything a warm restart needs to rebuild an engine without
  * re-running the expensive per-rung snapshots (plan building + planning
@@ -229,8 +232,48 @@ class InferenceEngine
     /**
      * Stop accepting requests, finish everything already queued, join
      * the workers. Idempotent; the destructor calls it.
+     *
+     * A partially packed batch a worker already pulled from the
+     * DynamicBatcher is flushed, never stranded: every accepted
+     * request still resolves with a terminal Status.
      */
     void shutdown();
+
+    /**
+     * Simulated replica crash (fleet layer, DESIGN.md §16): stop
+     * admissions immediately and resolve everything still queued or
+     * packed into an unserved batch with Status::Failed
+     * (kEngineKilledError) instead of executing it. The batch whose
+     * timing run is already in flight finishes (execution is pure, so
+     * its responses stay valid). Idempotent; joins the workers.
+     */
+    void kill();
+
+    /** True once kill() has been called. */
+    bool killed() const
+    {
+        return killed_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Simulated brownout (fleet chaos): every subsequent batch sleeps
+     * this long before its timing run, inflating wall latency the way
+     * a thermally throttled / contended replica would. 0 clears it.
+     */
+    void setBrownoutMs(double ms);
+    double brownoutMs() const
+    {
+        return brownoutMs_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Fleet governor hook: forbid the threshold governor from serving
+     * below @p rung (clamped to the ladder). The governor converges
+     * one rung per observe() tick — it never skips a rung — and
+     * relaxes back down only when the floor is lowered again. No-op
+     * without a governor ladder.
+     */
+    void setGovernorRungFloor(std::size_t rung);
 
     /** The serialisable warm-restart state of this engine. */
     EngineWarmState exportWarmState() const;
@@ -281,10 +324,13 @@ class InferenceEngine
     void finishInit(const core::MemoryFriendlyLstm &mf,
                     std::vector<core::ApproxRunner> base_runners);
     void workerLoop(std::size_t worker_index);
-    void serveBatch(std::vector<QueuedRequest> batch,
+    /// Serves @p batch, erasing each item as its promise resolves, so
+    /// a caller catching an exception can flush the leftovers.
+    void serveBatch(std::vector<QueuedRequest> &batch,
                     std::size_t worker_index);
     /// complete @p item without execution; counts per @p status
-    void resolveUnserved(QueuedRequest item, Status status);
+    void resolveUnserved(QueuedRequest item, Status status,
+                         const std::string &error = {});
     /// shed expired items from @p batch, resolving their futures
     std::vector<QueuedRequest>
     shedExpired(std::vector<QueuedRequest> batch);
@@ -329,6 +375,8 @@ class InferenceEngine
     std::atomic<std::uint64_t> retries_{0};
     std::atomic<std::uint64_t> workerRestarts_{0};
     std::atomic<std::size_t> maxBatchObserved_{0};
+    std::atomic<bool> killed_{false};
+    std::atomic<double> brownoutMs_{0.0};
 };
 
 /**

@@ -40,6 +40,20 @@ AdaptiveThresholdGovernor::observe(std::size_t queue_depth,
     const bool calm = per_worker <= cfg_.lowQueuePerWorker;
 
     const std::size_t cur = rung_.load(std::memory_order_relaxed);
+    const std::size_t floor =
+        rungFloor_.load(std::memory_order_relaxed);
+
+    // Below the floor: converge one rung per tick, bypassing dwell —
+    // the fleet needs the redistribution to land promptly, but the
+    // ladder must still never skip a rung.
+    if (cur < floor) {
+        rung_.store(cur + 1, std::memory_order_release);
+        ticksSinceTransition_ = 0;
+        ++stats_.stepsUp;
+        recordTransition(true, cur + 1);
+        return;
+    }
+
     if (ticksSinceTransition_ < cfg_.dwellTicks)
         return;
 
@@ -48,11 +62,29 @@ AdaptiveThresholdGovernor::observe(std::size_t queue_depth,
         ticksSinceTransition_ = 0;
         ++stats_.stepsUp;
         recordTransition(true, cur + 1);
-    } else if (calm && !pressure && cur > 0) {
+    } else if (calm && !pressure && cur > floor) {
         rung_.store(cur - 1, std::memory_order_release);
         ticksSinceTransition_ = 0;
         ++stats_.stepsDown;
         recordTransition(false, cur - 1);
+    }
+}
+
+void
+AdaptiveThresholdGovernor::setRungFloor(std::size_t rung)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t floor = std::min(rung, cfg_.rungCount - 1);
+    rungFloor_.store(floor, std::memory_order_release);
+
+    // Take the first convergence step immediately so a floor raised
+    // between batches is not invisible until traffic arrives.
+    const std::size_t cur = rung_.load(std::memory_order_relaxed);
+    if (cur < floor) {
+        rung_.store(cur + 1, std::memory_order_release);
+        ticksSinceTransition_ = 0;
+        ++stats_.stepsUp;
+        recordTransition(true, cur + 1);
     }
 }
 

@@ -83,6 +83,19 @@ class AdaptiveThresholdGovernor
     void observe(std::size_t queue_depth, std::size_t workers,
                  double p95_ms);
 
+    /**
+     * Fleet overload redistribution (DESIGN.md §16): forbid serving
+     * below @p rung. The governor converges toward the floor one rung
+     * per call — here and on every observe() tick, bypassing dwell —
+     * so the ladder still never skips a rung; relaxation below the
+     * floor waits until the floor is lowered. Clamped to rungCount-1.
+     */
+    void setRungFloor(std::size_t rung);
+    std::size_t rungFloor() const
+    {
+        return rungFloor_.load(std::memory_order_acquire);
+    }
+
     Stats stats() const;
 
   private:
@@ -91,6 +104,7 @@ class AdaptiveThresholdGovernor
     Config cfg_;
     obs::Observer *obs_;
     std::atomic<std::size_t> rung_{0};
+    std::atomic<std::size_t> rungFloor_{0};
     mutable std::mutex mu_;
     std::uint64_t ticksSinceTransition_;
     Stats stats_;

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic chaos plans (DESIGN.md §16). The contract under test:
+ * ChaosPlan::standard is a pure function of (seed, replicas, horizon)
+ * — regenerating from the recorded seed reproduces the same events
+ * bit-identically (the bench gate's replay check compares describe()
+ * strings) — and the standard plan always schedules exactly one event
+ * of each kind in disjoint quarters of the horizon.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fleet/chaos.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::fleet;
+
+TEST(ChaosPlan, StandardIsDeterministicPerSeed)
+{
+    const ChaosPlan a = ChaosPlan::standard(42, 3, 64);
+    const ChaosPlan b = ChaosPlan::standard(42, 3, 64);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.describe(), b.describe());
+
+    // A different seed perturbs the schedule (ticks, replicas or
+    // parameters); describe() equality is the bit-identity test.
+    const ChaosPlan c = ChaosPlan::standard(43, 3, 64);
+    EXPECT_NE(a.describe(), c.describe());
+}
+
+TEST(ChaosPlan, DescribeEqualityIsTheReplayCheck)
+{
+    // The bench gate records only the seed; replaying means calling
+    // standard() again with the recorded arguments.
+    const ChaosPlan recorded = ChaosPlan::standard(7, 2, 32);
+    const ChaosPlan replayed =
+        ChaosPlan::standard(recorded.seed, 2, recorded.horizonTicks);
+    EXPECT_EQ(recorded.describe(), replayed.describe());
+    EXPECT_EQ(recorded, replayed);
+}
+
+TEST(ChaosPlan, StandardSchedulesOneEventOfEachKind)
+{
+    for (std::uint64_t seed : {1u, 2u, 99u, 12345u}) {
+        const ChaosPlan p = ChaosPlan::standard(seed, 3, 40);
+        ASSERT_EQ(p.events.size(), 4u) << "seed " << seed;
+
+        std::set<ChaosEvent::Kind> kinds;
+        for (const ChaosEvent &e : p.events)
+            kinds.insert(e.kind);
+        EXPECT_EQ(kinds.size(), 4u) << "seed " << seed;
+    }
+}
+
+TEST(ChaosPlan, StandardEventsLandInDisjointQuarters)
+{
+    for (std::uint64_t seed : {3u, 17u, 31337u}) {
+        const ChaosPlan p = ChaosPlan::standard(seed, 2, 48);
+        const std::uint64_t quarter = p.horizonTicks / 4;
+        ASSERT_EQ(p.events.size(), 4u);
+        for (std::size_t i = 0; i < p.events.size(); ++i) {
+            const ChaosEvent &e = p.events[i];
+            EXPECT_GE(e.tick, i * quarter) << "seed " << seed;
+            EXPECT_LT(e.tick, (i + 1) * quarter) << "seed " << seed;
+            EXPECT_LT(e.replica, 2u);
+        }
+        // Events are sorted by tick (eventsAt relies on plan order).
+        for (std::size_t i = 1; i < p.events.size(); ++i)
+            EXPECT_GE(p.events[i].tick, p.events[i - 1].tick);
+        // Never tick 0: the fleet heartbeats once before any fault.
+        EXPECT_GT(p.events.front().tick, 0u);
+    }
+}
+
+TEST(ChaosPlan, StandardParametersAreInRange)
+{
+    for (std::uint64_t seed = 0; seed < 32; ++seed) {
+        const ChaosPlan p = ChaosPlan::standard(seed, 4, 64);
+        for (const ChaosEvent &e : p.events) {
+            switch (e.kind) {
+            case ChaosEvent::Kind::Brownout:
+                EXPECT_GE(e.durationTicks, 1u);
+                EXPECT_GE(e.brownoutMs, 5.0);
+                EXPECT_LE(e.brownoutMs, 21.0);
+                break;
+            case ChaosEvent::Kind::FlashCrowd:
+                EXPECT_GE(e.burstRequests, 8u);
+                EXPECT_LE(e.burstRequests, 16u);
+                break;
+            case ChaosEvent::Kind::Crash:
+            case ChaosEvent::Kind::CorruptRestart:
+                break;
+            }
+        }
+    }
+}
+
+TEST(ChaosPlan, EventsAtReturnsOnlyThatTick)
+{
+    const ChaosPlan p = ChaosPlan::standard(11, 2, 40);
+    std::size_t total = 0;
+    for (std::uint64_t t = 0; t < p.horizonTicks; ++t) {
+        for (const ChaosEvent &e : p.eventsAt(t)) {
+            EXPECT_EQ(e.tick, t);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, p.events.size());
+    EXPECT_TRUE(p.eventsAt(p.horizonTicks + 100).empty());
+}
+
+TEST(ChaosPlan, StandardRejectsDegenerateArguments)
+{
+    EXPECT_THROW(ChaosPlan::standard(1, 0, 40), std::invalid_argument);
+    EXPECT_THROW(ChaosPlan::standard(1, 2, 7), std::invalid_argument);
+}
+
+TEST(ChaosPlan, DescribeMentionsEveryEvent)
+{
+    const ChaosPlan p = ChaosPlan::standard(5, 2, 32);
+    const std::string d = p.describe();
+    EXPECT_NE(d.find("crash"), std::string::npos);
+    EXPECT_NE(d.find("brownout"), std::string::npos);
+    EXPECT_NE(d.find("corrupt-restart"), std::string::npos);
+    EXPECT_NE(d.find("flash-crowd"), std::string::npos);
+}
+
+} // namespace

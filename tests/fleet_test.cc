@@ -1,0 +1,437 @@
+/**
+ * @file
+ * End-to-end fleet tests (DESIGN.md §16) with real engines: replica 0
+ * seeds the shared artifact store and siblings warm-boot from it with
+ * bit-identical outputs; a crash fails queued work over to a survivor
+ * with zero lost requests; a corrupt warm-state restart quarantines
+ * the artifact and cold-rebuilds; a Degraded replica gets hedged;
+ * the governor ladder redistributes over survivors one rung at a
+ * time; and a full ChaosPlan::standard run completes every submitted
+ * request.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fleet/fleet.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+
+nn::ModelConfig
+clsConfig()
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 20;
+    cfg.embedSize = 8;
+    cfg.hiddenSize = 12;
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+std::vector<std::vector<std::int32_t>>
+seqs(std::size_t n, std::size_t len, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    std::vector<std::vector<std::int32_t>> out(n);
+    for (auto &s : out)
+        for (std::size_t t = 0; t < len; ++t)
+            s.push_back(static_cast<std::int32_t>(rng.integer(0, 19)));
+    return out;
+}
+
+class FleetTest : public ::testing::Test
+{
+  protected:
+    FleetTest()
+        : model(clsConfig(), 77),
+          mf(model, {gpu::GpuConfig::tegraX1(),
+                     runtime::NetworkShape::stacked(512, 512, 2, 40)})
+    {
+        mf.calibrate(seqs(4, 8, 5));
+        const auto ladder = mf.calibration().ladder();
+        mf.setThresholds(ladder[ladder.size() / 2]);
+        for (const auto &s : seqs(4, 8, 11))
+            mf.runner().classify(s);
+    }
+
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("mflstm_fleet_test_" + std::to_string(::getpid()) +
+                "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    fleet::FleetOptions fleetOptions() const
+    {
+        fleet::FleetOptions o;
+        o.replicas = 2;
+        o.storeDir = (dir_ / "store").string();
+        o.engine.maxBatch = 4;
+        o.engine.workers = 1;
+        o.engine.plan = runtime::PlanKind::Combined;
+        return o;
+    }
+
+    /**
+     * Session ids whose affinity hash pins them to @p replica, pinned
+     * in the router as a side effect (so later submits stick).
+     */
+    std::vector<std::string> sessionsPinnedTo(fleet::Fleet &fleet,
+                                              std::size_t replica,
+                                              std::size_t want)
+    {
+        std::vector<fleet::ReplicaSnapshot> snaps(2);
+        snaps[0].index = 0;
+        snaps[1].index = 1;
+        std::vector<std::string> out;
+        for (int i = 0; out.size() < want && i < 256; ++i) {
+            const std::string sid = "session-" + std::to_string(i);
+            if (fleet.router().route(sid, snaps) == replica)
+                out.push_back(sid);
+        }
+        return out;
+    }
+
+    nn::LstmModel model;
+    core::MemoryFriendlyLstm mf;
+    std::filesystem::path dir_;
+};
+
+TEST_F(FleetTest, BootSeedsStoreAndServesBitIdentically)
+{
+    fleet::Fleet fleet(mf, fleetOptions());
+    EXPECT_EQ(fleet.replicaCount(), 2u);
+
+    // Replica 0 seeded the shared store; replica 1 warm-booted from
+    // it (no cold recovery was needed on either side).
+    EXPECT_TRUE(fleet.store().exists(fleet::kEngineStateArtifact));
+    EXPECT_EQ(fleet.replica(0).counters().coldRecoveries, 0u);
+    EXPECT_EQ(fleet.replica(1).counters().coldRecoveries, 0u);
+
+    // Whatever replica serves a request, the logits are bit-identical
+    // to a solo runner (warm boot preserves the plan/ladder exactly).
+    core::ApproxRunner solo = mf.runner();
+    const auto inputs = seqs(8, 10, 23);
+    std::vector<tensor::Vector> expected;
+    for (const auto &s : inputs)
+        expected.push_back(solo.classify(s));
+
+    std::map<std::uint64_t, std::size_t> which;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        fleet::FleetRequest req;
+        req.tokens = inputs[i];
+        req.sessionId = "session-" + std::to_string(i);
+        which[fleet.submit(req)] = i;
+    }
+    fleet.drain();
+
+    const auto responses = fleet.takeCompleted();
+    ASSERT_EQ(responses.size(), inputs.size());
+    for (const fleet::FleetResponse &r : responses) {
+        EXPECT_EQ(r.response.status, serve::Status::Ok);
+        ASSERT_TRUE(which.count(r.fleetId));
+        EXPECT_EQ(r.response.logits, expected[which[r.fleetId]])
+            << "fleet id " << r.fleetId;
+    }
+    EXPECT_EQ(fleet.stats().submitted, inputs.size());
+    EXPECT_EQ(fleet.stats().completed, inputs.size());
+    EXPECT_DOUBLE_EQ(fleet.availability(), 1.0);
+}
+
+TEST_F(FleetTest, CrashFailsQueuedWorkOverWithZeroLoss)
+{
+    auto opts = fleetOptions();
+    opts.engine.maxBatch = 1;  // keep work queued on the victim
+    fleet::Fleet fleet(mf, opts);
+
+    const auto on_r0 = sessionsPinnedTo(fleet, 0, 4);
+    ASSERT_EQ(on_r0.size(), 4u);
+
+    // Slow the victim so its queue is guaranteed non-empty at the
+    // kill, then strand the queued requests.
+    fleet.replica(0).setBrownout(30.0);
+    const auto inputs = seqs(4, 10, 31);
+    std::size_t submitted = 0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        fleet::FleetRequest req;
+        req.tokens = inputs[i];
+        req.sessionId = on_r0[i];
+        fleet.submit(req);
+        ++submitted;
+    }
+    fleet.replica(0).kill(/*corrupt_state=*/false);
+    EXPECT_FALSE(fleet.replica(0).alive());
+    EXPECT_EQ(fleet.replica(0).state(), fleet::ReplicaState::Down);
+
+    fleet.drain();
+
+    // Zero lost: every accepted request reached a terminal response,
+    // and the stranded ones were re-dispatched to the survivor.
+    const auto responses = fleet.takeCompleted();
+    ASSERT_EQ(responses.size(), submitted);
+    for (const fleet::FleetResponse &r : responses)
+        EXPECT_EQ(r.response.status, serve::Status::Ok);
+    EXPECT_EQ(fleet.stats().failed, 0u);
+    EXPECT_GE(fleet.stats().failovers, 1u);
+    EXPECT_DOUBLE_EQ(fleet.availability(), 1.0);
+    EXPECT_GE(fleet.observer()
+                  .metrics()
+                  .counter("fleet.failover_total")
+                  .value(),
+              1.0);
+}
+
+TEST_F(FleetTest, WithoutFailoverStrandedRequestsFailTerminally)
+{
+    auto opts = fleetOptions();
+    opts.failover = false;
+    opts.engine.maxBatch = 1;
+    fleet::Fleet fleet(mf, opts);
+
+    const auto on_r0 = sessionsPinnedTo(fleet, 0, 4);
+    ASSERT_EQ(on_r0.size(), 4u);
+
+    fleet.replica(0).setBrownout(30.0);
+    const auto inputs = seqs(4, 10, 31);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        fleet::FleetRequest req;
+        req.tokens = inputs[i];
+        req.sessionId = on_r0[i];
+        fleet.submit(req);
+    }
+    fleet.replica(0).kill(/*corrupt_state=*/false);
+    fleet.drain();
+
+    // Still zero *lost* — every future resolved — but the strands are
+    // terminal failures: the control experiment the bench gate runs.
+    const auto responses = fleet.takeCompleted();
+    ASSERT_EQ(responses.size(), inputs.size());
+    std::size_t failed = 0;
+    for (const fleet::FleetResponse &r : responses)
+        if (r.response.status == serve::Status::Failed) {
+            EXPECT_EQ(r.response.error, serve::kEngineKilledError);
+            ++failed;
+        }
+    EXPECT_GE(failed, 1u);
+    EXPECT_EQ(fleet.stats().failovers, 0u);
+    EXPECT_LT(fleet.availability(), 1.0);
+}
+
+TEST_F(FleetTest, CorruptRestartQuarantinesAndColdRebuilds)
+{
+    fleet::Fleet fleet(mf, fleetOptions());
+
+    fleet.replica(0).kill(/*corrupt_state=*/true);
+    fleet.replica(0).restart();
+
+    // The restart hit the corrupted artifact: quarantine-and-recompute
+    // (DESIGN.md §11) — the damaged file is set aside, the replica
+    // cold-rebuilds and heals the shared store.
+    EXPECT_EQ(fleet.replica(0).counters().restarts, 1u);
+    EXPECT_EQ(fleet.replica(0).counters().coldRecoveries, 1u);
+    EXPECT_EQ(fleet.replica(0).state(), fleet::ReplicaState::Recovering);
+    const std::string artifact =
+        fleet.store().path(fleet::kEngineStateArtifact);
+    EXPECT_TRUE(std::filesystem::exists(artifact + ".corrupt"));
+    EXPECT_TRUE(fleet.store().exists(fleet::kEngineStateArtifact));
+    EXPECT_GE(fleet.observer()
+                  .metrics()
+                  .counter("fleet.cold_recovery_total",
+                           {{"replica", "r0"}})
+                  .value(),
+              1.0);
+
+    // One clean probe brings it back (recoverAfter = 1), and the
+    // cold-rebuilt replica still serves bit-identical outputs.
+    fleet.replica(0).heartbeat();
+    EXPECT_EQ(fleet.replica(0).state(), fleet::ReplicaState::Healthy);
+
+    core::ApproxRunner solo = mf.runner();
+    const auto input = seqs(1, 10, 41).front();
+    fleet::FleetRequest req;
+    req.tokens = input;
+    req.sessionId = "post-recovery";
+    fleet.submit(req);
+    fleet.drain();
+    const auto responses = fleet.takeCompleted();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].response.status, serve::Status::Ok);
+    EXPECT_EQ(responses[0].response.logits, solo.classify(input));
+}
+
+TEST_F(FleetTest, DegradedReplicaGetsHedged)
+{
+    auto opts = fleetOptions();
+    opts.hedgeAfterMs = 0.5;
+    // Impossible probe SLO: every heartbeat misses on latency, so the
+    // replicas degrade (but never go Down — misses stay below
+    // downAfter) and hedging becomes legal.
+    opts.heartbeatSloMs = 1e-9;
+    opts.degradedAfter = 1;
+    opts.downAfter = 1000000;
+    fleet::Fleet fleet(mf, opts);
+
+    const auto on_r0 = sessionsPinnedTo(fleet, 0, 1);
+    ASSERT_EQ(on_r0.size(), 1u);
+
+    fleet.replica(0).setBrownout(150.0);
+    fleet.replica(0).heartbeat();  // one miss: Healthy -> Degraded
+    ASSERT_EQ(fleet.replica(0).state(), fleet::ReplicaState::Degraded);
+
+    fleet::FleetRequest req;
+    req.tokens = seqs(1, 10, 43).front();
+    req.sessionId = on_r0.front();
+    fleet.submit(req);
+
+    // The primary sits in the 150 ms brownout; the pump must hedge it
+    // to the other replica once the request ages past hedgeAfterMs.
+    for (int i = 0; i < 2000 && fleet.stats().hedges == 0; ++i) {
+        fleet.pump();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(fleet.stats().hedges, 1u);
+    EXPECT_GE(fleet.observer()
+                  .metrics()
+                  .counter("fleet.hedge_total")
+                  .value(),
+              1.0);
+
+    fleet.drain();
+    const auto responses = fleet.takeCompleted();
+    ASSERT_EQ(responses.size(), 1u);
+    EXPECT_EQ(responses[0].response.status, serve::Status::Ok);
+}
+
+TEST_F(FleetTest, GovernorFloorRedistributesOverSurvivors)
+{
+    auto opts = fleetOptions();
+    opts.engine.governorLadder = mf.calibration().ladder();
+    opts.engine.planningSequences = seqs(2, 8, 5);
+    const std::size_t rungs = opts.engine.governorLadder.size();
+    ASSERT_GE(rungs, 2u);
+    fleet::Fleet fleet(mf, opts);
+
+    serve::InferenceEngine &survivor = *fleet.replica(1).engine();
+    EXPECT_EQ(survivor.activeRung(), 0u);
+
+    fleet.replica(0).kill(/*corrupt_state=*/false);
+
+    // One replica of two is down: the survivor pre-degrades along the
+    // ladder to ceil((rungs-1)/2). The climb is monotone and stops at
+    // the floor; the never-skip invariant shows in the step counters
+    // (every recorded transition is exactly one rung, so their
+    // difference equals the final rung).
+    const std::size_t floor =
+        std::min(rungs - 1, ((rungs - 1) * 1 + 2 - 1) / 2);
+    std::size_t prev = survivor.activeRung();
+    for (std::size_t t = 0; t < rungs + 2; ++t) {
+        fleet.tick();
+        const std::size_t cur = survivor.activeRung();
+        EXPECT_GE(cur, prev) << "relaxed below the floor climb";
+        EXPECT_LE(cur, floor) << "overshot the floor at tick " << t;
+        prev = cur;
+    }
+    EXPECT_EQ(prev, floor);
+    const serve::InferenceEngine::Stats st = survivor.stats();
+    EXPECT_EQ(st.governorStepsUp - st.governorStepsDown,
+              static_cast<std::uint64_t>(prev));
+    EXPECT_DOUBLE_EQ(fleet.observer()
+                         .metrics()
+                         .gauge("fleet.governor_floor")
+                         .value(),
+                     static_cast<double>(floor));
+
+    // Recovery lowers the floor again.
+    fleet.replica(0).restart();
+    fleet.replica(0).heartbeat();
+    ASSERT_EQ(fleet.replica(0).state(), fleet::ReplicaState::Healthy);
+    fleet.tick();
+    EXPECT_DOUBLE_EQ(fleet.observer()
+                         .metrics()
+                         .gauge("fleet.governor_floor")
+                         .value(),
+                     0.0);
+}
+
+TEST_F(FleetTest, StandardChaosPlanCompletesEverythingSubmitted)
+{
+    auto opts = fleetOptions();
+    opts.restartAfterTicks = 1;
+    fleet::Fleet fleet(mf, opts);
+    fleet.setChaosPlan(fleet::ChaosPlan::standard(9, 2, 16));
+
+    // Replay check: regenerating from the recorded seed is
+    // bit-identical (what the bench gate asserts from its JSON).
+    EXPECT_EQ(fleet.chaosPlan().describe(),
+              fleet::ChaosPlan::standard(9, 2, 16).describe());
+
+    const auto inputs = seqs(64, 8, 51);
+    std::size_t next = 0;
+    std::size_t applied = 0;
+    for (std::uint64_t t = 0; t < 16; ++t) {
+        const fleet::Fleet::TickReport report = fleet.tick();
+        applied += report.applied.size();
+        // One steady arrival per tick plus the flash-crowd burst.
+        for (std::size_t k = 0; k < 1 + report.flashCrowdBurst; ++k) {
+            fleet::FleetRequest req;
+            req.tokens = inputs[next % inputs.size()];
+            req.sessionId = "session-" + std::to_string(next % 6);
+            req.tenant = next % 2 == 0 ? "batch" : "interactive";
+            fleet.submit(req);
+            ++next;
+        }
+    }
+    EXPECT_EQ(applied, 4u);  // crash, brownout, corrupt, flash crowd
+
+    // A few quiet ticks let scheduled restarts land, then drain.
+    for (int t = 0; t < 4; ++t)
+        fleet.tick();
+    fleet.drain();
+
+    // The headline invariant: zero lost requests — every submit got a
+    // terminal response — and with failover on, nothing failed.
+    EXPECT_EQ(fleet.stats().submitted, next);
+    EXPECT_EQ(fleet.stats().completed, next);
+    EXPECT_EQ(fleet.takeCompleted().size(), next);
+    EXPECT_EQ(fleet.stats().failed, 0u);
+    EXPECT_DOUBLE_EQ(fleet.availability(), 1.0);
+    EXPECT_DOUBLE_EQ(fleet.observer()
+                         .metrics()
+                         .counter("fleet.chaos_applied_total")
+                         .value(),
+                     4.0);
+    // The corrupt-restart event forced one quarantine-and-recompute.
+    const double cold =
+        fleet.observer()
+            .metrics()
+            .counter("fleet.cold_recovery_total", {{"replica", "r0"}})
+            .value() +
+        fleet.observer()
+            .metrics()
+            .counter("fleet.cold_recovery_total", {{"replica", "r1"}})
+            .value();
+    EXPECT_GE(cold, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared artifact store tests (DESIGN.md §16). The contract: the
+ * per-artifact write lock is exclusive (O_CREAT|O_EXCL sidecar —
+ * second acquisition throws ArtifactError(Io)), released exactly when
+ * the RAII WriteLock dies, and a stale lock left by a crashed writer
+ * is never silently stolen — only breakLock() removes it. Artifact
+ * names must not escape the store directory, and list() hides the
+ * lock/quarantine sidecars.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "io/store.hh"
+
+namespace {
+
+using namespace mflstm;
+using namespace mflstm::io;
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("mflstm_store_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(StoreTest, CreatesDirectoryAndResolvesPaths)
+{
+    const std::string sub = (dir_ / "nested" / "store").string();
+    ArtifactStore store(sub);
+    EXPECT_TRUE(std::filesystem::is_directory(sub));
+    EXPECT_EQ(store.path("model.bin"),
+              (std::filesystem::path(sub) / "model.bin").string());
+    EXPECT_FALSE(store.exists("model.bin"));
+}
+
+TEST_F(StoreTest, RejectsNamesThatEscapeTheDirectory)
+{
+    ArtifactStore store(dir_.string());
+    for (const std::string bad :
+         {"", "a/b", "../evil", "..", "sub/../../evil"}) {
+        try {
+            store.path(bad);
+            FAIL() << "accepted \"" << bad << "\"";
+        } catch (const ArtifactError &e) {
+            EXPECT_EQ(e.kind(), ErrorKind::Malformed) << bad;
+        }
+    }
+}
+
+TEST_F(StoreTest, WriteLockIsExclusive)
+{
+    ArtifactStore store(dir_.string());
+    std::optional<ArtifactStore::WriteLock> lock(
+        store.lockForWrite("state.bin"));
+    EXPECT_TRUE(store.locked("state.bin"));
+
+    // A second writer (same or another process — the sidecar is the
+    // only state) must fail with a typed Io error, not block or steal.
+    try {
+        store.lockForWrite("state.bin");
+        FAIL() << "double acquisition succeeded";
+    } catch (const ArtifactError &e) {
+        EXPECT_EQ(e.kind(), ErrorKind::Io);
+        EXPECT_NE(std::string(e.what()).find("state.bin.lock"),
+                  std::string::npos);
+    }
+
+    // Unrelated artifacts lock independently.
+    const ArtifactStore::WriteLock other =
+        store.lockForWrite("other.bin");
+    EXPECT_TRUE(store.locked("other.bin"));
+
+    lock.reset();  // RAII release
+    EXPECT_FALSE(store.locked("state.bin"));
+    EXPECT_NO_THROW(store.lockForWrite("state.bin"));
+}
+
+TEST_F(StoreTest, MovedFromLockDoesNotDoubleRelease)
+{
+    ArtifactStore store(dir_.string());
+    std::optional<ArtifactStore::WriteLock> outer;
+    {
+        ArtifactStore::WriteLock inner =
+            store.lockForWrite("state.bin");
+        outer.emplace(std::move(inner));
+        // inner's destructor runs here; the lock must survive.
+    }
+    EXPECT_TRUE(store.locked("state.bin"));
+    outer.reset();
+    EXPECT_FALSE(store.locked("state.bin"));
+}
+
+TEST_F(StoreTest, StaleLockSurfacesUntilBroken)
+{
+    ArtifactStore store(dir_.string());
+    // Simulate a crashed writer: the sidecar exists with no owner.
+    std::ofstream(store.path("state.bin") + ".lock").put('\n');
+    EXPECT_TRUE(store.locked("state.bin"));
+    EXPECT_THROW(store.lockForWrite("state.bin"), ArtifactError);
+
+    // Deliberate recovery removes it; a normal writer never does.
+    EXPECT_TRUE(store.breakLock("state.bin"));
+    EXPECT_FALSE(store.locked("state.bin"));
+    EXPECT_FALSE(store.breakLock("state.bin"));  // nothing left
+    EXPECT_NO_THROW(store.lockForWrite("state.bin"));
+}
+
+TEST_F(StoreTest, ListHidesSidecars)
+{
+    ArtifactStore store(dir_.string());
+    std::ofstream(store.path("b.bin")).put('x');
+    std::ofstream(store.path("a.bin")).put('x');
+    std::ofstream(store.path("a.bin") + ".corrupt").put('x');
+    const ArtifactStore::WriteLock lock = store.lockForWrite("b.bin");
+
+    const std::vector<std::string> names = store.list();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.bin");  // sorted
+    EXPECT_EQ(names[1], "b.bin");
+    EXPECT_TRUE(store.exists("a.bin"));
+    EXPECT_TRUE(store.exists("b.bin"));
+}
+
+} // namespace

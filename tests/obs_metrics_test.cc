@@ -198,4 +198,138 @@ TEST(Metrics, FormatTableMentionsEveryInstrument)
     EXPECT_NE(t.find("crm.pipeline_cycles"), std::string::npos);
 }
 
+TEST(Metrics, LabeledSeriesAreDistinctInstruments)
+{
+    MetricsRegistry reg;
+    reg.counter("fleet.dispatch_total", {{"replica", "r0"}}).add(2.0);
+    reg.counter("fleet.dispatch_total", {{"replica", "r1"}}).add(5.0);
+    reg.counter("fleet.dispatch_total").add(1.0);  // empty-label series
+
+    EXPECT_DOUBLE_EQ(
+        reg.counter("fleet.dispatch_total", {{"replica", "r0"}})
+            .value(),
+        2.0);
+    EXPECT_DOUBLE_EQ(
+        reg.counter("fleet.dispatch_total", {{"replica", "r1"}})
+            .value(),
+        5.0);
+    EXPECT_DOUBLE_EQ(reg.counter("fleet.dispatch_total").value(), 1.0);
+
+    ASSERT_NE(reg.findCounter("fleet.dispatch_total",
+                              {{"replica", "r0"}}),
+              nullptr);
+    EXPECT_EQ(reg.findCounter("fleet.dispatch_total",
+                              {{"replica", "r9"}}),
+              nullptr);
+
+    // Gauges and histograms follow the same series model.
+    reg.gauge("fleet.state", {{"replica", "r0"}}).set(1.0);
+    reg.gauge("fleet.state", {{"replica", "r1"}}).set(3.0);
+    EXPECT_DOUBLE_EQ(
+        reg.gauge("fleet.state", {{"replica", "r0"}}).value(), 1.0);
+    reg.histogram("fleet.probe_ms", {{"replica", "r0"}}, {1.0, 10.0})
+        .observe(0.5);
+    EXPECT_EQ(reg.findHistogram("fleet.probe_ms", {{"replica", "r0"}})
+                  ->count(),
+              1u);
+    EXPECT_EQ(reg.findHistogram("fleet.probe_ms"), nullptr);
+}
+
+TEST(Metrics, LabelOrderIsCanonicalized)
+{
+    MetricsRegistry reg;
+    reg.counter("x", {{"a", "1"}, {"b", "2"}}).add(3.0);
+    // Same labels, different order: the same series.
+    EXPECT_DOUBLE_EQ(reg.counter("x", {{"b", "2"}, {"a", "1"}}).value(),
+                     3.0);
+    EXPECT_NE(reg.findCounter("x", {{"b", "2"}, {"a", "1"}}), nullptr);
+    // Different value for one label: a distinct series.
+    EXPECT_DOUBLE_EQ(reg.counter("x", {{"a", "1"}, {"b", "9"}}).value(),
+                     0.0);
+}
+
+TEST(Metrics, PrometheusLabeledSeriesShareOneTypeLine)
+{
+    MetricsRegistry reg;
+    reg.counter("fleet.dispatch_total", {{"replica", "r0"}}).add(2.0);
+    reg.counter("fleet.dispatch_total", {{"replica", "r1"}}).add(5.0);
+    reg.histogram("fleet.probe_ms", {{"replica", "r0"}}, {1.0})
+        .observe(0.5);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // One # TYPE line covers every series of the family.
+    std::size_t types = 0;
+    for (std::size_t at = text.find("# TYPE fleet_dispatch_total");
+         at != std::string::npos;
+         at = text.find("# TYPE fleet_dispatch_total", at + 1))
+        ++types;
+    EXPECT_EQ(types, 1u);
+
+    EXPECT_NE(text.find("fleet_dispatch_total{replica=\"r0\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("fleet_dispatch_total{replica=\"r1\"} 5\n"),
+              std::string::npos);
+    // Histogram buckets merge the series labels with "le".
+    EXPECT_NE(
+        text.find("fleet_probe_ms_bucket{replica=\"r0\",le=\"1\"} 1\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("fleet_probe_ms_count{replica=\"r0\"} 1\n"),
+              std::string::npos);
+}
+
+/** Undo exposition-format escaping: \\ -> \, \" -> ", \n -> newline. */
+std::string
+promUnescape(const std::string &s)
+{
+    std::string out;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            const char next = s[++i];
+            out += next == 'n' ? '\n' : next;
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+TEST(Metrics, PrometheusLabelEscapingRoundTrips)
+{
+    // A hostile label value exercising every escape in the spec:
+    // backslash, double quote and newline.
+    const std::string hostile = "r0\\weird\"quote\nnewline";
+    MetricsRegistry reg;
+    reg.counter("fleet.dispatch_total", {{"replica", hostile}})
+        .add(1.0);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+
+    // The raw value must not appear (the newline would break the
+    // line-oriented format); the escaped form must.
+    EXPECT_EQ(text.find(hostile), std::string::npos);
+    const std::string escaped = "r0\\\\weird\\\"quote\\nnewline";
+    const std::string sample =
+        "fleet_dispatch_total{replica=\"" + escaped + "\"} 1\n";
+    ASSERT_NE(text.find(sample), std::string::npos) << text;
+
+    // Round trip: un-escaping the rendered value restores the
+    // original byte-for-byte.
+    EXPECT_EQ(promUnescape(escaped), hostile);
+
+    // Every emitted sample line still parses as single-line entries:
+    // no unescaped newline splits a sample in half.
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        EXPECT_NE(line.find(' '), std::string::npos) << line;
+    }
+}
+
 } // namespace

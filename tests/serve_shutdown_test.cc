@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Shutdown/kill robustness regression (DESIGN.md §16 satellite): a
+ * drain racing live producers — the SIGTERM path — must flush every
+ * accepted request to a terminal status, including a partially packed
+ * batch a worker already pulled; none may strand with a never-ready
+ * future. kill() resolves queued work Failed (kEngineKilledError)
+ * instead of executing it, and both paths are idempotent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "tensor/rng.hh"
+
+namespace {
+
+using namespace mflstm;
+
+nn::ModelConfig
+clsConfig()
+{
+    nn::ModelConfig cfg;
+    cfg.task = nn::TaskKind::Classification;
+    cfg.vocab = 20;
+    cfg.embedSize = 8;
+    cfg.hiddenSize = 12;
+    cfg.numLayers = 2;
+    cfg.numClasses = 2;
+    return cfg;
+}
+
+std::vector<std::vector<std::int32_t>>
+seqs(std::size_t n, std::size_t len, std::uint64_t seed)
+{
+    tensor::Rng rng(seed);
+    std::vector<std::vector<std::int32_t>> out(n);
+    for (auto &s : out)
+        for (std::size_t t = 0; t < len; ++t)
+            s.push_back(static_cast<std::int32_t>(rng.integer(0, 19)));
+    return out;
+}
+
+class ShutdownTest : public ::testing::Test
+{
+  protected:
+    ShutdownTest()
+        : model(clsConfig(), 77),
+          mf(model, {gpu::GpuConfig::tegraX1(),
+                     runtime::NetworkShape::stacked(512, 512, 2, 40)})
+    {
+        mf.calibrate(seqs(4, 8, 5));
+        const auto ladder = mf.calibration().ladder();
+        mf.setThresholds(ladder[ladder.size() / 2]);
+        for (const auto &s : seqs(4, 8, 11))
+            mf.runner().classify(s);
+    }
+
+    nn::LstmModel model;
+    core::MemoryFriendlyLstm mf;
+};
+
+TEST_F(ShutdownTest, DrainUnderFireStrandsNothing)
+{
+    serve::InferenceEngine::Options opts;
+    opts.maxBatch = 4;
+    opts.workers = 2;
+    serve::InferenceEngine engine(mf, opts);
+
+    // Producers hammer submit() while the main thread shuts down
+    // mid-flight, so workers drain the queue with batches still being
+    // packed — the race the flush-not-strand contract covers.
+    constexpr int kProducers = 4;
+    std::mutex mu;
+    std::vector<std::future<serve::Response>> futures;
+    std::atomic<bool> stop{false};
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> producers;
+    const auto inputs = seqs(8, 10, 17);
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; !stop.load(); ++i) {
+                serve::Request req;
+                req.tokens = inputs[(p + i) % inputs.size()];
+                try {
+                    std::future<serve::Response> fut =
+                        engine.submit(std::move(req));
+                    ++accepted;
+                    std::lock_guard<std::mutex> lock(mu);
+                    futures.push_back(std::move(fut));
+                } catch (const std::runtime_error &) {
+                    break;  // engine shut down: expected terminal race
+                }
+                // Throttle so the backlog stays drainable in CI.
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            }
+        });
+    }
+
+    // Let the flood build a backlog, then pull the plug under fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    engine.shutdown();
+    stop.store(true);
+    for (std::thread &t : producers)
+        t.join();
+
+    // Every accepted request must resolve with a terminal status —
+    // a stranded promise would deadlock this loop (ready check keeps
+    // the failure mode a test failure, not a hang).
+    ASSERT_EQ(futures.size(), static_cast<std::size_t>(accepted));
+    std::size_t ok = 0;
+    for (std::future<serve::Response> &fut : futures) {
+        ASSERT_TRUE(fut.valid());
+        ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "stranded future: a worker dropped a packed request";
+        const serve::Response r = fut.get();
+        if (r.status == serve::Status::Ok)
+            ++ok;
+    }
+    EXPECT_GE(ok, 1u);
+
+    const serve::InferenceEngine::Stats st = engine.stats();
+    EXPECT_EQ(st.completed, static_cast<std::uint64_t>(accepted));
+    EXPECT_EQ(st.submitted, static_cast<std::uint64_t>(accepted));
+
+    // Second shutdown is a no-op.
+    engine.shutdown();
+    EXPECT_THROW(engine.submit(serve::Request{{1, 2, 3}}),
+                 std::runtime_error);
+}
+
+TEST_F(ShutdownTest, KillResolvesQueuedWorkAsFailed)
+{
+    serve::InferenceEngine::Options opts;
+    opts.maxBatch = 1;  // one in flight, the rest must queue
+    opts.workers = 1;
+    serve::InferenceEngine engine(mf, opts);
+
+    // Park the worker in a brownout so the backlog is guaranteed to
+    // still be queued when the kill lands.
+    engine.setBrownoutMs(50.0);
+    std::vector<std::future<serve::Response>> futures;
+    const auto inputs = seqs(12, 10, 19);
+    for (const auto &s : inputs) {
+        serve::Request req;
+        req.tokens = s;
+        futures.push_back(engine.submit(std::move(req)));
+    }
+    engine.kill();
+    EXPECT_TRUE(engine.killed());
+
+    std::size_t ok = 0;
+    std::size_t killed = 0;
+    for (std::future<serve::Response> &fut : futures) {
+        ASSERT_TRUE(fut.valid());
+        const serve::Response r = fut.get();  // kill() already joined
+        if (r.status == serve::Status::Ok) {
+            ++ok;
+        } else {
+            ASSERT_EQ(r.status, serve::Status::Failed);
+            EXPECT_EQ(r.error, serve::kEngineKilledError);
+            EXPECT_FALSE(r.executed);
+            ++killed;
+        }
+    }
+    // The in-flight batch finishes (execution is pure); everything
+    // still queued resolves Failed without executing.
+    EXPECT_GE(killed, 1u);
+    EXPECT_EQ(ok + killed, inputs.size());
+    EXPECT_EQ(engine.stats().completed, inputs.size());
+
+    // kill() is idempotent and closes admissions.
+    engine.kill();
+    EXPECT_THROW(engine.submit(serve::Request{{1, 2, 3}}),
+                 std::runtime_error);
+}
+
+TEST_F(ShutdownTest, KillDuringProducerFloodIsTerminalForAll)
+{
+    serve::InferenceEngine::Options opts;
+    opts.maxBatch = 2;
+    opts.workers = 2;
+    serve::InferenceEngine engine(mf, opts);
+
+    std::mutex mu;
+    std::vector<std::future<serve::Response>> futures;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    const auto inputs = seqs(6, 10, 29);
+    for (int p = 0; p < 3; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; !stop.load(); ++i) {
+                serve::Request req;
+                req.tokens = inputs[(p + i) % inputs.size()];
+                try {
+                    std::future<serve::Response> fut =
+                        engine.submit(std::move(req));
+                    std::lock_guard<std::mutex> lock(mu);
+                    futures.push_back(std::move(fut));
+                } catch (const std::runtime_error &) {
+                    break;
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(100));
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    engine.kill();
+    stop.store(true);
+    for (std::thread &t : producers)
+        t.join();
+
+    for (std::future<serve::Response> &fut : futures) {
+        ASSERT_TRUE(fut.valid());
+        ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready);
+        const serve::Response r = fut.get();
+        EXPECT_TRUE(r.status == serve::Status::Ok ||
+                    (r.status == serve::Status::Failed &&
+                     r.error == serve::kEngineKilledError))
+            << "unexpected status " << static_cast<int>(r.status);
+    }
+    EXPECT_EQ(engine.stats().completed, futures.size());
+}
+
+} // namespace

@@ -8,6 +8,9 @@
  *   sweep --app NAME [options]   sweep the full threshold ladder
  *   mts   --app NAME             the Fig. 9 tissue-size sweep
  *   serve --app NAME [options]   batched serving demo (DESIGN.md §9)
+ *   fleet --app NAME [options]   replicated serving with failover and
+ *                                a deterministic chaos schedule
+ *                                (DESIGN.md §16)
  *   profile --app NAME [options] byte-ledger attribution profile
  *                                (DESIGN.md §13)
  *   tune  --app NAME [options]   search per-layer schedules and cache
@@ -63,6 +66,8 @@
  *   --admission P      reject | drop-oldest | block (default reject)
  *   --admit-timeout-ms X  producer wait bound for block (default 5)
  *   --fault-rate X     transient-fault injection probability per site
+ *   --chaos-seed N     seed for the fault injector (default 1); the
+ *                      same seed replays the same fault schedule
  *   --retries N        retry budget after a transient fault (default 2)
  *   --governor         degrade thresholds AO->BPA under pressure
  *   --state-dir DIR    persist calibration + engine warm state in DIR
@@ -70,6 +75,25 @@
  *                      SIGINT triggers a graceful drain (stop
  *                      admissions, finish in-flight batches, save
  *                      state, exit 0)
+ *
+ * fleet options (replicated serving; also takes the serve knobs
+ * --requests/--batch/--workers/--deadline-ms/--governor):
+ *   --replicas N       engine replicas behind the router (default 2)
+ *   --policy P         affinity | round-robin | least-loaded
+ *                      (default affinity)
+ *   --chaos            install ChaosPlan::standard over the run: one
+ *                      crash, brownout, corrupt restart and flash
+ *                      crowd in disjoint quarters of the horizon
+ *   --chaos-seed N     chaos plan seed (default 1); recorded in the
+ *                      output so any run replays bit-identically
+ *   --no-failover      disable failover/hedging/parking — a failure
+ *                      is terminal (the bench gate's control arm)
+ *   --ticks N          control ticks to drive (default 16)
+ *   --store-dir DIR    shared warm-state artifact store (default
+ *                      mflstm_fleet_store); replica 0 seeds it, the
+ *                      rest warm-boot from it
+ *   exit status: 0 = every accepted request reached a terminal
+ *   response, 1 = requests were lost
  *
  * fsck options:
  *   --cache-dir DIR    directory to verify (default mflstm_model_cache)
@@ -98,6 +122,7 @@
 #include <thread>
 
 #include "core/persist.hh"
+#include "fleet/fleet.hh"
 #include "harness.hh"
 #include "io/fsck.hh"
 #include "nn/serialize.hh"
@@ -145,10 +170,19 @@ struct Options
     serve::AdmissionPolicy admission = serve::AdmissionPolicy::RejectNew;
     double admitTimeoutMs = 5.0;
     double faultRate = 0.0;
+    std::uint64_t chaosSeed = 1;
     int retries = 2;
     bool governor = false;
     bool tuned = false;
     std::string stateDir;
+
+    // fleet
+    std::size_t replicas = 2;
+    fleet::RoutingPolicy policy = fleet::RoutingPolicy::SessionAffinity;
+    bool chaos = false;
+    bool failover = true;
+    std::size_t ticks = 16;
+    std::string storeDir = "mflstm_fleet_store";
 
     // tune
     bool forceTune = false;
@@ -170,7 +204,7 @@ printUsage(std::FILE *to)
     std::fprintf(
         to,
         "usage: mflstm_cli "
-        "<list|run|sweep|mts|serve|profile|tune|fsck|help> "
+        "<list|run|sweep|mts|serve|fleet|profile|tune|fsck|help> "
         "[options]\n"
         "\n"
         "options:\n"
@@ -215,10 +249,23 @@ printUsage(std::FILE *to)
         "  --admission P      reject | drop-oldest | block\n"
         "  --admit-timeout-ms X  producer wait bound for block\n"
         "  --fault-rate X     transient-fault probability per site\n"
+        "  --chaos-seed N     fault-injector seed (default 1)\n"
         "  --retries N        retry budget per transient fault\n"
         "  --governor         degrade thresholds AO->BPA under load\n"
         "  --state-dir DIR    persist/restore calibration + engine\n"
         "                     warm state; SIGTERM drains gracefully\n"
+        "\n"
+        "fleet options (plus the serve knobs above):\n"
+        "  --replicas N       engine replicas (default 2)\n"
+        "  --policy P         affinity | round-robin | least-loaded\n"
+        "  --chaos            run the standard seeded chaos plan\n"
+        "  --chaos-seed N     chaos plan seed (default 1; recorded,\n"
+        "                     replays bit-identically)\n"
+        "  --no-failover      failures are terminal (control arm)\n"
+        "  --ticks N          control ticks to drive (default 16)\n"
+        "  --store-dir DIR    shared warm-state store (default\n"
+        "                     mflstm_fleet_store)\n"
+        "  exit 0 = zero lost requests, 1 = requests lost\n"
         "\n"
         "fsck options:\n"
         "  --cache-dir DIR    directory to verify (default "
@@ -898,7 +945,7 @@ cmdServe(const Options &opt)
     // Must outlive the engine (workers consult it per batch/request).
     std::optional<serve::ProbabilisticFaultInjector> injector;
     if (opt.faultRate > 0.0) {
-        injector.emplace(opt.faultRate, /*seed=*/1);
+        injector.emplace(opt.faultRate, opt.chaosSeed);
         eopts.faultInjector = &*injector;
     }
 
@@ -1038,11 +1085,13 @@ cmdServe(const Options &opt)
                 static_cast<unsigned long long>(st.evicted));
     if (opt.faultRate > 0.0) {
         std::printf("fault tolerance: injected %llu, retries %llu, "
-                    "failed %llu, worker restarts %llu\n",
+                    "failed %llu, worker restarts %llu "
+                    "(chaos seed %llu)\n",
                     static_cast<unsigned long long>(injector->injected()),
                     static_cast<unsigned long long>(st.retries),
                     static_cast<unsigned long long>(st.failed),
-                    static_cast<unsigned long long>(st.workerRestarts));
+                    static_cast<unsigned long long>(st.workerRestarts),
+                    static_cast<unsigned long long>(opt.chaosSeed));
     }
     if (opt.governor) {
         std::printf("governor: ladder %zu rungs, steps up %llu / down "
@@ -1066,6 +1115,161 @@ cmdServe(const Options &opt)
     return writeObserverOutputs(opt, observer);
 }
 
+int
+cmdFleet(const Options &opt)
+{
+    obs::Observer observer;
+    obs::Observer *obs = opt.wantsObserver() ? &observer : nullptr;
+
+    if (opt.chaos && opt.ticks < 8) {
+        std::fprintf(stderr,
+                     "error: --chaos needs --ticks >= 8 (the standard "
+                     "plan places one event per horizon quarter)\n");
+        return 2;
+    }
+
+    AppContext app;
+    {
+        auto ph = obs::Observer::phase(obs, "app-setup");
+        app = makeApp(workloads::benchmarkByName(opt.app));
+    }
+    auto mf = std::make_unique<core::MemoryFriendlyLstm>(
+        *app.model,
+        core::MemoryFriendlyLstm::Config{
+            gpuFor(opt.gpuName), app.spec.timingShape(), obs});
+    mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
+    auto ladder = mf->calibration().ladder();
+    for (core::ThresholdSet &set : ladder)
+        set.quant = opt.quantMode;
+    const std::size_t rung = opt.set ? *opt.set : ladder.size() / 2;
+    if (rung >= ladder.size()) {
+        std::fprintf(stderr, "error: --set must be 0..%zu\n",
+                     ladder.size() - 1);
+        return 2;
+    }
+    runtime::ExecutionPlan probe;
+    probe.kind = opt.plan;
+    mf->setThresholds(
+        {probe.usesInter() ? ladder[rung].alphaInter : 0.0,
+         probe.usesIntra() ? ladder[rung].alphaIntra : 0.0,
+         opt.quantMode});
+    evalAccuracy(*mf, app);
+
+    fleet::FleetOptions fopts;
+    fopts.replicas = opt.replicas;
+    fopts.policy = opt.policy;
+    fopts.failover = opt.failover;
+    fopts.storeDir = opt.storeDir;
+    fopts.observer = obs;
+    fopts.engine.maxBatch = opt.batch;
+    fopts.engine.workers = opt.workers;
+    fopts.engine.plan = opt.plan;
+    fopts.engine.maxRetries = opt.retries;
+    if (opt.governor) {
+        const SchemeCurve curve =
+            evaluateScheme(*mf, app, opt.plan, ladder);
+        fopts.engine.governorLadder = core::aoToBpaLadder(
+            curve.points, app.baselineAccuracy, 2.0);
+        fopts.engine.planningSequences =
+            app.data.calibrationSequences(kCalibrationSeqs);
+    }
+    // Two stock tenants exercise the SLO classes: interactive rides
+    // the --deadline-ms budget at high priority, batch is best-effort.
+    fopts.slos.push_back(
+        fleet::SloClass{"interactive", 10, opt.deadlineMs});
+    fopts.slos.push_back(fleet::SloClass{"batch", 0, 0.0});
+
+    fleet::Fleet f(*mf, fopts);
+    if (opt.chaos)
+        f.setChaosPlan(fleet::ChaosPlan::standard(
+            opt.chaosSeed, opt.replicas, opt.ticks));
+
+    // Drive loop: the base --requests load spreads evenly over the
+    // ticks; chaos flash crowds add their bursts on top.
+    const auto seqs = app.data.calibrationSequences(kCalibrationSeqs);
+    std::size_t next = 0;
+    std::size_t eventsApplied = 0;
+    for (std::size_t t = 0; t < opt.ticks; ++t) {
+        const fleet::Fleet::TickReport rep = f.tick();
+        eventsApplied += rep.applied.size();
+        for (const fleet::ChaosEvent &e : rep.applied)
+            std::fprintf(stderr, "[fleet] tick %llu: %s -> r%zu\n",
+                         static_cast<unsigned long long>(rep.tick),
+                         fleet::toString(e.kind), e.replica);
+        std::size_t n = opt.requests / opt.ticks +
+                        (t < opt.requests % opt.ticks ? 1 : 0);
+        n += rep.flashCrowdBurst;
+        for (std::size_t k = 0; k < n; ++k) {
+            fleet::FleetRequest req;
+            req.tokens = seqs[next % seqs.size()];
+            req.sessionId = "session-" + std::to_string(next % 8);
+            req.tenant = next % 2 == 0 ? "interactive" : "batch";
+            f.submit(std::move(req));
+            ++next;
+        }
+    }
+    // Quiet ticks let scheduled restarts land so parked work (with
+    // failover on) finds a recovered replica before the final drain.
+    for (int t = 0; t < 6; ++t)
+        f.tick();
+    f.drain();
+    const fleet::Fleet::Stats st = f.stats();
+    const double avail = f.availability();
+
+    std::printf("%s / %s on %s (threshold set %zu)\n", opt.app.c_str(),
+                runtime::toString(opt.plan),
+                gpuFor(opt.gpuName).name.c_str(), rung);
+    std::printf("fleet: %zu replicas, policy %s, failover %s\n",
+                f.replicaCount(), fleet::toString(opt.policy),
+                opt.failover ? "on" : "off");
+    if (opt.chaos) {
+        std::printf("chaos: seed %llu, %zu of %zu events applied over "
+                    "%zu ticks (replay: same seed => same plan)\n",
+                    static_cast<unsigned long long>(opt.chaosSeed),
+                    eventsApplied, f.chaosPlan().events.size(),
+                    opt.ticks);
+        std::printf("%s", f.chaosPlan().describe().c_str());
+    }
+    std::printf("submitted %llu, completed %llu, ok %llu, failed %llu "
+                "(availability %.2f%%)\n",
+                static_cast<unsigned long long>(st.submitted),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.ok),
+                static_cast<unsigned long long>(st.failed),
+                avail * 100.0);
+    std::printf("failover re-dispatches %llu, hedges %llu (wins %llu), "
+                "parked %llu, session failovers %llu\n",
+                static_cast<unsigned long long>(st.failovers),
+                static_cast<unsigned long long>(st.hedges),
+                static_cast<unsigned long long>(st.hedgeWins),
+                static_cast<unsigned long long>(st.parked),
+                static_cast<unsigned long long>(
+                    f.router().sessionFailovers()));
+    for (std::size_t i = 0; i < f.replicaCount(); ++i) {
+        fleet::Replica &r = f.replica(i);
+        const fleet::Replica::Counters &c = r.counters();
+        std::printf("  %-4s %-10s kills %llu, restarts %llu "
+                    "(cold %llu), heartbeat misses %llu, breaker "
+                    "trips %llu\n",
+                    r.name().c_str(), fleet::toString(r.state()),
+                    static_cast<unsigned long long>(c.kills),
+                    static_cast<unsigned long long>(c.restarts),
+                    static_cast<unsigned long long>(c.coldRecoveries),
+                    static_cast<unsigned long long>(c.heartbeatMisses),
+                    static_cast<unsigned long long>(r.breaker().trips));
+    }
+    f.shutdown();
+
+    const std::uint64_t lost = st.submitted - st.completed;
+    if (lost > 0)
+        std::fprintf(stderr,
+                     "error: %llu request(s) lost without a terminal "
+                     "response\n",
+                     static_cast<unsigned long long>(lost));
+    const int rc = writeObserverOutputs(opt, observer);
+    return lost > 0 ? 1 : rc;
+}
+
 } // anonymous namespace
 
 int
@@ -1083,8 +1287,9 @@ main(int argc, char **argv)
     }
     if (opt.command != "list" && opt.command != "run" &&
         opt.command != "sweep" && opt.command != "mts" &&
-        opt.command != "serve" && opt.command != "profile" &&
-        opt.command != "tune" && opt.command != "fsck") {
+        opt.command != "serve" && opt.command != "fleet" &&
+        opt.command != "profile" && opt.command != "tune" &&
+        opt.command != "fsck") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -1166,6 +1371,39 @@ main(int argc, char **argv)
             if (!v)
                 return usage();
             opt.stateDir = v;
+        } else if (arg == "--store-dir") {
+            const char *v = next();
+            if (!v)
+                return usage();
+            opt.storeDir = v;
+        } else if (arg == "--policy") {
+            const char *v = next();
+            if (v && std::strcmp(v, "affinity") == 0) {
+                opt.policy = fleet::RoutingPolicy::SessionAffinity;
+            } else if (v && std::strcmp(v, "round-robin") == 0) {
+                opt.policy = fleet::RoutingPolicy::RoundRobin;
+            } else if (v && std::strcmp(v, "least-loaded") == 0) {
+                opt.policy = fleet::RoutingPolicy::LeastLoaded;
+            } else {
+                std::fprintf(stderr, "bad --policy value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
+        } else if (arg == "--no-failover") {
+            opt.failover = false;
+        } else if (arg == "--chaos-seed") {
+            const char *v = next();
+            char *end = nullptr;
+            const unsigned long long n =
+                v ? std::strtoull(v, &end, 10) : 0;
+            if (!v || end == v || *end != '\0') {
+                std::fprintf(stderr, "bad --chaos-seed value: %s\n",
+                             v ? v : "(missing)");
+                return usage();
+            }
+            opt.chaosSeed = n;
         } else if (arg == "--cache-dir") {
             const char *v = next();
             if (!v)
@@ -1181,7 +1419,8 @@ main(int argc, char **argv)
             opt.forceTune = true;
         } else if (arg == "--requests" || arg == "--batch" ||
                    arg == "--workers" || arg == "--arrival-us" ||
-                   arg == "--queue-capacity" || arg == "--retries") {
+                   arg == "--queue-capacity" || arg == "--retries" ||
+                   arg == "--replicas" || arg == "--ticks") {
             const char *v = next();
             char *end = nullptr;
             const unsigned long n = v ? std::strtoul(v, &end, 10) : 0;
@@ -1191,7 +1430,8 @@ main(int argc, char **argv)
                 return usage();
             }
             if ((arg == "--requests" || arg == "--batch" ||
-                 arg == "--workers") &&
+                 arg == "--workers" || arg == "--replicas" ||
+                 arg == "--ticks") &&
                 n == 0) {
                 std::fprintf(stderr, "%s must be >= 1\n", arg.c_str());
                 return usage();
@@ -1206,6 +1446,10 @@ main(int argc, char **argv)
                 opt.queueCapacity = n;
             else if (arg == "--retries")
                 opt.retries = static_cast<int>(n);
+            else if (arg == "--replicas")
+                opt.replicas = n;
+            else if (arg == "--ticks")
+                opt.ticks = n;
             else
                 opt.arrivalUs = n;
         } else if (arg == "--deadline-ms" || arg == "--admit-timeout-ms" ||
@@ -1285,6 +1529,8 @@ main(int argc, char **argv)
             return cmdSweep(opt);
         if (opt.command == "serve")
             return cmdServe(opt);
+        if (opt.command == "fleet")
+            return cmdFleet(opt);
         if (opt.command == "profile")
             return cmdProfile(opt);
         if (opt.command == "tune")
