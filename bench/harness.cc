@@ -8,6 +8,7 @@
 
 #include <filesystem>
 
+#include "hw/backend.hh"
 #include "nn/serialize.hh"
 #include "obs/json.hh"
 
@@ -162,11 +163,11 @@ makeAllApps()
 }
 
 std::unique_ptr<core::MemoryFriendlyLstm>
-makeCalibrated(const AppContext &app)
+makeCalibrated(const AppContext &app, const std::string &backendId)
 {
     auto mf = std::make_unique<core::MemoryFriendlyLstm>(
         *app.model, core::MemoryFriendlyLstm::Config{
-                        gpu::GpuConfig::tegraX1(),
+                        hw::registry().get(backendId).config,
                         app.spec.timingShape(), &benchObserver()});
     mf->calibrate(app.data.calibrationSequences(kCalibrationSeqs));
     return mf;

@@ -101,9 +101,15 @@ AppContext makeApp(const workloads::BenchmarkSpec &spec);
 /** makeApp for every Table II application, in order. */
 std::vector<AppContext> makeAllApps();
 
-/** A calibrated facade for one app (baseline timing already run). */
+/**
+ * A calibrated facade for one app (baseline timing already run) on the
+ * named hw-registry backend — "tx1" is the paper's anchor and the
+ * default every existing bench keeps. @throws std::out_of_range on an
+ * unknown backend id.
+ */
 std::unique_ptr<core::MemoryFriendlyLstm>
-makeCalibrated(const AppContext &app);
+makeCalibrated(const AppContext &app,
+               const std::string &backendId = "tx1");
 
 /** Task-appropriate accuracy through the approximate dataflow. */
 double evalAccuracy(core::MemoryFriendlyLstm &mf, const AppContext &app);

@@ -115,6 +115,25 @@ struct GpuConfig
      */
     double dequantOpsPerWeight = 1.0;
 
+    // --- Backend capability flags (hw registry, DESIGN.md §17) ---------
+    /**
+     * True when the part has int8 dot-product units (DP4A-class): the
+     * quantized inner product consumes packed narrow weights directly,
+     * so no per-weight convert shares the FMA issue pipes
+     * (dequantOpsPerWeight ~0) and the per-row scale factors fold into
+     * the accumulator epilogue instead of streaming beside the matrix
+     * (the lowering attributes no separate scale bytes).
+     */
+    bool int8DotUnits = false;
+    /**
+     * True for accelerator-style parts (E-PUR/SHARP) whose shared tier
+     * models a large explicit on-chip weight SRAM sized for whole RNN
+     * layers: when the pinnable capacity covers a layer's recurrent
+     * footprint, the tuner prices streamed-weight plans out of the menu
+     * (the dense point is kept as the comparison anchor).
+     */
+    bool explicitWeightMemory = false;
+
     // --- CTA-reorganization module (Section V-B hardware design) -------
     /// Threads the CRM prefix-sum datapath retires per cycle (one warp).
     unsigned crmThreadsPerCycle = 32;

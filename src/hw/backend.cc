@@ -1,0 +1,340 @@
+#include "hw/backend.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hh"
+
+namespace mflstm {
+namespace hw {
+
+namespace {
+
+/**
+ * Every GpuConfig number, in declaration order. Keeping serialize and
+ * parse on one list is what makes the round-trip test structural: a
+ * field added to GpuConfig without a line here fails the bit-equality
+ * check in hw_registry_test rather than silently defaulting on load.
+ */
+#define MFLSTM_GPUCONFIG_NUM_FIELDS(X)                                      \
+    X(numSms)                                                               \
+    X(coresPerSm)                                                           \
+    X(coreClockGhz)                                                         \
+    X(warpSize)                                                             \
+    X(maxThreadsPerSm)                                                      \
+    X(maxCtasPerSm)                                                         \
+    X(dramBandwidthGBs)                                                     \
+    X(dramLatencyNs)                                                        \
+    X(l2Bytes)                                                              \
+    X(l2Assoc)                                                              \
+    X(lineBytes)                                                            \
+    X(l2BytesPerCycle)                                                      \
+    X(sharedMemPerSmBytes)                                                  \
+    X(sharedBytesPerCyclePerSm)                                             \
+    X(regFileBytesPerSm)                                                    \
+    X(sharedResidencyFraction)                                              \
+    X(regfileResidencyFraction)                                             \
+    X(residencyOccupancyPenalty)                                            \
+    X(kernelLaunchUs)                                                       \
+    X(streamedLaunchFraction)                                               \
+    X(barrierCostCycles)                                                    \
+    X(reconfigPenalty)                                                      \
+    X(socStaticW)                                                           \
+    X(gpuIdleW)                                                             \
+    X(gpuIssueActiveW)                                                      \
+    X(dramPjPerByte)                                                        \
+    X(l2PjPerByte)                                                          \
+    X(sharedPjPerByte)                                                      \
+    X(fmaPjPerFlop)                                                         \
+    X(dequantPjPerWeight)                                                   \
+    X(dequantOpsPerWeight)                                                  \
+    X(crmThreadsPerCycle)                                                   \
+    X(crmPipelineCycles)                                                    \
+    X(crmPjPerThread)                                                       \
+    X(crmStaticW)
+
+#define MFLSTM_GPUCONFIG_BOOL_FIELDS(X)                                     \
+    X(int8DotUnits)                                                         \
+    X(explicitWeightMemory)
+
+/// Assign a JSON number back into whatever integral/floating field.
+template <typename T>
+void
+assignNumber(T &dst, double v)
+{
+    dst = static_cast<T>(v);
+}
+
+gpu::GpuConfig
+dp4aClass()
+{
+    // A Pascal+/Adreno-class mobile part with int8 dot-product units
+    // (DP4A): same 2x128 SM shape as the TX1 but a faster clock, a
+    // bigger L2 and more DRAM bandwidth — and, decisively, quantized
+    // inner products that consume packed weights directly, so the
+    // per-weight convert disappears from the issue pipes and the
+    // per-row scales fold into the epilogue. Int4 becomes the
+    // interesting quant row: the traffic halves again and no ALU tax
+    // claws the win back.
+    gpu::GpuConfig cfg;
+    cfg.name = "DP4A-class mobile GPU (256 cores @ 1.109 GHz)";
+    cfg.numSms = 2;
+    cfg.coresPerSm = 128;
+    cfg.coreClockGhz = 1.109;
+    cfg.dramBandwidthGBs = 34.1;
+    cfg.dramLatencyNs = 110.0;
+    cfg.l2Bytes = 512 * 1024;
+    cfg.sharedMemPerSmBytes = 64 * 1024;
+    cfg.int8DotUnits = true;
+    cfg.dequantOpsPerWeight = 0.0;
+    // The dot unit still rescales its int32 accumulator once per row;
+    // amortized per weight this is well under the Maxwell convert.
+    cfg.dequantPjPerWeight = 0.05;
+    return cfg;
+}
+
+gpu::GpuConfig
+epurLike()
+{
+    // An E-PUR/SHARP-style RNN accelerator: modest compute tiles behind
+    // a large explicit on-chip weight SRAM (2 x 4 MB) engineered so an
+    // entire layer's recurrent matrix can be pinned and DRAM touched
+    // once per sequence. The shared tier *is* the weight memory —
+    // nearly all of it pinnable, with almost no occupancy penalty
+    // because operand staging has its own small buffers — while DRAM
+    // is a single narrow channel, so anything streamed is expensive.
+    gpu::GpuConfig cfg;
+    cfg.name = "E-PUR-like RNN accelerator (8 MB weight SRAM)";
+    cfg.numSms = 2;  // two compute tiles
+    cfg.coresPerSm = 64;
+    cfg.coreClockGhz = 0.8;
+    cfg.dramBandwidthGBs = 12.8;
+    cfg.dramLatencyNs = 100.0;
+    cfg.l2Bytes = 256 * 1024;
+    cfg.sharedMemPerSmBytes = 4 * 1024 * 1024;
+    cfg.sharedBytesPerCyclePerSm = 256.0;
+    cfg.sharedResidencyFraction = 0.9;
+    cfg.residencyOccupancyPenalty = 0.05;
+    // Accelerator datapaths keep thread state in small latches, not a
+    // GPU register file; the regfile residency tier is token-sized.
+    cfg.regFileBytesPerSm = 64 * 1024;
+    cfg.kernelLaunchUs = 0.5;  // command processor, not a CUDA driver
+    cfg.sharedPjPerByte = 2.0;
+    cfg.int8DotUnits = true;
+    cfg.explicitWeightMemory = true;
+    cfg.dequantOpsPerWeight = 0.0;
+    cfg.dequantPjPerWeight = 0.05;
+    return cfg;
+}
+
+} // anonymous namespace
+
+const char *
+toString(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::MobileGpu:
+        return "mobile-gpu";
+      case BackendKind::Accelerator:
+        return "accelerator";
+    }
+    return "mobile-gpu";
+}
+
+std::optional<BackendKind>
+backendKindFromString(const std::string &s)
+{
+    if (s == "mobile-gpu")
+        return BackendKind::MobileGpu;
+    if (s == "accelerator")
+        return BackendKind::Accelerator;
+    return std::nullopt;
+}
+
+Registry::Registry()
+{
+    {
+        Backend b;
+        b.id = "tx1";
+        b.display = "Jetson TX1";
+        b.kind = BackendKind::MobileGpu;
+        b.summary = "Maxwell anchor of Table I: 2x128 cores @ 998 MHz, "
+                    "25.6 GB/s LPDDR4, no DP4A (dequant on the FMA pipes)";
+        b.revision = 1;
+        b.config = gpu::GpuConfig::tegraX1();
+        entries_.push_back(std::move(b));
+    }
+    {
+        Backend b;
+        b.id = "tx2";
+        b.display = "TX2-like";
+        b.kind = BackendKind::MobileGpu;
+        b.summary = "Pascal-class scalability point: same SM shape, "
+                    "1.3 GHz, 58.3 GB/s, 512 KB L2";
+        b.revision = 1;
+        b.config = gpu::GpuConfig::tegraX2Like();
+        entries_.push_back(std::move(b));
+    }
+    {
+        Backend b;
+        b.id = "dp4a";
+        b.display = "DP4A-class GPU";
+        b.kind = BackendKind::MobileGpu;
+        b.summary = "int8 dot-product units: dequant issue cost ~0, "
+                    "scales fold into the epilogue, int4 is the "
+                    "interesting quant row";
+        b.revision = 1;
+        b.config = dp4aClass();
+        entries_.push_back(std::move(b));
+    }
+    {
+        Backend b;
+        b.id = "epur";
+        b.display = "E-PUR-like accelerator";
+        b.kind = BackendKind::Accelerator;
+        b.summary = "explicit 8 MB on-chip weight SRAM: resident plans "
+                    "dominate, streamed plans priced out when a layer "
+                    "fits";
+        b.revision = 1;
+        b.config = epurLike();
+        entries_.push_back(std::move(b));
+    }
+}
+
+const Backend &
+Registry::get(const std::string &id) const
+{
+    if (const Backend *b = find(id))
+        return *b;
+    throw std::out_of_range("hw::Registry: unknown backend '" + id + "'");
+}
+
+const Backend *
+Registry::find(const std::string &id) const
+{
+    for (const Backend &b : entries_)
+        if (b.id == id)
+            return &b;
+    return nullptr;
+}
+
+bool
+Registry::contains(const std::string &id) const
+{
+    return find(id) != nullptr;
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Backend &b : entries_)
+        out.push_back(b.id);
+    return out;
+}
+
+const Registry &
+registry()
+{
+    static const Registry instance;
+    return instance;
+}
+
+std::string
+serializeBackend(const Backend &backend)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("mflstm.backend");
+    w.key("version").value(1);
+    w.key("id").value(backend.id);
+    w.key("display").value(backend.display);
+    w.key("kind").value(toString(backend.kind));
+    w.key("summary").value(backend.summary);
+    w.key("revision").value(backend.revision);
+    w.key("config");
+    w.beginObject();
+    w.key("name").value(backend.config.name);
+#define MFLSTM_WRITE_NUM(f)                                                 \
+    w.key(#f).value(static_cast<double>(backend.config.f));
+    MFLSTM_GPUCONFIG_NUM_FIELDS(MFLSTM_WRITE_NUM)
+#undef MFLSTM_WRITE_NUM
+#define MFLSTM_WRITE_BOOL(f) w.key(#f).value(backend.config.f);
+    MFLSTM_GPUCONFIG_BOOL_FIELDS(MFLSTM_WRITE_BOOL)
+#undef MFLSTM_WRITE_BOOL
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+std::optional<Backend>
+parseBackend(const std::string &json)
+{
+    const std::optional<obs::JsonValue> doc = obs::parseJson(json);
+    if (!doc || doc->kind != obs::JsonValue::Kind::Object)
+        return std::nullopt;
+    const obs::JsonValue *schema = doc->find("schema");
+    if (!schema || schema->kind != obs::JsonValue::Kind::String ||
+        schema->str != "mflstm.backend")
+        return std::nullopt;
+    const obs::JsonValue *version = doc->find("version");
+    if (!version || version->kind != obs::JsonValue::Kind::Number ||
+        version->number != 1.0)
+        return std::nullopt;
+
+    Backend b;
+    const obs::JsonValue *id = doc->find("id");
+    const obs::JsonValue *display = doc->find("display");
+    const obs::JsonValue *kind = doc->find("kind");
+    const obs::JsonValue *summary = doc->find("summary");
+    const obs::JsonValue *revision = doc->find("revision");
+    if (!id || id->kind != obs::JsonValue::Kind::String || id->str.empty())
+        return std::nullopt;
+    b.id = id->str;
+    if (display && display->kind == obs::JsonValue::Kind::String)
+        b.display = display->str;
+    if (kind) {
+        if (kind->kind != obs::JsonValue::Kind::String)
+            return std::nullopt;
+        const std::optional<BackendKind> k =
+            backendKindFromString(kind->str);
+        if (!k)
+            return std::nullopt;
+        b.kind = *k;
+    }
+    if (summary && summary->kind == obs::JsonValue::Kind::String)
+        b.summary = summary->str;
+    if (revision && revision->kind == obs::JsonValue::Kind::Number)
+        b.revision = static_cast<int>(revision->number);
+
+    const obs::JsonValue *cfg_obj = doc->find("config");
+    if (!cfg_obj || cfg_obj->kind != obs::JsonValue::Kind::Object)
+        return std::nullopt;
+    if (const obs::JsonValue *n = cfg_obj->find("name")) {
+        if (n->kind != obs::JsonValue::Kind::String)
+            return std::nullopt;
+        b.config.name = n->str;
+    }
+#define MFLSTM_READ_NUM(f)                                                  \
+    if (const obs::JsonValue *v = cfg_obj->find(#f)) {                      \
+        if (v->kind != obs::JsonValue::Kind::Number)                        \
+            return std::nullopt;                                            \
+        assignNumber(b.config.f, v->number);                                \
+    }
+    MFLSTM_GPUCONFIG_NUM_FIELDS(MFLSTM_READ_NUM)
+#undef MFLSTM_READ_NUM
+#define MFLSTM_READ_BOOL(f)                                                 \
+    if (const obs::JsonValue *v = cfg_obj->find(#f)) {                      \
+        if (v->kind != obs::JsonValue::Kind::Bool)                          \
+            return std::nullopt;                                            \
+        b.config.f = v->boolean;                                            \
+    }
+    MFLSTM_GPUCONFIG_BOOL_FIELDS(MFLSTM_READ_BOOL)
+#undef MFLSTM_READ_BOOL
+    return b;
+}
+
+} // namespace hw
+} // namespace mflstm

@@ -60,12 +60,16 @@ weightFootprintBytes(double elems, double rows, quant::QuantMode qm)
  * Streaming compression and row skipping shrink codes and scales
  * together, so the share survives any proportional traffic reduction —
  * which is exactly how the builders apply it to their (possibly
- * compressed) dramWeightBytes for the attribution ledger.
+ * compressed) dramWeightBytes for the attribution ledger. On backends
+ * with int8 dot-product units (@p dot_units) the per-row scales fold
+ * into the accumulator epilogue instead of streaming beside the codes,
+ * so no bytes carry the dequant cause: the whole footprint stays
+ * attributed to the weight stream and the ledger totals are unchanged.
  */
 double
-scaleShare(double elems, double rows, quant::QuantMode qm)
+scaleShare(double elems, double rows, quant::QuantMode qm, bool dot_units)
 {
-    if (qm == quant::QuantMode::Fp32)
+    if (qm == quant::QuantMode::Fp32 || dot_units)
         return 0.0;
     const double scale_bytes = rows * kFloat;
     return scale_bytes /
@@ -143,7 +147,7 @@ Lowering::inputSgemm(const LstmLayerShape &shape,
     k.dramReadBytes = w_bytes + in_bytes;
     k.dramWeightBytes = w_bytes;
     k.weightStream = gpu::WeightStream::W;
-    k.dramScaleBytes = w_bytes * scaleShare(4.0 * h * e, 4.0 * h, qm);
+    k.dramScaleBytes = w_bytes * scaleShare(4.0 * h * e, 4.0 * h, qm, cfg_.int8DotUnits);
     k.dramWriteBytes = out_bytes;
     k.l2AccessBytes = w_bytes + in_bytes + out_bytes;
     k.sharedBytes =
@@ -179,7 +183,7 @@ Lowering::cellSgemv(const LstmLayerShape &shape,
     k.dramWeightBytes = dram_bytes_weights;
     k.weightStream = gpu::WeightStream::U;
     k.dramScaleBytes =
-        dram_bytes_weights * scaleShare(4.0 * h * h, 4.0 * h, qm);
+        dram_bytes_weights * scaleShare(4.0 * h * h, 4.0 * h, qm, cfg_.int8DotUnits);
     k.dramWriteBytes = 4.0 * h * kFloat * b;
     k.l2AccessBytes =
         weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) + vec_bytes;
@@ -227,7 +231,7 @@ Lowering::tissueSgemm(const LstmLayerShape &shape, std::size_t tissue_size,
     k.dramWeightBytes = weight_bytes;
     k.weightStream = gpu::WeightStream::U;
     k.dramScaleBytes =
-        weight_bytes * scaleShare(4.0 * h * h, 4.0 * h, qm);
+        weight_bytes * scaleShare(4.0 * h * h, 4.0 * h, qm, cfg_.int8DotUnits);
     k.dramWriteBytes = tk * 4.0 * h * kFloat * b;
     k.l2AccessBytes = weightFootprintBytes(4.0 * h * h, 4.0 * h, qm) +
                       tk * 5.0 * h * kFloat * b;
@@ -293,7 +297,7 @@ Lowering::outputGateSgemv(const LstmLayerShape &shape,
     k.dramReadBytes = dram_bytes_weights + h * kFloat * b;
     k.dramWeightBytes = dram_bytes_weights;
     k.weightStream = gpu::WeightStream::U;
-    k.dramScaleBytes = dram_bytes_weights * scaleShare(h * h, h, qm);
+    k.dramScaleBytes = dram_bytes_weights * scaleShare(h * h, h, qm, cfg_.int8DotUnits);
     k.dramWriteBytes = h * kFloat * b;
     k.l2AccessBytes = weightFootprintBytes(h * h, h, qm) +
                       2.0 * h * kFloat * b;
@@ -387,7 +391,7 @@ Lowering::rowSkipSgemv(const LstmLayerShape &shape,
     }
     k.weightStream = gpu::WeightStream::U;
     k.dramScaleBytes =
-        k.dramWeightBytes * scaleShare(3.0 * h * h, 3.0 * h, qm);
+        k.dramWeightBytes * scaleShare(3.0 * h * h, 3.0 * h, qm, cfg_.int8DotUnits);
     k.dramWriteBytes = 3.0 * h * kFloat * b;
     k.l2AccessBytes =
         weightFootprintBytes(3.0 * h * h, 3.0 * h, qm) *
@@ -506,7 +510,7 @@ Lowering::persistentLayerKernel(const LstmLayerShape &shape,
     // compulsory pass; the reload share is attributed whole to the
     // residency-reload cause, so the scale stream is sized on the
     // first-fetch bytes only (keeps the ledger sub-streams disjoint).
-    k.dramScaleBytes = footprint * scaleShare(4.0 * h * h, 4.0 * h, qm);
+    k.dramScaleBytes = footprint * scaleShare(4.0 * h * h, 4.0 * h, qm, cfg_.int8DotUnits);
     k.dramResidencyReloadBytes = reload;
     // Gate vectors and h/c state live on chip between waves; the L2
     // sees the weight fetches plus the per-wave state round trips.
@@ -682,7 +686,7 @@ Lowering::lowerLayer(const LstmLayerShape &shape,
                 // attribution sub-streams from the overridden figures
                 // or the ledger's conservation check trips.
                 uo.dramScaleBytes =
-                    uo.dramWeightBytes * scaleShare(h * h, h, qm);
+                    uo.dramWeightBytes * scaleShare(h * h, h, qm, cfg_.int8DotUnits);
                 uo.sharedBytes *= 0.25;
                 uo.l2AccessBytes *= 0.25;
                 uo.quantWeightElems *= 0.25;

@@ -14,10 +14,15 @@ namespace {
  *  v1 — initial tuned-plan artifact.
  *  v2 — appends a per-layer weight-residency tag to the decision chunk
  *       and the residency cost-model fields to the GpuConfig chunk.
- * v1 files still load: the appended fields default to "no residency",
- * which is exactly what a v1 tuner could have chosen.
+ *  v3 — appends the hw registry backend id to the fingerprint chunk and
+ *       the backend capability flags (int8 dot units, explicit weight
+ *       memory) to the GpuConfig chunk.
+ * Older files still load: v1's appended fields default to "no
+ * residency", v2's to "no recorded backend" (the GpuConfig byte compare
+ * remains the staleness guard there) and "no capability flags", which
+ * is exactly what those writers simulated.
  */
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 const std::uint32_t kChunkFingerprint = io::fourcc('T', 'F', 'P', 'R');
@@ -75,10 +80,11 @@ writeFingerprint(io::ByteWriter &w, const TunedPlanFingerprint &fp)
     w.u64(fp.batch);
     w.u64(fp.mts);
     w.u64(fp.modelHidden);
+    writeString(w, fp.backendId);  // v3
 }
 
 TunedPlanFingerprint
-readFingerprint(io::ByteReader &r)
+readFingerprint(io::ByteReader &r, std::uint32_t version)
 {
     TunedPlanFingerprint fp;
     fp.weightsCrc = r.u32();
@@ -88,6 +94,8 @@ readFingerprint(io::ByteReader &r)
     fp.batch = r.u64();
     fp.mts = r.u64();
     fp.modelHidden = r.u64();
+    if (version >= 3)
+        fp.backendId = readString(r);
     r.expectEnd();
     return fp;
 }
@@ -238,6 +246,10 @@ deserializeGpuConfig(io::ByteReader &r, std::uint32_t version)
         cfg.regfileResidencyFraction = r.f64();
         cfg.residencyOccupancyPenalty = r.f64();
     }
+    if (version >= 3) {
+        cfg.int8DotUnits = r.u32() != 0;
+        cfg.explicitWeightMemory = r.u32() != 0;
+    }
     r.expectEnd();
     return cfg;
 }
@@ -256,7 +268,7 @@ parse(const std::string &path, const io::ArtifactLimits &limits)
     Parsed out;
     {
         io::ByteReader r = reader.chunk(kChunkFingerprint);
-        out.artifact.fingerprint = readFingerprint(r);
+        out.artifact.fingerprint = readFingerprint(r, version);
     }
     {
         io::ByteReader r = reader.chunk(kChunkGpu);
@@ -430,6 +442,9 @@ serializeGpuConfigInto(io::ByteWriter &w, const gpu::GpuConfig &cfg)
     w.f64(cfg.sharedResidencyFraction);
     w.f64(cfg.regfileResidencyFraction);
     w.f64(cfg.residencyOccupancyPenalty);
+    // v3: backend capability flags
+    w.u32(cfg.int8DotUnits ? 1 : 0);
+    w.u32(cfg.explicitWeightMemory ? 1 : 0);
 }
 
 } // anonymous namespace
@@ -454,6 +469,7 @@ makeTunedPlanArtifact(const TuneRequest &req, std::uint32_t weights_crc,
     art.fingerprint.batch = req.batch;
     art.fingerprint.mts = req.mts;
     art.fingerprint.modelHidden = req.modelHidden;
+    art.fingerprint.backendId = req.backendId;
     art.gpu = gpu;
     art.shape = req.shape;
     art.decisions =
@@ -523,6 +539,11 @@ loadTunedPlan(const std::string &path, const gpu::GpuConfig &gpu,
         want.batch = req.batch;
         want.mts = req.mts;
         want.modelHidden = req.modelHidden;
+        want.backendId = req.backendId;
+        // v1/v2 artifacts recorded no backend id; the GpuConfig byte
+        // compare below remains the staleness guard for those files.
+        if (art.fingerprint.backendId.empty())
+            want.backendId.clear();
         if (!(art.fingerprint == want))
             fail(io::ErrorKind::Stale,
                  "fingerprint does not match this model/request");

@@ -42,6 +42,9 @@ struct TunedPlanFingerprint
     std::uint64_t batch = 1;
     std::uint64_t mts = 1;
     std::uint64_t modelHidden = 0;
+    /// hw registry backend id (v3+; "" on files written before v3, in
+    /// which case the GpuConfig byte compare is the staleness guard)
+    std::string backendId;
 
     bool operator==(const TunedPlanFingerprint &) const = default;
 };

@@ -1,9 +1,33 @@
 #include "sched/space.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "gpu/sm.hh"
+#include "quant/qformat.hh"
 
 namespace mflstm {
 namespace sched {
+
+namespace {
+
+/**
+ * DRAM footprint of one layer's recurrent U block at @p qm: the codes
+ * plus, when quantized, the per-row fp32 scale stream (same accounting
+ * as the lowering's weightFootprintBytes).
+ */
+double
+layerUFootprintBytes(const runtime::LstmLayerShape &layer,
+                     quant::QuantMode qm)
+{
+    const double h = static_cast<double>(layer.hiddenSize);
+    const double elems = 4.0 * h * h;
+    const double scale_bytes =
+        qm == quant::QuantMode::Fp32 ? 0.0 : 4.0 * h * 4.0;
+    return elems * quant::bytesPerWeight(qm) + scale_bytes;
+}
+
+} // anonymous namespace
 
 void
 TuneRequest::validate() const
@@ -31,7 +55,8 @@ std::vector<LayerOption>
 enumerateLayerOptions(const TuneRequest &req, std::size_t layer_index,
                       const std::vector<runtime::LayerInterPlan> &inter,
                       const std::vector<runtime::LayerInterPlan>
-                          &combined_inter)
+                          &combined_inter,
+                      const gpu::GpuConfig &cfg)
 {
     const double skip =
         req.stats[layer_index].skipFraction(req.modelHidden);
@@ -117,6 +142,47 @@ enumerateLayerOptions(const TuneRequest &req, std::size_t layer_index,
         csr.prunedCsr = true;
         csr.pruneFraction = req.pruneFraction;
         add("pruned-csr", csr);
+    }
+
+    // --- Per-backend rules (DESIGN.md §17) ------------------------------
+    // Explicit on-chip weight memory (E-PUR/SHARP class): when the
+    // pinnable shared capacity covers this layer's whole U footprint,
+    // streaming weights per wave buys nothing the resident kernel does
+    // not already have — price the streamed options out of the menu.
+    // The dense point survives as the comparison anchor, and resident
+    // points carry the searched mass.
+    if (cfg.explicitWeightMemory) {
+        const double capacity = gpu::residencyCapacityBytes(
+            cfg, runtime::WeightResidency::Shared);
+        const double footprint = layerUFootprintBytes(
+            req.shape.layers[layer_index], req.quant);
+        if (capacity >= footprint) {
+            options.erase(
+                std::remove_if(options.begin(), options.end(),
+                               [](const LayerOption &o) {
+                                   return o.label != "dense" &&
+                                          !o.schedule.persistent();
+                               }),
+                options.end());
+        }
+    }
+
+    // Int8 dot-product units: narrowing to int4 costs no convert issue
+    // slots, so an int8 request also searches the int4 twin of every
+    // quantized candidate (Fig. 16's interesting row on dp4a-class
+    // parts). Backends without dot units never enumerate these
+    // dequant-heavy points — on Maxwell the cvt tax claws the win back.
+    if (cfg.int8DotUnits && req.quant == quant::QuantMode::Int8) {
+        const std::size_t base = options.size();
+        for (std::size_t i = 0; i < base; ++i) {
+            if (options[i].schedule.quant != req.quant)
+                continue;  // the CSR comparator stays fp32
+            runtime::LayerSchedule narrow = options[i].schedule;
+            narrow.quant = quant::QuantMode::Int4;
+            narrow.validate();
+            options.push_back({options[i].label + "-int4",
+                               std::move(narrow)});
+        }
     }
 
     return options;

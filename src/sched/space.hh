@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/approx.hh"
+#include "gpu/config.hh"
 #include "runtime/plan.hh"
 
 namespace mflstm {
@@ -32,6 +33,13 @@ namespace sched {
 struct TuneRequest
 {
     runtime::NetworkShape shape;
+    /**
+     * hw registry id of the backend being tuned for ("" = unspecified,
+     * treated as the anchor). Recorded in the tuned-plan artifact
+     * fingerprint so a cache written under one backend is Stale under
+     * another even before the GpuConfig byte compare runs.
+     */
+    std::string backendId;
     /// one entry per layer, from an ApproxRunner evaluation pass
     std::vector<core::LayerApproxStats> stats;
     /// maximum tissue size from the offline sweep (Fig. 10 op 1)
@@ -70,13 +78,24 @@ struct LayerOption
  * register-file tiers, plus tissues+regfile so the Persistent preset's
  * exact per-layer point is always in the search), and the zero-pruning
  * CSR point when req.pruneFraction is meaningful.
+ *
+ * The rule set is per-backend (@p cfg, DESIGN.md §17): on parts with
+ * int8 dot-product units an int8 request also enumerates int4 twins of
+ * every quantized candidate (narrowing is free of the Maxwell convert
+ * tax there — the Fig. 16 row worth searching), while backends without
+ * dot units never see those dequant-heavy int4 points; on accelerators
+ * with explicit on-chip weight memory whose pinnable shared capacity
+ * covers this layer's recurrent footprint, streamed-weight options are
+ * priced out of the menu entirely (the dense point stays as the
+ * comparison anchor, resident points carry the searched mass).
  * Every returned schedule passes LayerSchedule::validate().
  */
 std::vector<LayerOption>
 enumerateLayerOptions(const TuneRequest &req, std::size_t layer_index,
                       const std::vector<runtime::LayerInterPlan> &inter,
                       const std::vector<runtime::LayerInterPlan>
-                          &combined_inter);
+                          &combined_inter,
+                      const gpu::GpuConfig &cfg);
 
 } // namespace sched
 } // namespace mflstm

@@ -143,7 +143,8 @@ tune(const runtime::NetworkExecutor &exec, const TuneRequest &req)
     for (std::size_t l = 0; l < req.shape.layers.size(); ++l) {
         std::vector<ScoredOption> scored;
         for (LayerOption &opt :
-             enumerateLayerOptions(req, l, inter, combined_inter)) {
+             enumerateLayerOptions(req, l, inter, combined_inter,
+                                   exec.config())) {
             ScoredOption so;
             so.estBytes =
                 traceDramBytes(exec, req.shape.layers[l],

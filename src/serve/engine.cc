@@ -167,6 +167,7 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
             treq.quant = ladder_[r].quant;
             treq.pruneFraction = opts_.pruneFraction;
             treq.batch = opts_.maxBatch;
+            treq.backendId = opts_.backendId;
             const sched::TuneResult tuned =
                 opts_.tuneCacheDir.empty()
                     ? sched::tune(mf.executor(), treq)
@@ -227,6 +228,14 @@ InferenceEngine::InferenceEngine(const core::MemoryFriendlyLstm &mf,
             ErrorKind::Stale,
             "InferenceEngine: warm state tuning mode does not match "
             "Options::tunePlans");
+    // Pre-v5 states recorded no backend; those load under any backend
+    // (the weights CRC and shape checks above still guard them).
+    if (!warm.backendId.empty() && warm.backendId != opts_.backendId)
+        throw ArtifactError(
+            ErrorKind::Stale,
+            "InferenceEngine: warm state was saved under backend '" +
+                warm.backendId + "' but this engine runs '" +
+                opts_.backendId + "'");
     if (!opts_.governorLadder.empty() &&
         !(warm.ladder == opts_.governorLadder))
         throw ArtifactError(
@@ -303,6 +312,8 @@ InferenceEngine::finishInit(const core::MemoryFriendlyLstm &mf,
     obs_->metrics().histogram("serve.exec_ms", serveMsEdges());
     obs_->metrics().histogram("serve.batch_size",
                               batchSizeEdges(opts_.maxBatch));
+    obs_->metrics().histogram("serve.twin_rebuild_ms", serveMsEdges());
+    obs_->metrics().counter("serve.precision_switch_total");
 
     for (std::size_t w = 0; w < opts_.workers; ++w)
         obs_->tracer().setTrackName(obs::SpanTracer::kServePid,
@@ -315,6 +326,7 @@ InferenceEngine::finishInit(const core::MemoryFriendlyLstm &mf,
     runners_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w)
         runners_.push_back(base_runners);  // private copies per worker
+    lastServedQuant_.assign(opts_.workers, -1);
 
     workers_.reserve(opts_.workers);
     for (std::size_t w = 0; w < opts_.workers; ++w)
@@ -415,6 +427,7 @@ InferenceEngine::exportWarmState() const
     s.modelWeightsCrc =
         core::modelWeightsCrc(runners_.front().front().model());
     s.tunedPlans = opts_.tunePlans;
+    s.backendId = opts_.backendId;
     s.ladder = ladder_;
     s.plans = plans_;
     return s;
@@ -586,6 +599,33 @@ InferenceEngine::serveBatch(std::vector<QueuedRequest> &batch,
     const std::size_t rung = governor_ ? governor_->rung() : 0;
     core::ApproxRunner &runner = runners_[worker_index][rung];
     const runtime::ExecutionPlan &plan = plans_[rung];
+
+    // Governor precision switches are not free: crossing a quant
+    // boundary re-pays this runner's twin rebuild (model copy +
+    // fake-quant + relevance contexts) and the wall cost lands in
+    // serve.twin_rebuild_ms so cross-backend serve comparisons see it.
+    // Dropping to fp32 only discards the twin, which is why those
+    // switches record near-zero.
+    {
+        const quant::QuantMode rq = runner.quantMode();
+        const int prev = lastServedQuant_[worker_index];
+        if (prev >= 0 && prev != static_cast<int>(rq)) {
+            const auto t0 = std::chrono::steady_clock::now();
+            runner.setQuantMode(quant::QuantMode::Fp32);
+            runner.setQuantMode(rq);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            obs_->metrics()
+                .counter("serve.precision_switch_total")
+                .add();
+            obs_->metrics()
+                .histogram("serve.twin_rebuild_ms", serveMsEdges())
+                .observe(ms);
+        }
+        lastServedQuant_[worker_index] = static_cast<int>(rq);
+    }
     const std::uint64_t ordinal =
         batchOrdinal_.fetch_add(1, std::memory_order_relaxed);
     const auto batch_start = std::chrono::steady_clock::now();

@@ -65,6 +65,9 @@ inline constexpr const char *kEngineKilledError = "engine killed";
 struct EngineWarmState
 {
     runtime::PlanKind plan = runtime::PlanKind::Combined;
+    /// hw registry backend id the plans were built under ("" on states
+    /// saved before schema v5; the restart check treats "" as wildcard)
+    std::string backendId;
     double pruneFraction = 0.37;
     runtime::NetworkShape shape;
     /// core::modelWeightsCrc of the model the state was computed on
@@ -89,6 +92,14 @@ class InferenceEngine
         runtime::PlanKind plan = runtime::PlanKind::Combined;
         /// forwarded to plan building (ZeroPruning only)
         double pruneFraction = 0.37;
+        /**
+         * hw registry id of the backend this engine simulates on
+         * (DESIGN.md §17). Recorded in tuned-plan fingerprints and the
+         * warm-state artifact, so a cache or warm state built under one
+         * backend is rejected as Stale under another. "" = unspecified
+         * (legacy callers; no backend check on restart).
+         */
+        std::string backendId;
         /**
          * Replace every rung's preset plan with a sched-searched one
          * (DESIGN.md §14): after the normal rung snapshots, the engine
@@ -351,6 +362,16 @@ class InferenceEngine
     std::vector<runtime::ExecutionPlan> plans_;
     /// runners_[worker][rung]: private calibrated runner copies
     std::vector<std::vector<core::ApproxRunner>> runners_;
+    /**
+     * Last quant mode each worker served a batch at (underlying enum
+     * value; -1 before the worker's first batch). Only its own worker
+     * thread touches an entry. Crossing a precision boundary re-pays
+     * that runner's twin rebuild (model copy + fake-quant + relevance
+     * contexts) so cross-backend serve comparisons account for the
+     * governor's switch cost — counted in serve.precision_switch_total
+     * and timed into serve.twin_rebuild_ms.
+     */
+    std::vector<int> lastServedQuant_;
     std::unique_ptr<AdaptiveThresholdGovernor> governor_;
 
     RequestQueue queue_;

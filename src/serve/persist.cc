@@ -23,8 +23,12 @@ using io::ErrorKind;
  * v4: plans may use PlanKind::Persistent and per-layer decisions carry
  *     a weight-residency tag (DESIGN.md §15). v1-v3 files stay
  *     loadable — residency defaults to none.
+ * v5: the fingerprint records the hw registry backend id the plans were
+ *     built under (DESIGN.md §17). v1-v4 files stay loadable — their
+ *     backend id is empty, which the warm constructor treats as a
+ *     wildcard (weights CRC + shape still guard them).
  */
-constexpr std::uint32_t kEngineSchemaVersion = 4;
+constexpr std::uint32_t kEngineSchemaVersion = 5;
 
 constexpr std::uint32_t kMaxQuantMode =
     static_cast<std::uint32_t>(quant::QuantMode::Int4);
@@ -266,6 +270,13 @@ parseState(const io::ArtifactReader &reader,
                                         ": bad tunedPlans flag");
             state.tunedPlans = tuned != 0;
         }
+        if (version >= 5) {
+            const std::vector<std::int8_t> raw = r.u8Array();
+            if (!raw.empty())
+                state.backendId.assign(
+                    reinterpret_cast<const char *>(raw.data()),
+                    raw.size());
+        }
         r.expectEnd();
     }
     {
@@ -336,6 +347,9 @@ saveEngineState(const EngineWarmState &state, const std::string &path)
     f.u32(static_cast<std::uint32_t>(state.plan));
     f.f64(state.pruneFraction);
     f.u32(state.tunedPlans ? 1 : 0);
+    f.u8Array({reinterpret_cast<const std::int8_t *>(
+                   state.backendId.data()),
+               state.backendId.size()});  // v5
 
     io::ByteWriter &s = w.chunk(kChunkShape);
     s.u64(state.shape.layers.size());

@@ -8,6 +8,11 @@
  * decomposition violation may be recorded. This is the automated
  * replacement for the manual byte audit that found PR 5's CRM
  * double-count.
+ *
+ * The sweep carries a backend axis (DESIGN.md §17): conservation must
+ * hold bit-exactly on every hw registry backend, and backends whose
+ * dot units fold the scale stream into the epilogue must attribute
+ * exactly zero Dequant-cause bytes.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +20,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "hw/backend.hh"
 #include "obs/ledger.hh"
 #include "runtime/executor.hh"
 #include "workloads/benchmarks.hh"
@@ -62,10 +68,11 @@ planFor(PlanKind kind, const runtime::NetworkShape &shape,
 void
 expectConserved(const runtime::NetworkShape &shape,
                 const ExecutionPlan &plan, std::size_t batch,
-                const std::string &label)
+                const std::string &label,
+                const gpu::GpuConfig &cfg = kCfg)
 {
     obs::TrafficLedger ledger;
-    runtime::NetworkExecutor ex(kCfg);
+    runtime::NetworkExecutor ex(cfg);
     ex.setLedger(&ledger);
 
     const runtime::RunReport rep =
@@ -116,6 +123,76 @@ TEST(LedgerConservation, AllTableIIAppsAllPlanKindsAllQuantModes)
                                 label);
             }
         }
+    }
+}
+
+// Backend axis (DESIGN.md §17): the same bit-exact sweep on every
+// registry backend — capability flags reroute attribution (scale bytes
+// fold into the weight stream on dot-unit parts), they never create or
+// destroy it.
+TEST(LedgerConservation, HoldsOnEveryRegistryBackend)
+{
+    const PlanKind kinds[] = {
+        PlanKind::Baseline,    PlanKind::InterCell,
+        PlanKind::IntraCellSw, PlanKind::IntraCellHw,
+        PlanKind::Combined,    PlanKind::ZeroPruning,
+        PlanKind::Persistent,
+    };
+    const quant::QuantMode modes[] = {
+        quant::QuantMode::Fp32,
+        quant::QuantMode::Int8,
+        quant::QuantMode::Int4,
+    };
+
+    for (const hw::Backend &b : hw::registry().entries()) {
+        if (b.id == "tx1")
+            continue;  // the anchor sweep above is exactly this
+        for (const workloads::BenchmarkSpec &spec :
+             workloads::tableII()) {
+            const runtime::NetworkShape shape = spec.timingShape();
+            for (PlanKind kind : kinds) {
+                for (quant::QuantMode qm : modes) {
+                    expectConserved(
+                        shape, planFor(kind, shape, qm), 1,
+                        b.id + "/" + spec.name + "/" +
+                            runtime::toString(kind) + "/qm" +
+                            std::to_string(static_cast<int>(qm)),
+                        b.config);
+                }
+            }
+        }
+    }
+}
+
+// Dot-unit backends fold the per-row scales into the Sgemm epilogue:
+// the Dequant cause must attribute exactly zero bytes there, while the
+// Maxwell anchor keeps paying for the separate scale stream.
+TEST(LedgerConservation, DotUnitBackendsReportZeroDequantBytes)
+{
+    const runtime::NetworkShape shape =
+        workloads::tableII().front().timingShape();
+
+    const auto dequantBytes = [&](const gpu::GpuConfig &cfg) {
+        obs::TrafficLedger ledger;
+        runtime::NetworkExecutor ex(cfg);
+        ex.setLedger(&ledger);
+        ex.run(runtime::RunRequest::network(
+            shape,
+            planFor(PlanKind::Combined, shape, quant::QuantMode::Int8),
+            1));
+        double bytes = 0.0;
+        for (const auto &[key, value] : ledger.traffic())
+            if (key.cause == obs::TrafficCause::Dequant)
+                bytes += value;
+        return bytes;
+    };
+
+    for (const hw::Backend &b : hw::registry().entries()) {
+        SCOPED_TRACE(b.id);
+        if (b.config.int8DotUnits)
+            EXPECT_EQ(dequantBytes(b.config), 0.0);
+        else
+            EXPECT_GT(dequantBytes(b.config), 0.0);
     }
 }
 

@@ -60,7 +60,8 @@ TEST(EnumerateLayerOptions, CoversDenseSkipVariantsAndCsr)
 {
     const TuneRequest req = smallRequest();
     const std::vector<LayerOption> opts =
-        enumerateLayerOptions(req, 0, {}, {});
+        enumerateLayerOptions(req, 0, {}, {},
+                              gpu::GpuConfig::tegraX1());
 
     auto has = [&](const std::string &label) {
         for (const LayerOption &o : opts)
@@ -85,7 +86,8 @@ TEST(EnumerateLayerOptions, SkipVariantsNeedMeasuredSkip)
     for (core::LayerApproxStats &s : req.stats)
         s.skippedRows = 0.0;
     const std::vector<LayerOption> opts =
-        enumerateLayerOptions(req, 0, {}, {});
+        enumerateLayerOptions(req, 0, {}, {},
+                              gpu::GpuConfig::tegraX1());
     for (const LayerOption &o : opts)
         EXPECT_EQ(o.label.find("skip"), std::string::npos) << o.label;
 }

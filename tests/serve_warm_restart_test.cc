@@ -371,9 +371,10 @@ TEST_F(WarmRestartTest, FutureSchemaVersionRejected)
         serve::InferenceEngine engine(mf, engineOptions());
         serve::saveEngineState(engine, path_);
     }
-    // Re-wrap the valid payload under a version this build predates.
+    // Re-wrap the valid payload under a version this build predates
+    // (one past the current v5 backend-id schema).
     const serve::EngineWarmState good = serve::loadEngineState(path_);
-    io::ArtifactWriter w(io::kSchemaEngineState, 5);
+    io::ArtifactWriter w(io::kSchemaEngineState, 6);
     io::ByteWriter &f = w.chunk(io::fourcc('E', 'F', 'P', 'R'));
     f.u32(good.modelWeightsCrc);
     f.u32(static_cast<std::uint32_t>(good.plan));

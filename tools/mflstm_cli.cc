@@ -16,6 +16,8 @@
  *   tune  --app NAME [options]   search per-layer schedules and cache
  *                                the dominating plan (DESIGN.md §14)
  *   fsck  [--cache-dir DIR]      verify every artifact in a cache dir
+ *   backends                     list the hardware backend registry
+ *                                (DESIGN.md §17)
  *   help                         print usage
  *
  * Common options:
@@ -25,7 +27,10 @@
  *   --quant MODE       fp32|int8|int4 weight precision (default fp32;
  *                      ignored by --plan zero-pruning, whose CSR
  *                      comparator is defined on fp32 weights)
- *   --gpu tx1|tx2      target GPU model (default tx1)
+ *   --backend NAME     hardware backend from the registry (default
+ *                      tx1; see `mflstm backends`); an unknown name
+ *                      exits with status 2
+ *   --gpu tx1|tx2      legacy alias for --backend (same registry)
  *   --csv              emit one CSV row instead of the table
  *   --trace-csv FILE   dump the lowered kernel trace as CSV
  *   --trace-out FILE   write a Chrome trace-event JSON timeline
@@ -124,6 +129,7 @@
 #include "core/persist.hh"
 #include "fleet/fleet.hh"
 #include "harness.hh"
+#include "hw/backend.hh"
 #include "io/fsck.hh"
 #include "nn/serialize.hh"
 #include "obs/ledger.hh"
@@ -214,7 +220,10 @@ printUsage(std::FILE *to)
         "  --set N            threshold ladder rung (default: AO)\n"
         "  --quant MODE       fp32|int8|int4 weight precision "
         "(default fp32)\n"
-        "  --gpu tx1|tx2      target GPU model (default tx1)\n"
+        "  --backend NAME     hardware backend from the registry\n"
+        "                     (default tx1; list with `mflstm "
+        "backends`)\n"
+        "  --gpu tx1|tx2      legacy alias for --backend\n"
         "  --csv              emit one CSV row instead of the table\n"
         "  --trace-csv FILE   dump the lowered kernel trace as CSV\n"
         "  --trace-out FILE   write a Chrome trace-event JSON timeline\n"
@@ -271,7 +280,11 @@ printUsage(std::FILE *to)
         "  --cache-dir DIR    directory to verify (default "
         "mflstm_model_cache)\n"
         "  --quarantine       rename corrupt files to <name>.corrupt\n"
-        "  exit 0 = all artifacts verified, 1 = corruption found\n");
+        "  exit 0 = all artifacts verified, 1 = corruption found\n"
+        "\n"
+        "backends:\n"
+        "  list every registered hardware backend (id, kind, revision,\n"
+        "  capability flags) usable with --backend\n");
 }
 
 int
@@ -290,11 +303,37 @@ parsePlan(const std::string &s)
     return runtime::planKindFromString(s);
 }
 
+/**
+ * Resolve a backend id through the hw registry. Both --backend and the
+ * legacy --gpu alias validate at parse time, so get() cannot throw
+ * here.
+ */
 gpu::GpuConfig
 gpuFor(const std::string &name)
 {
-    return name == "tx2" ? gpu::GpuConfig::tegraX2Like()
-                         : gpu::GpuConfig::tegraX1();
+    return hw::registry().get(name).config;
+}
+
+/** `mflstm backends`: print the hardware backend registry. */
+int
+cmdBackends()
+{
+    std::printf("%-6s %-12s %-4s %-10s %s\n", "id", "kind", "rev",
+                "caps", "backend");
+    for (const hw::Backend &b : hw::registry().entries()) {
+        std::string caps;
+        if (b.config.int8DotUnits)
+            caps += "dp4a";
+        if (b.config.explicitWeightMemory)
+            caps += caps.empty() ? "wmem" : "+wmem";
+        if (caps.empty())
+            caps = "-";
+        std::printf("%-6s %-12s %-4d %-10s %s\n", b.id.c_str(),
+                    hw::toString(b.kind), b.revision, caps.c_str(),
+                    b.display.c_str());
+        std::printf("%-6s %s\n", "", b.summary.c_str());
+    }
+    return 0;
 }
 
 /** Write the observer's sinks to the files requested in @p opt. */
@@ -676,6 +715,7 @@ cmdTune(const Options &opt)
 
     sched::TuneRequest treq;
     treq.shape = mf->config().timingShape;
+    treq.backendId = opt.gpuName;
     treq.stats = mf->runner().stats();
     treq.mts = mf->calibration().mts;
     treq.modelHidden = mf->runner().model().config().hiddenSize;
@@ -739,6 +779,7 @@ cmdTune(const Options &opt)
         w.key("schema").value("mflstm.tune");
         w.key("version").value(std::uint64_t{1});
         w.key("app").value(opt.app);
+        w.key("backend").value(opt.gpuName);
         w.key("gpu").value(mf->executor().config().name);
         w.key("quant").value(quant::toString(opt.quantMode));
         w.key("batch").value(static_cast<std::uint64_t>(treq.batch));
@@ -941,6 +982,7 @@ cmdServe(const Options &opt)
     eopts.maxRetries = opt.retries;
     eopts.tunePlans = opt.tuned;
     eopts.tuneCacheDir = opt.stateDir;
+    eopts.backendId = opt.gpuName;
 
     // Must outlive the engine (workers consult it per batch/request).
     std::optional<serve::ProbabilisticFaultInjector> injector;
@@ -1165,6 +1207,7 @@ cmdFleet(const Options &opt)
     fopts.engine.workers = opt.workers;
     fopts.engine.plan = opt.plan;
     fopts.engine.maxRetries = opt.retries;
+    fopts.engine.backendId = opt.gpuName;
     if (opt.governor) {
         const SchemeCurve curve =
             evaluateScheme(*mf, app, opt.plan, ladder);
@@ -1289,7 +1332,7 @@ main(int argc, char **argv)
         opt.command != "sweep" && opt.command != "mts" &&
         opt.command != "serve" && opt.command != "fleet" &&
         opt.command != "profile" && opt.command != "tune" &&
-        opt.command != "fsck") {
+        opt.command != "fsck" && opt.command != "backends") {
         std::fprintf(stderr, "unknown command: %s\n",
                      opt.command.c_str());
         return usage();
@@ -1350,6 +1393,18 @@ main(int argc, char **argv)
                        std::strcmp(v, "tx2") != 0)) {
                 std::fprintf(stderr, "bad --gpu value: %s\n",
                              v ? v : "(missing)");
+                return usage();
+            }
+            opt.gpuName = v;
+        } else if (arg == "--backend") {
+            const char *v = next();
+            if (!v || !hw::registry().contains(v)) {
+                std::string known;
+                for (const std::string &n : hw::registry().names())
+                    known += (known.empty() ? "" : "|") + n;
+                std::fprintf(stderr,
+                             "unknown backend: %s (known: %s)\n",
+                             v ? v : "(missing)", known.c_str());
                 return usage();
             }
             opt.gpuName = v;
@@ -1523,6 +1578,8 @@ main(int argc, char **argv)
     try {
         if (opt.command == "list")
             return cmdList();
+        if (opt.command == "backends")
+            return cmdBackends();
         if (opt.command == "run")
             return cmdRun(opt);
         if (opt.command == "sweep")
